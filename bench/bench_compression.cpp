@@ -1,0 +1,129 @@
+// CLAIM-COMPRESS (DESIGN.md §4): "compression of messages — up to their
+// omission" (Sections 1, 4, 5).
+//
+// Workload: every server broadcasts on K parallel BRB instances; we sweep
+// the server count n and K, and compare wire traffic between
+//   * shim(BRB)  — the block DAG embedding (only blocks on the wire), and
+//   * direct BRB — the same protocol with every message materialized and
+//     sent (the traditional deployment).
+//
+// The paper's predicted shape: the direct baseline sends Θ(K·n²) protocol
+// messages; the embedding sends Θ(rounds·n²) block messages *independent
+// of K*, so the per-instance wire cost → 0 as K grows, while every one of
+// the K·n²-ish protocol messages is still (locally) materialized.
+#include <cstdio>
+
+#include "baseline/direct_node.h"
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+#include "runtime/table.h"
+
+namespace {
+
+using namespace blockdag;
+
+struct RunResult {
+  std::uint64_t wire_messages;
+  std::uint64_t wire_bytes;
+  std::uint64_t materialized;  // protocol messages that existed logically
+  std::size_t deliveries;
+};
+
+RunResult run_shim(std::uint32_t n, std::uint32_t k_instances, std::size_t payload) {
+  ClusterConfig cfg;
+  cfg.n_servers = n;
+  cfg.seed = 1234;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.net.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(5)};
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  for (std::uint32_t i = 0; i < k_instances; ++i) {
+    Bytes value(payload, static_cast<std::uint8_t>(i));
+    cluster.request(i % n, 1 + i, brb::make_broadcast(value));
+  }
+  // Run until every instance delivered everywhere (bounded).
+  for (int step = 0; step < 100; ++step) {
+    cluster.run_for(sim_ms(100));
+    bool all = true;
+    for (std::uint32_t i = 0; i < k_instances && all; ++i) {
+      all = cluster.indicated_count(1 + i) == n;
+    }
+    if (all) break;
+  }
+  cluster.stop();
+
+  RunResult r{};
+  r.wire_messages = cluster.network().metrics().total_messages();
+  r.wire_bytes = cluster.network().metrics().total_bytes();
+  std::size_t deliveries = 0;
+  for (ServerId s = 0; s < n; ++s) {
+    deliveries += cluster.shim(s).indications().size();
+    r.materialized += cluster.shim(s).interpreter().stats().messages_materialized;
+  }
+  r.materialized /= n;  // per-server view of the same logical messages
+  r.deliveries = deliveries;
+  return r;
+}
+
+RunResult run_direct(std::uint32_t n, std::uint32_t k_instances, std::size_t payload) {
+  Scheduler sched;
+  NetworkConfig net_cfg;
+  net_cfg.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(5)};
+  net_cfg.seed = 1234;
+  SimNetwork net(sched, n, net_cfg);
+  IdealSignatureProvider sigs(n, 1234);
+  brb::BrbFactory factory;
+  std::vector<std::unique_ptr<DirectProtocolNode>> nodes;
+  for (ServerId s = 0; s < n; ++s) {
+    nodes.push_back(std::make_unique<DirectProtocolNode>(s, sched, net, sigs,
+                                                         factory, n));
+  }
+  for (std::uint32_t i = 0; i < k_instances; ++i) {
+    Bytes value(payload, static_cast<std::uint8_t>(i));
+    nodes[i % n]->request(1 + i, brb::make_broadcast(value));
+  }
+  sched.run();
+
+  RunResult r{};
+  r.wire_messages = net.metrics().total_messages();
+  r.wire_bytes = net.metrics().total_bytes();
+  for (const auto& node : nodes) {
+    r.materialized += node->messages_sent();
+    r.deliveries += node->indications().size();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CLAIM-COMPRESS: wire traffic, shim(BRB) vs direct BRB\n");
+  std::printf("(every server broadcasts on K parallel instances; payload 32B)\n\n");
+
+  Table table({"n", "K", "direct msgs", "shim msgs", "direct MB", "shim MB",
+               "msg ratio", "shim B/instance", "materialized"});
+  for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
+    for (std::uint32_t k : {1u, 16u, 64u, 256u}) {
+      const RunResult direct = run_direct(n, k, 32);
+      const RunResult shim = run_shim(n, k, 32);
+      table.add_row(
+          {Table::num(static_cast<std::uint64_t>(n)), Table::num(static_cast<std::uint64_t>(k)),
+           Table::num(direct.wire_messages), Table::num(shim.wire_messages),
+           Table::num(static_cast<double>(direct.wire_bytes) / 1e6, 3),
+           Table::num(static_cast<double>(shim.wire_bytes) / 1e6, 3),
+           Table::num(static_cast<double>(direct.wire_messages) /
+                          static_cast<double>(shim.wire_messages),
+                      2),
+           Table::num(static_cast<double>(shim.wire_bytes) / k, 0),
+           Table::num(shim.materialized)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper §4/§5): direct messages grow ~K·n²; shim wire\n"
+      "messages are K-independent blocks, so 'msg ratio' grows with K while\n"
+      "'materialized' shows the protocol messages still being computed — the\n"
+      "compression is real, no message content crossed the wire.\n");
+  return 0;
+}

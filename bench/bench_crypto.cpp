@@ -1,0 +1,74 @@
+// CRYPTO (DESIGN.md §4): microbenchmarks of the cryptographic substrate —
+// SHA-256 throughput and sign/verify cost for both signature providers.
+// Feeds the signature-batching discussion: one ideal signature is one HMAC;
+// one WOTS signature is hundreds of hash chains. Batching per block keeps
+// either affordable.
+#include <benchmark/benchmark.h>
+
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "crypto/wots.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace blockdag;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+void BM_IdealSign(benchmark::State& state) {
+  IdealSignatureProvider sigs(4, 7);
+  const Bytes msg = random_bytes(32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigs.sign(0, msg));
+  }
+}
+BENCHMARK(BM_IdealSign);
+
+void BM_IdealVerify(benchmark::State& state) {
+  IdealSignatureProvider sigs(4, 7);
+  const Bytes msg = random_bytes(32, 2);
+  const Bytes sig = sigs.sign(0, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigs.verify(0, msg, sig));
+  }
+}
+BENCHMARK(BM_IdealVerify);
+
+void BM_WotsSign(benchmark::State& state) {
+  WotsSignatureProvider sigs(4, 7);
+  const Bytes msg = random_bytes(32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigs.sign(0, msg));
+  }
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+  WotsSignatureProvider sigs(4, 7);
+  const Bytes msg = random_bytes(32, 2);
+  const Bytes sig = sigs.sign(0, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigs.verify(0, msg, sig));
+  }
+}
+BENCHMARK(BM_WotsVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

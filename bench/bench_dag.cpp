@@ -1,0 +1,109 @@
+// DAG-OPS (DESIGN.md §4): cost of the gossip fast path — Definition 3.3
+// validation ("reference lookups into a hash-table and a single signature
+// verification", Section 3) and Definition 3.4 insertion — as a function
+// of predecessor-list width and request batch size.
+#include <benchmark/benchmark.h>
+
+#include "crypto/signature.h"
+#include "dag/validity.h"
+
+namespace {
+
+using namespace blockdag;
+
+struct Fixture {
+  IdealSignatureProvider sigs{32, 1};
+  BlockDag dag;
+  Validator validator{sigs};
+
+  BlockPtr make(ServerId n, SeqNo k, std::vector<Hash256> preds,
+                std::vector<LabeledRequest> rs = {}) {
+    const Hash256 ref = Block::compute_ref(n, k, preds, rs);
+    Bytes sigma = sigs.sign(n, ref.span());
+    return std::make_shared<const Block>(n, k, std::move(preds), std::move(rs),
+                                         std::move(sigma));
+  }
+};
+
+void BM_ValidateAndInsert(benchmark::State& state) {
+  const auto n_preds = static_cast<std::uint32_t>(state.range(0));
+  Fixture fx;
+  // Seed the DAG with n_preds genesis blocks from distinct servers.
+  std::vector<Hash256> refs;
+  for (ServerId s = 0; s < n_preds; ++s) {
+    const BlockPtr genesis = fx.make(s, 0, {});
+    fx.dag.insert(genesis);
+    refs.push_back(genesis->ref());
+  }
+  // Candidate chain blocks by server 0 referencing all of them.
+  SeqNo k = 1;
+  Hash256 parent = refs[0];
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Hash256> preds{parent};
+    for (std::uint32_t i = 1; i < n_preds; ++i) preds.push_back(refs[i]);
+    const BlockPtr b = fx.make(0, k, std::move(preds));
+    state.ResumeTiming();
+
+    benchmark::DoNotOptimize(fx.validator.check(*b, fx.dag));
+    benchmark::DoNotOptimize(fx.dag.insert(b));
+
+    state.PauseTiming();
+    parent = b->ref();
+    ++k;
+    state.ResumeTiming();
+  }
+  state.counters["blocks/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ValidateAndInsert)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BlockEncodeDecode(benchmark::State& state) {
+  const auto n_requests = static_cast<std::uint32_t>(state.range(0));
+  Fixture fx;
+  std::vector<LabeledRequest> rs;
+  for (std::uint32_t i = 0; i < n_requests; ++i) {
+    rs.push_back({i, Bytes(64, static_cast<std::uint8_t>(i))});
+  }
+  const BlockPtr b = fx.make(0, 0, {}, rs);
+  const Bytes wire = b->encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block::decode(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_BlockEncodeDecode)->Arg(0)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_RefComputation(benchmark::State& state) {
+  const auto n_preds = static_cast<std::uint32_t>(state.range(0));
+  std::vector<Hash256> preds;
+  for (std::uint32_t i = 0; i < n_preds; ++i) {
+    preds.push_back(Hash256::of(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block::compute_ref(0, 1, preds, {}));
+  }
+}
+BENCHMARK(BM_RefComputation)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_ReachabilityQuery(benchmark::State& state) {
+  // ⇀+ queries over a deep chain — used by audits, not the hot path.
+  Fixture fx;
+  BlockPtr first = fx.make(0, 0, {});
+  fx.dag.insert(first);
+  BlockPtr prev = first;
+  for (SeqNo k = 1; k <= 512; ++k) {
+    BlockPtr b = fx.make(0, k, {prev->ref()});
+    fx.dag.insert(b);
+    prev = b;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.dag.reachable(first->ref(), prev->ref()));
+  }
+}
+BENCHMARK(BM_ReachabilityQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

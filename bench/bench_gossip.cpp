@@ -1,0 +1,108 @@
+// GOSSIP-CONV (DESIGN.md §4): Lemma 3.7 quantified — how fast a
+// disseminated block reaches every correct server's DAG, as a function of
+// cluster size and transient drop rate (exercising the FWD recovery path,
+// Algorithm 1 lines 10–13). Joint-DAG convergence lag is exactly the
+// worst per-block propagation delay.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "crypto/signature.h"
+#include "gossip/gossip.h"
+#include "runtime/table.h"
+
+namespace {
+
+using namespace blockdag;
+
+struct PropResult {
+  double mean_ms;
+  double p95_ms;
+  double max_ms;
+  std::uint64_t fwd_requests;
+  std::uint64_t dropped;
+  std::size_t blocks;
+};
+
+PropResult run(std::uint32_t n, double drop, std::uint64_t seed) {
+  Scheduler sched;
+  IdealSignatureProvider sigs(n, seed);
+  NetworkConfig net_cfg;
+  net_cfg.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(9)};
+  net_cfg.drop_probability = drop;
+  net_cfg.max_drops_per_pair = 1u << 30;  // drops never exhaust: pure FWD recovery
+  net_cfg.seed = seed;
+  SimNetwork net(sched, n, net_cfg);
+  GossipConfig gossip_cfg;
+  gossip_cfg.fwd_retry_delay = sim_ms(15);
+
+  std::vector<std::unique_ptr<RequestBuffer>> rqsts;
+  std::vector<std::unique_ptr<GossipServer>> servers;
+  // Per block: time of first insertion (= builder) and count of servers
+  // holding it; completion time once all n have it.
+  std::map<Hash256, std::pair<SimTime, std::uint32_t>> births;
+  std::vector<double> propagation_ms;
+
+  for (ServerId s = 0; s < n; ++s) {
+    rqsts.push_back(std::make_unique<RequestBuffer>());
+    servers.push_back(std::make_unique<GossipServer>(s, sched, net, sigs,
+                                                     *rqsts[s], gossip_cfg));
+    GossipServer* gs = servers.back().get();
+    net.attach(s, [gs](ServerId from, const Bytes& wire) { gs->on_network(from, wire); });
+    gs->set_block_inserted_handler([&, n](const BlockPtr& b) {
+      auto [it, fresh] = births.emplace(b->ref(), std::make_pair(sched.now(), 0u));
+      if (++it->second.second == n) {
+        propagation_ms.push_back(static_cast<double>(sched.now() - it->second.first) / 1e6);
+      }
+    });
+  }
+
+  // 50 paced rounds plus trailing empty beats so the final blocks get
+  // referenced (references are what drive FWD recovery).
+  constexpr int kRounds = 50;
+  for (int r = 0; r < kRounds + 10; ++r) {
+    for (auto& s : servers) s->disseminate();
+    sched.run_until(sched.now() + sim_ms(10));
+  }
+  sched.run_until(sched.now() + sim_sec(10));
+
+  PropResult out{};
+  std::sort(propagation_ms.begin(), propagation_ms.end());
+  if (!propagation_ms.empty()) {
+    double total = 0;
+    for (double v : propagation_ms) total += v;
+    out.mean_ms = total / static_cast<double>(propagation_ms.size());
+    out.p95_ms = propagation_ms[propagation_ms.size() * 95 / 100];
+    out.max_ms = propagation_ms.back();
+  }
+  for (auto& s : servers) out.fwd_requests += s->stats().fwd_requests_sent;
+  out.dropped = net.metrics().dropped;
+  out.blocks = propagation_ms.size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GOSSIP-CONV: block propagation to all servers (Lemma 3.7)\n");
+  std::printf("(50 rounds @10ms pacing; uniform 1-10ms links; persistent drop rate,\n");
+  std::printf(" recovery purely via FWD re-requests)\n\n");
+  Table table({"n", "drop %", "mean ms", "p95 ms", "max ms", "FWD reqs",
+               "dropped", "blocks measured"});
+  for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
+    for (double drop : {0.0, 0.1, 0.3}) {
+      const PropResult r = run(n, drop, 42 + n);
+      table.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                     Table::num(drop * 100, 0), Table::num(r.mean_ms, 1),
+                     Table::num(r.p95_ms, 1), Table::num(r.max_ms, 1),
+                     Table::num(r.fwd_requests), Table::num(r.dropped),
+                     Table::num(static_cast<std::uint64_t>(r.blocks))});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: with no drops propagation ≈ one network latency;\n"
+      "drops shift the tail by multiples of the FWD retry delay but every\n"
+      "measured block still reaches all servers (Assumption 1 + forwarding).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// CLAIM-OFFLINE (DESIGN.md §4): "only applying the higher-level protocol
+// logic off-line possibly later" (Section 1); interpretation is decoupled
+// from networking (Section 4).
+//
+// Google-benchmark microbenchmarks of the interpreter: a pre-built block
+// DAG (the artifact gossip would have produced) is interpreted from
+// scratch, measuring blocks/s and materialized messages/s for varying DAG
+// depth and instance counts.
+#include <benchmark/benchmark.h>
+
+#include "interpret/interpreter.h"
+#include "protocols/brb.h"
+#include "crypto/signature.h"
+
+namespace {
+
+using namespace blockdag;
+
+// Builds a realistic DAG: `rounds` rounds of n servers, each block
+// referencing all blocks of the previous round (its parent first);
+// `k_instances` broadcasts inscribed in round 0.
+BlockDag build_dag(std::uint32_t n, std::uint32_t rounds, std::uint32_t k_instances,
+                   SignatureProvider& sigs) {
+  BlockDag dag;
+  std::vector<Hash256> prev_round;
+  std::vector<Hash256> cur_round;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    cur_round.clear();
+    for (ServerId s = 0; s < n; ++s) {
+      std::vector<Hash256> preds;
+      if (r > 0) {
+        preds.push_back(prev_round[s]);  // parent first
+        for (ServerId o = 0; o < n; ++o) {
+          if (o != s) preds.push_back(prev_round[o]);
+        }
+      }
+      std::vector<LabeledRequest> rs;
+      if (r == 0 && s == 0) {
+        for (std::uint32_t i = 0; i < k_instances; ++i) {
+          rs.push_back({1 + i, brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i)})});
+        }
+      }
+      const Hash256 ref = Block::compute_ref(s, r, preds, rs);
+      Bytes sigma = sigs.sign(s, ref.span());
+      auto block = std::make_shared<const Block>(s, r, std::move(preds),
+                                                 std::move(rs), std::move(sigma));
+      cur_round.push_back(block->ref());
+      dag.insert(std::move(block));
+    }
+    prev_round = cur_round;
+  }
+  return dag;
+}
+
+void BM_InterpretDag(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto rounds = static_cast<std::uint32_t>(state.range(1));
+  const auto k = static_cast<std::uint32_t>(state.range(2));
+  IdealSignatureProvider sigs(n, 1);
+  const BlockDag dag = build_dag(n, rounds, k, sigs);
+  brb::BrbFactory factory;
+
+  std::uint64_t materialized = 0;
+  for (auto _ : state) {
+    Interpreter interp(dag, factory, n);
+    benchmark::DoNotOptimize(interp.run());
+    materialized = interp.stats().messages_materialized;
+  }
+  state.counters["blocks"] = static_cast<double>(dag.size());
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(dag.size() * state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(materialized * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpretDag)
+    ->Args({4, 16, 1})
+    ->Args({4, 16, 16})
+    ->Args({4, 16, 128})
+    ->Args({4, 64, 16})
+    ->Args({10, 16, 16})
+    ->Args({16, 16, 16})
+    ->Unit(benchmark::kMillisecond);
+
+// The eligibility check and state copy alone (no protocol work): an upper
+// bound on pure traversal speed.
+void BM_InterpretEmptyDag(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  IdealSignatureProvider sigs(n, 1);
+  const BlockDag dag = build_dag(n, 64, 0, sigs);
+  brb::BrbFactory factory;
+  for (auto _ : state) {
+    Interpreter interp(dag, factory, n);
+    benchmark::DoNotOptimize(interp.run());
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(dag.size() * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpretEmptyDag)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// CLAIM-PAR (DESIGN.md §4): "running many instances of protocols in
+// parallel 'for free'" / "with every new block every server creates a new
+// instance of P" (Sections 1, 4).
+//
+// Sweep the number K of parallel BRB instances on a fixed 4-server cluster
+// and report the marginal cost of each additional instance: extra blocks
+// (≈ 0 — instances share blocks), extra wire bytes (only the literal
+// request inscriptions), and interpretation time (the real cost, paid
+// off-line and locally).
+#include <chrono>
+#include <cstdio>
+
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+#include "runtime/table.h"
+
+namespace {
+
+using namespace blockdag;
+
+struct ParResult {
+  std::uint64_t blocks;
+  std::uint64_t wire_bytes;
+  std::uint64_t materialized;
+  double wall_ms;
+  bool all_delivered;
+};
+
+ParResult run(std::uint32_t k) {
+  constexpr std::uint32_t kN = 4;
+  ClusterConfig cfg;
+  cfg.n_servers = kN;
+  cfg.seed = 7;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.gossip.max_requests_per_block = 4096;
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.start();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    cluster.request(i % kN, 1 + i, brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  bool all = false;
+  for (int step = 0; step < 200 && !all; ++step) {
+    cluster.run_for(sim_ms(100));
+    all = true;
+    for (std::uint32_t i = 0; i < k && all; ++i) {
+      all = cluster.indicated_count(1 + i) == kN;
+    }
+  }
+  cluster.stop();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ParResult r{};
+  r.blocks = cluster.shim(0).dag().size();
+  r.wire_bytes = cluster.network().metrics().total_bytes();
+  r.materialized = cluster.shim(0).interpreter().stats().messages_materialized;
+  r.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  r.all_delivered = all;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CLAIM-PAR: marginal cost of parallel instances (n=4, BRB)\n\n");
+  Table table({"K", "blocks", "wire KB", "KB/instance", "materialized msgs",
+               "wall ms", "all delivered"});
+  for (std::uint32_t k : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+    const ParResult r = run(k);
+    table.add_row({Table::num(static_cast<std::uint64_t>(k)), Table::num(r.blocks),
+                   Table::num(static_cast<double>(r.wire_bytes) / 1e3, 1),
+                   Table::num(static_cast<double>(r.wire_bytes) / 1e3 / k, 3),
+                   Table::num(r.materialized), Table::num(r.wall_ms, 1),
+                   r.all_delivered ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper §1/§4): block count stays ~flat in K (instances\n"
+      "ride existing blocks), KB/instance falls toward the bare request size,\n"
+      "materialized messages grow ~linearly in K — parallel instances are\n"
+      "'for free' on the wire, paid only in local interpretation.\n");
+  return 0;
+}

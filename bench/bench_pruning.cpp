@@ -1,0 +1,92 @@
+// ABL-PRUNE (DESIGN.md §4): the §7 memory limitation, quantified — "the
+// full block DAG has to be stored by all correct parties forever" — and
+// the checkpoint-pruning extension that bounds it when the higher-level
+// protocol signals information will never be needed again.
+#include <cstdio>
+
+#include "interpret/interpreter.h"
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+#include "runtime/table.h"
+
+namespace {
+
+using namespace blockdag;
+
+struct PruneRow {
+  std::size_t blocks_before;
+  std::size_t blocks_after;
+  std::uint64_t bytes_before;
+  std::uint64_t bytes_after;
+};
+
+PruneRow run(std::uint32_t rounds) {
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 3;
+  cfg.pacing.interval = sim_ms(10);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    cluster.request(i, 1 + i, brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  cluster.run_for(sim_ms(10) * rounds);
+  cluster.quiesce();
+
+  // Work on a copy (the live gossip DAG is append-only; see DESIGN.md).
+  BlockDag copy;
+  copy.absorb(cluster.shim(0).dag());
+
+  const auto footprint = [](const BlockDag& dag) {
+    std::uint64_t bytes = 0;
+    for (const BlockPtr& b : dag.topological_order()) bytes += b->encode().size();
+    return bytes;
+  };
+
+  PruneRow row{};
+  row.blocks_before = copy.size();
+  row.bytes_before = footprint(copy);
+
+  // Checkpoint = each server's tip: everything below is "delivered history"
+  // (all 4 BRB instances have indicated by now).
+  std::map<ServerId, BlockPtr> tips;
+  for (const BlockPtr& b : copy.topological_order()) {
+    auto& tip = tips[b->n()];
+    if (!tip || b->k() > tip->k()) tip = b;
+  }
+  std::vector<Hash256> checkpoints;
+  for (const auto& [n, b] : tips) {
+    (void)n;
+    checkpoints.push_back(b->ref());
+  }
+  copy.prune_below(checkpoints);
+  row.blocks_after = copy.size();
+  row.bytes_after = footprint(copy);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-PRUNE: DAG memory growth vs checkpoint pruning (§7)\n\n");
+  Table table({"rounds", "blocks (full)", "KB (full)", "blocks (pruned)",
+               "KB (pruned)", "reduction"});
+  for (std::uint32_t rounds : {25u, 50u, 100u, 200u, 400u}) {
+    const PruneRow r = run(rounds);
+    table.add_row(
+        {Table::num(static_cast<std::uint64_t>(rounds)),
+         Table::num(static_cast<std::uint64_t>(r.blocks_before)),
+         Table::num(static_cast<double>(r.bytes_before) / 1e3, 1),
+         Table::num(static_cast<std::uint64_t>(r.blocks_after)),
+         Table::num(static_cast<double>(r.bytes_after) / 1e3, 1),
+         Table::num(100.0 * (1.0 - static_cast<double>(r.bytes_after) /
+                                       static_cast<double>(r.bytes_before)), 1) + "%"});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: unpruned storage grows linearly with rounds forever\n"
+      "(the paper's limitation); checkpoint pruning keeps the retained state\n"
+      "at ~one round of blocks per server.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 3, live: a byzantine server equivocates — building two different
+// blocks for the same chain position and showing each half of the network
+// a different one. The interpretation splits the byzantine server's
+// simulated state (Section 4), BRB tolerates it, and the signed block pair
+// is transferable evidence of misbehaviour (accountability, §6/§7).
+#include <cstdio>
+
+#include "dag/equivocation.h"
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+
+using namespace blockdag;
+
+int main() {
+  ClusterConfig config;
+  config.n_servers = 4;
+  config.seed = 2021;
+  config.pacing.interval = sim_ms(10);
+  config.byzantine[3] = ByzantineKind::kEquivocator;  // ˇs3 plays Figure 3
+
+  brb::BrbFactory factory;
+  Cluster cluster(factory, config);
+  cluster.start();
+
+  // A correct server broadcasts; the equivocator does its worst.
+  cluster.request(0, 1, brb::make_broadcast(Bytes{42}));
+  cluster.run_for(sim_sec(2));
+
+  std::printf("correct servers that delivered 42: %zu / 3\n",
+              cluster.indicated_count(1));
+
+  // Audit server 0's DAG for equivocation evidence.
+  EquivocationDetector detector;
+  std::size_t proofs = 0;
+  for (const BlockPtr& b : cluster.shim(0).dag().topological_order()) {
+    if (const auto proof = detector.observe(b)) {
+      ++proofs;
+      if (proofs == 1) {
+        std::printf("equivocation proof: server %u built two blocks at k=%llu\n",
+                    proof->offender,
+                    static_cast<unsigned long long>(proof->k));
+        std::printf("  block A: %s\n  block B: %s\n",
+                    proof->first->ref().short_hex().c_str(),
+                    proof->second->ref().short_hex().c_str());
+        std::printf("  proof verifies: %s\n",
+                    EquivocationDetector::proof_is_valid(*proof) ? "yes" : "no");
+      }
+    }
+  }
+  std::printf("total equivocation proofs found: %zu\n", proofs);
+  std::printf("offender identified: %s\n", detector.is_offender(3) ? "s3" : "none");
+
+  const bool ok = cluster.indicated_count(1) == 3 && detector.is_offender(3);
+  std::printf("\n%s\n", ok ? "BRB safety and accountability both held."
+                           : "UNEXPECTED OUTCOME");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Parallel instances 'for free' (Sections 1, 4): 1000 BRB instances share
+// the same blocks. The wire carries the literal broadcast requests once —
+// every ECHO and READY of every instance is materialized locally by each
+// server's interpreter, never sent, never individually signed.
+#include <cstdio>
+
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+
+using namespace blockdag;
+
+int main() {
+  constexpr std::uint32_t kServers = 4;
+  constexpr std::uint32_t kInstances = 1000;
+
+  ClusterConfig config;
+  config.n_servers = kServers;
+  config.seed = 99;
+  config.pacing.interval = sim_ms(10);
+  config.gossip.max_requests_per_block = 2048;
+
+  brb::BrbFactory factory;
+  Cluster cluster(factory, config);
+  cluster.start();
+
+  for (std::uint32_t i = 0; i < kInstances; ++i) {
+    // Spread requests across servers; each instance broadcasts one value.
+    cluster.request(i % kServers, 1 + i,
+                    brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i & 0xff)}));
+  }
+  cluster.run_for(sim_sec(3));
+
+  std::uint32_t complete = 0;
+  for (std::uint32_t i = 0; i < kInstances; ++i) {
+    if (cluster.indicated_count(1 + i) == kServers) ++complete;
+  }
+
+  const auto& wire = cluster.network().metrics();
+  const auto& interp = cluster.shim(0).interpreter().stats();
+  std::printf("instances delivered everywhere : %u / %u\n", complete, kInstances);
+  std::printf("blocks in the DAG              : %zu\n", cluster.shim(0).dag().size());
+  std::printf("wire messages (blocks only)    : %llu\n",
+              static_cast<unsigned long long>(wire.total_messages()));
+  std::printf("wire bytes                     : %llu (%.1f B per instance)\n",
+              static_cast<unsigned long long>(wire.total_bytes()),
+              static_cast<double>(wire.total_bytes()) / kInstances);
+  std::printf("messages materialized (server 0): %llu — none of them sent\n",
+              static_cast<unsigned long long>(interp.messages_materialized));
+  std::printf("signatures created (all servers): %llu (one per block)\n",
+              static_cast<unsigned long long>(cluster.signatures().counters().signs));
+  return complete == kInstances ? 0 : 1;
+}

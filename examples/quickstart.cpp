@@ -1,0 +1,52 @@
+// Quickstart: byzantine reliable broadcast over a block DAG, 4 servers.
+//
+// The paper's Section 5 walk-through as an executable: server s1 requests
+// broadcast(42) for instance ℓ1; no ECHO or READY ever crosses the wire —
+// only blocks do — yet every server's user sees deliver(42).
+#include <cstdio>
+
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+
+using namespace blockdag;
+
+int main() {
+  // 1. Configure a 4-server cluster (tolerates f = 1 byzantine server).
+  ClusterConfig config;
+  config.n_servers = 4;
+  config.seed = 2021;
+  config.pacing.interval = sim_ms(10);
+  config.net.latency = {LatencyModel::Kind::kUniform, sim_ms(2), sim_ms(6)};
+
+  // 2. Choose the deterministic protocol P to embed: BRB (Algorithm 4).
+  brb::BrbFactory factory;
+  Cluster cluster(factory, config);
+  cluster.start();
+
+  // 3. Server s0 asks instance ℓ1 to broadcast the value 42.
+  const Label l1 = 1;
+  cluster.request(/*server=*/0, l1, brb::make_broadcast(Bytes{42}));
+
+  // 4. Run the simulation for one simulated second.
+  cluster.run_for(sim_sec(1));
+
+  // 5. Every server's user got deliver(42) — without any ECHO or READY on
+  //    the wire.
+  for (ServerId s = 0; s < config.n_servers; ++s) {
+    for (const UserIndication& ind : cluster.shim(s).indications()) {
+      const auto value = brb::parse_deliver(ind.indication);
+      std::printf("server %u: deliver(%u) for label %llu at t=%.1fms\n", s,
+                  value ? (*value)[0] : 0,
+                  static_cast<unsigned long long>(ind.label),
+                  static_cast<double>(ind.at) / 1e6);
+    }
+  }
+
+  const auto& wire = cluster.network().metrics();
+  std::printf("\nwire traffic: %llu messages, %llu bytes — all of them blocks; "
+              "0 protocol messages\n",
+              static_cast<unsigned long long>(wire.total_messages()),
+              static_cast<unsigned long long>(wire.total_bytes()));
+  std::printf("blocks in s0's DAG: %zu\n", cluster.shim(0).dag().size());
+  return cluster.indicated_count(l1) == 4 ? 0 : 1;
+}

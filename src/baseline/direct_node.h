@@ -1,0 +1,60 @@
+// Direct-network baseline: protocols that "materialize point-to-point
+// messages as direct network messages" (Section 1).
+//
+// The comparison target for every bench reproducing the paper's claims:
+// the *same* deterministic protocol implementations (BrbProcess, ...) run
+// with every protocol message actually sent on the wire and individually
+// signed and verified — the traditional deployment the paper contrasts
+// with the block DAG embedding, where messages are compressed away and
+// signatures are batched per block.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "protocol/protocol.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace blockdag {
+
+struct DirectIndication {
+  Label label = 0;
+  Bytes indication;
+  SimTime at = 0;
+};
+
+class DirectProtocolNode {
+ public:
+  DirectProtocolNode(ServerId self, Scheduler& sched, SimNetwork& net,
+                     SignatureProvider& sigs, const ProtocolFactory& factory,
+                     std::uint32_t n_servers);
+
+  // The user-facing request interface — same shape as Shim::request.
+  void request(Label label, Bytes request);
+
+  const std::vector<DirectIndication>& indications() const { return delivered_; }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  Process& instance(Label label);
+  void dispatch(Label label, StepResult&& result);
+  void on_network(ServerId from, const Bytes& wire);
+
+  ServerId self_;
+  Scheduler& sched_;
+  SimNetwork& net_;
+  SignatureProvider& sigs_;
+  const ProtocolFactory& factory_;
+  std::uint32_t n_;
+
+  std::map<Label, std::unique_ptr<Process>> instances_;
+  std::vector<DirectIndication> delivered_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,11 @@
+#include "crypto/hash.h"
+
+#include "util/hex.h"
+
+namespace blockdag {
+
+std::string Hash256::hex() const { return to_hex(data_); }
+
+std::string Hash256::short_hex() const { return to_hex(data_).substr(0, 8); }
+
+}  // namespace blockdag

@@ -1,0 +1,64 @@
+// Hash256: value-type wrapper around a SHA-256 digest.
+//
+// Blocks are identified by `ref(B)` — a hash over the canonical encoding of
+// (n, k, preds, rs) but *not* the signature (Definition 3.1). We use blocks
+// and their refs interchangeably, justified by collision resistance
+// (Definition A.1(3)); Hash256 is that ref type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/types.h"
+
+namespace blockdag {
+
+class Hash256 {
+ public:
+  static constexpr std::size_t kSize = Sha256::kDigestSize;
+
+  Hash256() = default;  // all-zero hash
+  explicit Hash256(const Sha256::Digest& d) : data_(d) {}
+
+  static Hash256 of(std::span<const std::uint8_t> bytes) {
+    return Hash256(Sha256::digest(bytes));
+  }
+
+  const std::array<std::uint8_t, kSize>& bytes() const { return data_; }
+  std::span<const std::uint8_t> span() const { return data_; }
+
+  bool is_zero() const {
+    for (auto b : data_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  // First 8 bytes as a little-endian integer — used for hash-table seeding.
+  std::uint64_t prefix64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[i]) << (8 * i);
+    return v;
+  }
+
+  std::string hex() const;
+  std::string short_hex() const;  // first 8 hex chars, for logs
+
+  auto operator<=>(const Hash256&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> data_{};
+};
+
+}  // namespace blockdag
+
+template <>
+struct std::hash<blockdag::Hash256> {
+  std::size_t operator()(const blockdag::Hash256& h) const noexcept {
+    return static_cast<std::size_t>(h.prefix64());
+  }
+};

@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace blockdag {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k_pad{};
+
+  if (key.size() > kBlock) {
+    const auto digest = Sha256::digest(key);
+    std::memcpy(k_pad.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k_pad.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad;
+  std::array<std::uint8_t, kBlock> opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+}  // namespace blockdag

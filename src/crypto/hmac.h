@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104) — used by the ideal signature scheme and as the
+// PRF for WOTS key derivation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace blockdag {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message);
+
+}  // namespace blockdag

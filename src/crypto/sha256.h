@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The paper assumes a secure cryptographic hash function # with
+// preimage-, 2nd-preimage- and collision-resistance (Definition A.1); block
+// references `ref(B)` are hashes over the canonical block encoding
+// (Definition 3.1). SHA-256 is the natural concrete instantiation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace blockdag {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  // Streaming interface.
+  void update(std::span<const std::uint8_t> data);
+  Digest finalize();
+
+  // One-shot convenience.
+  static Digest digest(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace blockdag

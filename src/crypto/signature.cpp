@@ -1,0 +1,51 @@
+#include "crypto/signature.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+#include "util/rng.h"
+
+namespace blockdag {
+
+IdealSignatureProvider::IdealSignatureProvider(std::uint32_t n_servers,
+                                               std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  seeds_.reserve(n_servers);
+  for (std::uint32_t i = 0; i < n_servers; ++i) {
+    Bytes s(32);
+    for (std::size_t j = 0; j < 32; j += 8) {
+      const std::uint64_t v = sm.next();
+      for (int b = 0; b < 8; ++b) s[j + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    seeds_.push_back(std::move(s));
+  }
+}
+
+Bytes IdealSignatureProvider::mac(ServerId server,
+                                  std::span<const std::uint8_t> message) const {
+  const auto d = hmac_sha256(seeds_[server], message);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes IdealSignatureProvider::sign(ServerId signer,
+                                   std::span<const std::uint8_t> message) {
+  ++counters_.signs;
+  return mac(signer, message);
+}
+
+bool IdealSignatureProvider::verify(ServerId claimed,
+                                    std::span<const std::uint8_t> message,
+                                    std::span<const std::uint8_t> signature) {
+  ++counters_.verifies;
+  if (claimed >= seeds_.size()) return false;
+  const Bytes expect = mac(claimed, message);
+  return expect.size() == signature.size() &&
+         std::equal(expect.begin(), expect.end(), signature.begin());
+}
+
+std::unique_ptr<SignatureProvider> make_ideal_provider(std::uint32_t n_servers,
+                                                       std::uint64_t seed) {
+  return std::make_unique<IdealSignatureProvider>(n_servers, seed);
+}
+
+}  // namespace blockdag

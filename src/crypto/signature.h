@@ -1,0 +1,78 @@
+// Signature schemes.
+//
+// The paper assumes a secure signature scheme with sign : Srvrs × M → Σ and
+// verify : Srvrs × M × Σ → B, with negligible (assumed zero) failure
+// probability (Section 2). Two concrete providers:
+//
+//  * IdealSignatureProvider — the paper's idealization as an ideal
+//    functionality: signing is HMAC-SHA256 under a per-server secret seed;
+//    verification recomputes the MAC via a key directory held by the
+//    (trusted) simulation environment. Unforgeable by construction inside
+//    the simulation, and fast — the default for experiments.
+//  * WotsSignatureProvider (wots.h) — a real hash-based Winternitz one-time
+//    signature with per-sequence-number key ratcheting. Demonstrates a
+//    deployable instantiation; its cost appears in bench_signatures.
+//
+// Both providers count sign/verify operations so benchmarks can report the
+// signature-batching advantage (one signature per block vs per message).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+// Running tally of cryptographic operations, used by the benches that
+// reproduce the paper's signature-batching claim.
+struct CryptoCounters {
+  std::uint64_t signs = 0;
+  std::uint64_t verifies = 0;
+
+  void reset() { *this = CryptoCounters{}; }
+};
+
+// Abstract signature provider: the per-experiment source of signing and
+// verification for a fixed server set.
+class SignatureProvider {
+ public:
+  virtual ~SignatureProvider() = default;
+
+  // Signs `message` on behalf of `signer`. Only the simulation harness
+  // invokes this with a given ServerId; the harness never signs for one
+  // server inside another server's code (mirrors private-key isolation).
+  virtual Bytes sign(ServerId signer, std::span<const std::uint8_t> message) = 0;
+
+  // Verifies `signature` on `message` for `claimed` signer.
+  virtual bool verify(ServerId claimed, std::span<const std::uint8_t> message,
+                      std::span<const std::uint8_t> signature) = 0;
+
+  CryptoCounters& counters() { return counters_; }
+  const CryptoCounters& counters() const { return counters_; }
+
+ protected:
+  CryptoCounters counters_;
+};
+
+// The ideal-functionality provider (default).
+class IdealSignatureProvider final : public SignatureProvider {
+ public:
+  // `n_servers` seeds are derived deterministically from `seed`.
+  IdealSignatureProvider(std::uint32_t n_servers, std::uint64_t seed);
+
+  Bytes sign(ServerId signer, std::span<const std::uint8_t> message) override;
+  bool verify(ServerId claimed, std::span<const std::uint8_t> message,
+              std::span<const std::uint8_t> signature) override;
+
+ private:
+  Bytes mac(ServerId server, std::span<const std::uint8_t> message) const;
+
+  std::vector<Bytes> seeds_;  // one 32-byte secret per server
+};
+
+std::unique_ptr<SignatureProvider> make_ideal_provider(std::uint32_t n_servers,
+                                                       std::uint64_t seed);
+
+}  // namespace blockdag

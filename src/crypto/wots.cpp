@@ -1,0 +1,137 @@
+#include "crypto/wots.h"
+
+#include <array>
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+
+namespace {
+
+// Splits a 32-byte digest into 64 4-bit digits plus a 3-digit checksum.
+std::array<std::uint8_t, WotsParams::kLen> digits_of(
+    std::span<const std::uint8_t> message) {
+  const auto d = Sha256::digest(message);
+  std::array<std::uint8_t, WotsParams::kLen> out{};
+  for (std::size_t i = 0; i < WotsParams::kN; ++i) {
+    out[2 * i] = static_cast<std::uint8_t>(d[i] >> 4);
+    out[2 * i + 1] = static_cast<std::uint8_t>(d[i] & 0x0f);
+  }
+  unsigned checksum = 0;
+  for (std::size_t i = 0; i < WotsParams::kLen1; ++i)
+    checksum += (WotsParams::kW - 1) - out[i];
+  for (std::size_t i = 0; i < WotsParams::kLen2; ++i) {
+    out[WotsParams::kLen1 + i] = static_cast<std::uint8_t>(checksum & 0x0f);
+    checksum >>= 4;
+  }
+  return out;
+}
+
+// Applies the chaining hash `steps` times.
+Sha256::Digest chain(const Sha256::Digest& start, unsigned from, unsigned steps) {
+  Sha256::Digest cur = start;
+  for (unsigned i = 0; i < steps; ++i) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(from + i));  // domain-separate each step
+    w.raw(cur);
+    cur = Sha256::digest(w.data());
+  }
+  return cur;
+}
+
+}  // namespace
+
+Bytes WotsKeychain::chain_seed(std::uint64_t index, std::size_t chain_idx) const {
+  Writer w;
+  w.u64(index);
+  w.u32(static_cast<std::uint32_t>(chain_idx));
+  const auto d = hmac_sha256(seed_, w.data());
+  return Bytes(d.begin(), d.end());
+}
+
+WotsPublicKey WotsKeychain::public_key(std::uint64_t index) const {
+  Sha256 acc;
+  for (std::size_t c = 0; c < WotsParams::kLen; ++c) {
+    const Bytes sk = chain_seed(index, c);
+    Sha256::Digest start;
+    std::memcpy(start.data(), sk.data(), start.size());
+    const auto top = chain(start, 0, WotsParams::kW - 1);
+    acc.update(top);
+  }
+  return Hash256(acc.finalize());
+}
+
+Bytes WotsKeychain::sign(std::uint64_t index,
+                         std::span<const std::uint8_t> message) const {
+  const auto digs = digits_of(message);
+  Writer out;
+  for (std::size_t c = 0; c < WotsParams::kLen; ++c) {
+    const Bytes sk = chain_seed(index, c);
+    Sha256::Digest start;
+    std::memcpy(start.data(), sk.data(), start.size());
+    const auto node = chain(start, 0, digs[c]);
+    out.raw(node);
+  }
+  return std::move(out).take();
+}
+
+bool wots_verify(const WotsPublicKey& pk, std::span<const std::uint8_t> message,
+                 std::span<const std::uint8_t> signature) {
+  if (signature.size() != WotsParams::kLen * WotsParams::kN) return false;
+  const auto digs = digits_of(message);
+  Sha256 acc;
+  for (std::size_t c = 0; c < WotsParams::kLen; ++c) {
+    Sha256::Digest node;
+    std::memcpy(node.data(), signature.data() + c * WotsParams::kN, node.size());
+    const auto top = chain(node, digs[c], (WotsParams::kW - 1) - digs[c]);
+    acc.update(top);
+  }
+  return Hash256(acc.finalize()) == pk;
+}
+
+WotsSignatureProvider::WotsSignatureProvider(std::uint32_t n_servers,
+                                             std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (std::uint32_t i = 0; i < n_servers; ++i) {
+    Bytes s(32);
+    for (std::size_t j = 0; j < 32; j += 8) {
+      const std::uint64_t v = sm.next();
+      for (int b = 0; b < 8; ++b) s[j + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    chains_.emplace_back(std::move(s));
+    next_index_.push_back(0);
+  }
+}
+
+Bytes WotsSignatureProvider::sign(ServerId signer,
+                                  std::span<const std::uint8_t> message) {
+  ++counters_.signs;
+  const std::uint64_t index = next_index_[signer]++;
+  directory_.emplace(std::make_pair(signer, index),
+                     chains_[signer].public_key(index));
+  Writer w;
+  w.u64(index);
+  w.raw(chains_[signer].sign(index, message));
+  return std::move(w).take();
+}
+
+bool WotsSignatureProvider::verify(ServerId claimed,
+                                   std::span<const std::uint8_t> message,
+                                   std::span<const std::uint8_t> signature) {
+  ++counters_.verifies;
+  if (claimed >= chains_.size()) return false;
+  Reader r(signature);
+  const auto index = r.u64();
+  if (!index) return false;
+  const auto sig = r.raw(r.remaining());
+  if (!sig) return false;
+  const auto it = directory_.find(std::make_pair(claimed, *index));
+  if (it == directory_.end()) return false;
+  return wots_verify(it->second, message, *sig);
+}
+
+}  // namespace blockdag

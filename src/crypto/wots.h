@@ -1,0 +1,78 @@
+// Winternitz one-time signatures (WOTS) with per-index key ratcheting.
+//
+// A *real* (not idealized) hash-based signature scheme built purely from
+// SHA-256, demonstrating that the framework's per-block signatures can be
+// instantiated with deployable cryptography. Each server owns a keychain of
+// one-time keys indexed by sequence number; since a correct server's blocks
+// form a single chain (Definition 3.3(ii) forces exactly one parent), the
+// block sequence number k is a natural one-time-key index.
+//
+// Parameters: w = 16 (4-bit digits), message digest = SHA-256 (32 bytes →
+// 64 digits), checksum ≤ 64·15 = 960 → 3 digits. 67 hash chains total.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "crypto/signature.h"
+#include "util/types.h"
+
+namespace blockdag {
+
+struct WotsParams {
+  static constexpr std::size_t kN = 32;        // hash output bytes
+  static constexpr unsigned kW = 16;           // Winternitz parameter
+  static constexpr std::size_t kLen1 = 64;     // message digits (32 bytes * 2)
+  static constexpr std::size_t kLen2 = 3;      // checksum digits
+  static constexpr std::size_t kLen = kLen1 + kLen2;  // total chains
+};
+
+// One-time public key: hash over all chain tops.
+using WotsPublicKey = Hash256;
+
+// A server-side keychain deriving one-time keys from a secret seed.
+class WotsKeychain {
+ public:
+  explicit WotsKeychain(Bytes secret_seed) : seed_(std::move(secret_seed)) {}
+
+  // Public key for one-time key `index` (owner-side; needs the seed).
+  WotsPublicKey public_key(std::uint64_t index) const;
+
+  // Signs `message` with one-time key `index`. A correct signer uses each
+  // index at most once; reuse leaks key material exactly as in real WOTS.
+  Bytes sign(std::uint64_t index, std::span<const std::uint8_t> message) const;
+
+ private:
+  Bytes chain_seed(std::uint64_t index, std::size_t chain) const;
+
+  Bytes seed_;
+};
+
+// Verifies a WOTS signature against a known one-time public key.
+bool wots_verify(const WotsPublicKey& pk, std::span<const std::uint8_t> message,
+                 std::span<const std::uint8_t> signature);
+
+// SignatureProvider adapter: signature bytes are (index:u64 || wots-sig).
+// Public keys per (server, index) are registered in a directory as they are
+// first produced, modeling the chained public-key commitments a deployment
+// would carry in blocks.
+class WotsSignatureProvider final : public SignatureProvider {
+ public:
+  WotsSignatureProvider(std::uint32_t n_servers, std::uint64_t seed);
+
+  // Assigns the next unused index for `signer` automatically.
+  Bytes sign(ServerId signer, std::span<const std::uint8_t> message) override;
+  bool verify(ServerId claimed, std::span<const std::uint8_t> message,
+              std::span<const std::uint8_t> signature) override;
+
+ private:
+  std::vector<WotsKeychain> chains_;
+  std::vector<std::uint64_t> next_index_;
+  // Directory of registered one-time public keys: (server, index) → pk.
+  std::map<std::pair<ServerId, std::uint64_t>, WotsPublicKey> directory_;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,79 @@
+#include "dag/audit.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace blockdag {
+
+AuditReport audit(const BlockDag& dag) {
+  AuditReport report;
+  EquivocationDetector detector;
+  // (referencing builder, referenced block) → count of referencing blocks.
+  std::map<std::pair<ServerId, Hash256>, int> cross_refs;
+  std::set<Hash256> dangling;
+  std::map<ServerId, std::set<SeqNo>> seqnos;
+
+  for (const BlockPtr& b : dag.topological_order()) {
+    BuilderReport& br = report.builders[b->n()];
+    br.builder = b->n();
+    ++br.blocks;
+    br.max_seqno = std::max(br.max_seqno, b->k());
+    seqnos[b->n()].insert(b->k());
+
+    if (detector.observe(b)) {
+      // proofs accumulate in the detector; count slots once each below.
+    }
+
+    std::set<Hash256> seen;
+    for (const Hash256& p : b->preds()) {
+      if (!seen.insert(p).second) br.duplicate_references = true;
+      if (!dag.contains(p)) dangling.insert(p);
+    }
+    for (const Hash256& p : seen) {
+      if (++cross_refs[{b->n(), p}] > 1) br.double_counted_reference = true;
+    }
+  }
+
+  report.equivocations.assign(detector.proofs().begin(), detector.proofs().end());
+  for (const EquivocationProof& proof : report.equivocations) {
+    ++report.builders[proof.offender].equivocation_slots;
+  }
+  for (auto& [builder, ks] : seqnos) {
+    // Gaps: expected 0..max consecutive for a correct server in the base
+    // model (ks is a set, so equivocating duplicates collapse).
+    BuilderReport& br = report.builders[builder];
+    br.seqno_gaps = static_cast<std::size_t>(br.max_seqno + 1 - ks.size());
+  }
+  report.dangling_refs.assign(dangling.begin(), dangling.end());
+  return report;
+}
+
+std::vector<ServerId> AuditReport::suspects() const {
+  std::vector<ServerId> out;
+  for (const auto& [builder, br] : builders) {
+    if (br.equivocation_slots > 0 || br.duplicate_references ||
+        br.double_counted_reference) {
+      out.push_back(builder);
+    }
+  }
+  return out;
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  os << "audit: " << builders.size() << " builders, "
+     << equivocations.size() << " equivocations, "
+     << dangling_refs.size() << " dangling refs\n";
+  for (const auto& [builder, br] : builders) {
+    os << "  s" << builder << ": " << br.blocks << " blocks, max k=" << br.max_seqno;
+    if (br.equivocation_slots) os << ", EQUIVOCATED x" << br.equivocation_slots;
+    if (br.duplicate_references) os << ", duplicate refs";
+    if (br.double_counted_reference) os << ", double-counted refs";
+    if (br.seqno_gaps) os << ", " << br.seqno_gaps << " seqno gaps";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace blockdag

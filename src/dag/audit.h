@@ -1,0 +1,47 @@
+// DAG audit: off-line structural analysis of a block DAG.
+//
+// The PeerReview lineage the paper cites (§6) audits logs to expose faulty
+// behaviour; a block DAG *is* such a log. The auditor walks a DAG and
+// reports, per builder: chain structure (lengths, gaps), equivocations
+// (Figure 3 slots with two blocks), reference discipline (how often each
+// block is referenced by each server — correct servers reference exactly
+// once, Lemma A.6), and dangling references (preds never seen — only
+// byzantine-referenced blocks can dangle forever, Lemma 3.6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/dag.h"
+#include "dag/equivocation.h"
+
+namespace blockdag {
+
+struct BuilderReport {
+  ServerId builder = kInvalidServer;
+  std::size_t blocks = 0;
+  SeqNo max_seqno = 0;
+  std::size_t equivocation_slots = 0;  // (n, k) slots with ≥ 2 blocks
+  std::size_t seqno_gaps = 0;          // k values skipped (kIncreasing mode)
+  // True if any of this builder's blocks references some block twice.
+  bool duplicate_references = false;
+  // True if this builder referenced the same foreign block from two
+  // different own blocks (violates Lemma A.6 ⇒ not correct).
+  bool double_counted_reference = false;
+};
+
+struct AuditReport {
+  std::map<ServerId, BuilderReport> builders;
+  // Refs appearing in some preds list but absent from the DAG.
+  std::vector<Hash256> dangling_refs;
+  std::vector<EquivocationProof> equivocations;
+
+  // Servers whose observed behaviour is inconsistent with being correct.
+  std::vector<ServerId> suspects() const;
+  std::string summary() const;
+};
+
+AuditReport audit(const BlockDag& dag);
+
+}  // namespace blockdag

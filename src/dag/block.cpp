@@ -1,0 +1,85 @@
+#include "dag/block.h"
+
+#include "util/serialize.h"
+
+namespace blockdag {
+
+Block::Block(ServerId n, SeqNo k, std::vector<Hash256> preds,
+             std::vector<LabeledRequest> rs, Bytes sigma)
+    : n_(n),
+      k_(k),
+      preds_(std::move(preds)),
+      rs_(std::move(rs)),
+      sigma_(std::move(sigma)),
+      ref_(compute_ref(n_, k_, preds_, rs_)) {}
+
+Bytes Block::encode_preimage(ServerId n, SeqNo k,
+                             const std::vector<Hash256>& preds,
+                             const std::vector<LabeledRequest>& rs) {
+  Writer w;
+  w.u32(n);
+  w.u64(k);
+  w.u32(static_cast<std::uint32_t>(preds.size()));
+  for (const auto& p : preds) w.raw(p.span());
+  w.u32(static_cast<std::uint32_t>(rs.size()));
+  for (const auto& r : rs) {
+    w.u64(r.label);
+    w.bytes(r.request);
+  }
+  return std::move(w).take();
+}
+
+Hash256 Block::compute_ref(ServerId n, SeqNo k, const std::vector<Hash256>& preds,
+                           const std::vector<LabeledRequest>& rs) {
+  return Hash256::of(encode_preimage(n, k, preds, rs));
+}
+
+Bytes Block::encode() const {
+  Writer w;
+  const Bytes pre = preimage();
+  w.bytes(pre);
+  w.bytes(sigma_);
+  return std::move(w).take();
+}
+
+std::optional<Block> Block::decode(std::span<const std::uint8_t> wire) {
+  Reader outer(wire);
+  const auto pre = outer.bytes();
+  if (!pre) return std::nullopt;
+  const auto sigma = outer.bytes();
+  if (!sigma || !outer.done()) return std::nullopt;
+
+  Reader r(*pre);
+  const auto n = r.u32();
+  const auto k = r.u64();
+  if (!n || !k) return std::nullopt;
+
+  const auto n_preds = r.u32();
+  if (!n_preds) return std::nullopt;
+  std::vector<Hash256> preds;
+  preds.reserve(*n_preds);
+  for (std::uint32_t i = 0; i < *n_preds; ++i) {
+    const auto raw = r.raw(Hash256::kSize);
+    if (!raw) return std::nullopt;
+    Sha256::Digest d;
+    std::copy(raw->begin(), raw->end(), d.begin());
+    preds.emplace_back(d);
+  }
+
+  const auto n_rs = r.u32();
+  if (!n_rs) return std::nullopt;
+  std::vector<LabeledRequest> rs;
+  rs.reserve(*n_rs);
+  for (std::uint32_t i = 0; i < *n_rs; ++i) {
+    const auto label = r.u64();
+    if (!label) return std::nullopt;
+    auto request = r.bytes();
+    if (!request) return std::nullopt;
+    rs.push_back(LabeledRequest{*label, std::move(*request)});
+  }
+  if (!r.done()) return std::nullopt;
+
+  return Block(*n, *k, std::move(preds), std::move(rs), std::move(*sigma));
+}
+
+}  // namespace blockdag

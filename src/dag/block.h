@@ -1,0 +1,81 @@
+// Block (Definition 3.1).
+//
+// A block B has: (i) the identifier `n` of the server that built it, (ii) a
+// sequence number `k ∈ N0`, (iii) a finite list `preds` of hashes of
+// predecessor blocks, (iv) a finite list `rs` of (label, request) pairs,
+// and (v) a signature σ = sign(n, ref(B)). `ref` is a cryptographic hash
+// over (n, k, preds, rs) but *not* σ, so sign(B.n, ref(B)) is well defined.
+//
+// Blocks and refs are used interchangeably (collision resistance,
+// Definition A.1(3)); Lemma 3.2 — preds cannot be cyclic — follows from
+// preimage resistance of the ref computation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "util/types.h"
+
+namespace blockdag {
+
+// A (label, request) pair carried in a block's `rs` field: the literal
+// inscription of a user request for protocol instance `label`.
+struct LabeledRequest {
+  Label label = 0;
+  Bytes request;
+
+  bool operator==(const LabeledRequest&) const = default;
+};
+
+class Block {
+ public:
+  Block(ServerId n, SeqNo k, std::vector<Hash256> preds,
+        std::vector<LabeledRequest> rs, Bytes sigma);
+
+  ServerId n() const { return n_; }
+  SeqNo k() const { return k_; }
+  const std::vector<Hash256>& preds() const { return preds_; }
+  const std::vector<LabeledRequest>& rs() const { return rs_; }
+  const Bytes& sigma() const { return sigma_; }
+  bool is_genesis() const { return k_ == 0; }
+
+  // ref(B): hash over the canonical encoding of (n, k, preds, rs).
+  // Computed once at construction.
+  const Hash256& ref() const { return ref_; }
+
+  // Canonical bytes that `ref` hashes and that σ signs (indirectly, via
+  // ref): everything except σ.
+  Bytes preimage() const { return encode_preimage(n_, k_, preds_, rs_); }
+
+  // Full wire encoding including σ.
+  Bytes encode() const;
+  static std::optional<Block> decode(std::span<const std::uint8_t> wire);
+
+  // Structural equality is ref equality plus signature equality.
+  bool operator==(const Block& other) const {
+    return ref_ == other.ref_ && sigma_ == other.sigma_;
+  }
+
+  static Bytes encode_preimage(ServerId n, SeqNo k,
+                               const std::vector<Hash256>& preds,
+                               const std::vector<LabeledRequest>& rs);
+  static Hash256 compute_ref(ServerId n, SeqNo k,
+                             const std::vector<Hash256>& preds,
+                             const std::vector<LabeledRequest>& rs);
+
+ private:
+  ServerId n_;
+  SeqNo k_;
+  std::vector<Hash256> preds_;
+  std::vector<LabeledRequest> rs_;
+  Bytes sigma_;
+  Hash256 ref_;
+};
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+}  // namespace blockdag

@@ -1,0 +1,30 @@
+#include "dag/block_store.h"
+
+namespace blockdag {
+
+namespace {
+std::uint64_t block_footprint(const Block& b) {
+  return b.encode().size();
+}
+}  // namespace
+
+BlockPtr BlockStore::put(BlockPtr block) {
+  auto [it, inserted] = blocks_.emplace(block->ref(), block);
+  if (inserted) stored_bytes_ += block_footprint(*block);
+  return it->second;
+}
+
+BlockPtr BlockStore::get(const Hash256& ref) const {
+  const auto it = blocks_.find(ref);
+  return it == blocks_.end() ? nullptr : it->second;
+}
+
+bool BlockStore::erase(const Hash256& ref) {
+  const auto it = blocks_.find(ref);
+  if (it == blocks_.end()) return false;
+  stored_bytes_ -= block_footprint(*it->second);
+  blocks_.erase(it);
+  return true;
+}
+
+}  // namespace blockdag

@@ -1,0 +1,43 @@
+// Content-addressed block storage.
+//
+// Section 3 notes implementations can back block exchange with distributed
+// key-value stores; our BlockStore is the local, in-process equivalent:
+// a map ref(B) → B. A correct server that considers B valid persistently
+// stores every B' ∈ B.preds (assumption before Definition 3.4), which is
+// what makes FWD replies (Algorithm 1 lines 12–13) possible.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dag/block.h"
+
+namespace blockdag {
+
+class BlockStore {
+ public:
+  // Inserts a block; returns the stored pointer (existing one if already
+  // present — idempotent by content address).
+  BlockPtr put(BlockPtr block);
+
+  // Returns nullptr when absent.
+  BlockPtr get(const Hash256& ref) const;
+
+  bool contains(const Hash256& ref) const { return blocks_.count(ref) > 0; }
+  std::size_t size() const { return blocks_.size(); }
+
+  // Total payload bytes held (for the §7 memory-limitation bench).
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+  // Removes a block (checkpoint pruning extension, §7).
+  bool erase(const Hash256& ref);
+
+  auto begin() const { return blocks_.begin(); }
+  auto end() const { return blocks_.end(); }
+
+ private:
+  std::unordered_map<Hash256, BlockPtr> blocks_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,143 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace blockdag {
+
+namespace {
+const std::vector<Hash256> kNoChildren;
+}  // namespace
+
+bool BlockDag::insert(BlockPtr block) {
+  const Hash256& ref = block->ref();
+  if (index_.count(ref)) return true;  // Lemma 2.2(1): idempotent
+
+  for (const Hash256& p : block->preds()) {
+    if (!index_.count(p)) return false;  // Definition 3.4 precondition
+  }
+
+  // Edges are determined by preds; deduplicate so the edge set is a set.
+  std::unordered_set<Hash256> seen;
+  for (const Hash256& p : block->preds()) {
+    if (seen.insert(p).second) {
+      index_[p].children.push_back(ref);
+      ++edge_count_;
+    }
+  }
+
+  Node& node = index_[ref];
+  node.block = block;
+  order_.push_back(std::move(block));
+  return true;
+}
+
+BlockPtr BlockDag::get(const Hash256& ref) const {
+  const auto it = index_.find(ref);
+  return it == index_.end() ? nullptr : it->second.block;
+}
+
+const std::vector<Hash256>& BlockDag::children(const Hash256& ref) const {
+  const auto it = index_.find(ref);
+  return it == index_.end() ? kNoChildren : it->second.children;
+}
+
+BlockPtr BlockDag::parent_of(const Block& block) const {
+  if (block.is_genesis()) return nullptr;
+  for (const Hash256& p : block.preds()) {
+    const BlockPtr cand = get(p);
+    if (cand && cand->n() == block.n() && cand->k() < block.k()) return cand;
+  }
+  return nullptr;
+}
+
+bool BlockDag::subgraph_of(const BlockDag& other) const {
+  if (size() > other.size()) return false;
+  return std::all_of(order_.begin(), order_.end(), [&](const BlockPtr& b) {
+    return other.contains(b->ref());
+  });
+}
+
+bool BlockDag::reachable(const Hash256& ancestor, const Hash256& descendant) const {
+  if (ancestor == descendant) return false;  // strict ⇀+
+  // Walk backwards from descendant over preds.
+  std::deque<Hash256> frontier{descendant};
+  std::unordered_set<Hash256> visited;
+  while (!frontier.empty()) {
+    const Hash256 cur = frontier.front();
+    frontier.pop_front();
+    const BlockPtr b = get(cur);
+    if (!b) continue;
+    for (const Hash256& p : b->preds()) {
+      if (p == ancestor) return true;
+      if (visited.insert(p).second) frontier.push_back(p);
+    }
+  }
+  return false;
+}
+
+std::vector<BlockPtr> BlockDag::ancestors_of(const Hash256& ref) const {
+  std::vector<BlockPtr> out;
+  std::deque<Hash256> frontier{ref};
+  std::unordered_set<Hash256> visited{ref};
+  while (!frontier.empty()) {
+    const Hash256 cur = frontier.front();
+    frontier.pop_front();
+    const BlockPtr b = get(cur);
+    if (!b) continue;
+    out.push_back(b);
+    for (const Hash256& p : b->preds()) {
+      if (visited.insert(p).second) frontier.push_back(p);
+    }
+  }
+  return out;
+}
+
+void BlockDag::absorb(const BlockDag& other) {
+  // Other's insertion order is topological, so one pass suffices for blocks
+  // whose preds are all present in either DAG.
+  for (const BlockPtr& b : other.topological_order()) {
+    insert(b);
+  }
+}
+
+std::size_t BlockDag::prune_below(const std::vector<Hash256>& checkpoints) {
+  // Collect proper ancestors of all checkpoints.
+  std::unordered_set<Hash256> doomed;
+  std::deque<Hash256> frontier;
+  const auto mark = [&](const Hash256& p) {
+    // Only blocks still present count; earlier prunes may have left refs
+    // dangling (which is fine — pruned history is gone by design).
+    if (contains(p) && doomed.insert(p).second) frontier.push_back(p);
+  };
+  for (const Hash256& c : checkpoints) {
+    const BlockPtr b = get(c);
+    if (!b) continue;
+    for (const Hash256& p : b->preds()) mark(p);
+  }
+  while (!frontier.empty()) {
+    const Hash256 cur = frontier.front();
+    frontier.pop_front();
+    const BlockPtr b = get(cur);
+    if (!b) continue;
+    for (const Hash256& p : b->preds()) mark(p);
+  }
+  if (doomed.empty()) return 0;
+
+  // The doomed set is ancestor-closed, so every pred of a doomed block is
+  // itself doomed. Hence every edge incident to a doomed block is an
+  // *out*-edge of some doomed block (doomed → doomed or doomed → survivor),
+  // and no surviving child list references a doomed block.
+  for (const Hash256& d : doomed) {
+    const auto it = index_.find(d);
+    if (it == index_.end()) continue;
+    edge_count_ -= it->second.children.size();
+    index_.erase(it);
+  }
+  order_.erase(std::remove_if(order_.begin(), order_.end(),
+                              [&](const BlockPtr& b) { return doomed.count(b->ref()) > 0; }),
+               order_.end());
+  return doomed.size();
+}
+
+}  // namespace blockdag

@@ -1,0 +1,82 @@
+// Block DAG (Definitions 2.1, 3.4).
+//
+// A directed acyclic graph whose vertices are blocks and whose edges run
+// from each B ∈ B'.preds to B'. Insertion follows the restricted
+// Definition 2.1: a new vertex may only be added together with edges *into*
+// it from vertices already present. Lemma 2.2 then gives: insertion is
+// idempotent, the old graph is a subgraph (G ⩽ G') of the new one, and the
+// graph stays acyclic by construction. The precondition of Definition 3.4
+// (all preds present, block valid for the owner) is asserted by the caller
+// (gossip) via the Validator; the DAG itself enforces the structural part.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dag/block.h"
+#include "dag/block_store.h"
+
+namespace blockdag {
+
+class BlockDag {
+ public:
+  // Inserts `block`; every pred must already be in the DAG (Definition 3.4
+  // precondition). Returns false (and leaves the DAG unchanged) if a pred
+  // is missing; returns true (idempotently) if the block was or is now
+  // present. Duplicate entries in `preds` collapse to one edge — the edge
+  // set is a set, and Ms[in] union semantics (Algorithm 2 line 9) make the
+  // duplicate-reference byzantine behaviour harmless.
+  bool insert(BlockPtr block);
+
+  bool contains(const Hash256& ref) const { return index_.count(ref) > 0; }
+  BlockPtr get(const Hash256& ref) const;
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  // Blocks in insertion order — a valid topological order, because every
+  // block is inserted only after all its preds (Definition 3.4).
+  const std::vector<BlockPtr>& topological_order() const { return order_; }
+
+  // Direct successors of `ref`: blocks B' with ref ∈ B'.preds.
+  const std::vector<Hash256>& children(const Hash256& ref) const;
+
+  // The parent of `block` — the unique pred with the same builder
+  // (Definition 3.1); nullptr for genesis blocks or when absent.
+  BlockPtr parent_of(const Block& block) const;
+
+  // G1 ⩽ G2: V1 ⊆ V2 and E1 = E2 ∩ (V1 × V1) (Section 2). For block DAGs
+  // built by insert() the edge condition is automatic (edges are fully
+  // determined by preds lists), so this reduces to vertex containment.
+  bool subgraph_of(const BlockDag& other) const;
+
+  // True if `ancestor ⇀+ descendant` (strict reachability).
+  bool reachable(const Hash256& ancestor, const Hash256& descendant) const;
+
+  // All blocks B' with B' ⇀* B (ancestors including B itself).
+  std::vector<BlockPtr> ancestors_of(const Hash256& ref) const;
+
+  // Merges every block of `other` that this DAG can accept (used by tests
+  // exercising joint DAGs, Lemma 3.7 / A.7).
+  void absorb(const BlockDag& other);
+
+  // Removes all blocks strictly below the given checkpoint refs (their
+  // proper ancestors) — the §7 bounded-memory extension. Returns the number
+  // of blocks removed.
+  std::size_t prune_below(const std::vector<Hash256>& checkpoints);
+
+ private:
+  struct Node {
+    BlockPtr block;
+    std::vector<Hash256> children;
+  };
+
+  std::unordered_map<Hash256, Node> index_;
+  std::vector<BlockPtr> order_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,63 @@
+#include "dag/dot.h"
+
+#include <map>
+#include <sstream>
+
+#include "dag/equivocation.h"
+
+namespace blockdag {
+
+std::string to_dot(const BlockDag& dag, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph blockdag {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+
+  EquivocationDetector detector;
+  std::map<ServerId, std::vector<const Block*>> rows;
+  for (const BlockPtr& b : dag.topological_order()) {
+    if (options.mark_equivocations) detector.observe(b);
+    rows[b->n()].push_back(b.get());
+  }
+
+  const auto node_id = [](const Block& b) { return "b" + b.ref().short_hex(); };
+
+  for (const auto& [builder, blocks] : rows) {
+    os << "  subgraph cluster_s" << builder << " {\n";
+    os << "    label=\"s" << builder << "\"; style=dashed;\n";
+    for (const Block* b : blocks) {
+      os << "    " << node_id(*b) << " [label=\"" << b->ref().short_hex()
+         << "\\nk=" << b->k();
+      if (options.show_request_counts && !b->rs().empty()) {
+        os << " rs=" << b->rs().size();
+      }
+      os << "\"";
+      if (options.mark_equivocations && detector.is_offender(builder)) {
+        // Mark blocks in equivocating slots.
+        for (const EquivocationProof& p : detector.proofs()) {
+          if (p.offender == builder &&
+              (p.first->ref() == b->ref() || p.second->ref() == b->ref())) {
+            os << ", color=red, penwidth=2";
+            break;
+          }
+        }
+      }
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+
+  for (const BlockPtr& b : dag.topological_order()) {
+    const BlockPtr parent = dag.parent_of(*b);
+    for (const Hash256& p : b->preds()) {
+      const BlockPtr pred = dag.get(p);
+      if (!pred) continue;  // dangling (pruned or byzantine)
+      os << "  " << node_id(*pred) << " -> " << node_id(*b);
+      if (parent && pred->ref() == parent->ref()) os << " [penwidth=2]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace blockdag

@@ -1,0 +1,19 @@
+// Graphviz DOT export of a block DAG — renders the paper's Figures 2–4
+// from live data (`dot -Tsvg`). One row (rank) per builder, edges from
+// preds to blocks, parent edges emphasized, equivocating blocks marked.
+#pragma once
+
+#include <string>
+
+#include "dag/dag.h"
+
+namespace blockdag {
+
+struct DotOptions {
+  bool mark_equivocations = true;
+  bool show_request_counts = true;
+};
+
+std::string to_dot(const BlockDag& dag, const DotOptions& options = {});
+
+}  // namespace blockdag

@@ -1,0 +1,32 @@
+#include "dag/equivocation.h"
+
+#include <algorithm>
+
+namespace blockdag {
+
+std::optional<EquivocationProof> EquivocationDetector::observe(const BlockPtr& block) {
+  const auto key = std::make_pair(block->n(), block->k());
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    slots_.emplace(key, block);
+    return std::nullopt;
+  }
+  if (it->second->ref() == block->ref()) return std::nullopt;  // same block
+
+  EquivocationProof proof{block->n(), block->k(), it->second, block};
+  proofs_.push_back(proof);
+  return proof;
+}
+
+bool EquivocationDetector::is_offender(ServerId server) const {
+  return std::any_of(proofs_.begin(), proofs_.end(),
+                     [&](const EquivocationProof& p) { return p.offender == server; });
+}
+
+bool EquivocationDetector::proof_is_valid(const EquivocationProof& proof) {
+  return proof.first && proof.second && proof.first->n() == proof.offender &&
+         proof.second->n() == proof.offender && proof.first->k() == proof.k &&
+         proof.second->k() == proof.k && proof.first->ref() != proof.second->ref();
+}
+
+}  // namespace blockdag

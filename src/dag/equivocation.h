@@ -1,0 +1,48 @@
+// Equivocation detection (Figure 3; accountability extension, §6/§7).
+//
+// A byzantine server ˇs equivocates by building two *different* valid
+// blocks that occupy the same position in its chain (same builder, same
+// sequence number — e.g. B3 and B4 in Figure 3). Validity cannot exclude
+// this (both blocks pass Definition 3.3 in isolation), but the two signed
+// blocks together are transferable evidence of misbehaviour — the
+// PeerReview-style accountability the paper's related work points to.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dag/block.h"
+
+namespace blockdag {
+
+struct EquivocationProof {
+  ServerId offender = kInvalidServer;
+  SeqNo k = 0;
+  BlockPtr first;
+  BlockPtr second;
+};
+
+class EquivocationDetector {
+ public:
+  // Observes a (valid) block; returns a proof the first time a conflicting
+  // block at the same (builder, k) is seen.
+  std::optional<EquivocationProof> observe(const BlockPtr& block);
+
+  // All offenders detected so far (each reported once per (n, k) slot).
+  const std::vector<EquivocationProof>& proofs() const { return proofs_; }
+
+  bool is_offender(ServerId server) const;
+
+  // Verifies a proof independently (both blocks distinct, same slot).
+  // Signature checks are the caller's job — the blocks come out of a DAG
+  // that only admits verified blocks.
+  static bool proof_is_valid(const EquivocationProof& proof);
+
+ private:
+  std::map<std::pair<ServerId, SeqNo>, BlockPtr> slots_;
+  std::vector<EquivocationProof> proofs_;
+};
+
+}  // namespace blockdag

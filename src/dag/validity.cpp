@@ -1,0 +1,57 @@
+#include "dag/validity.h"
+
+#include <unordered_set>
+
+namespace blockdag {
+
+const char* validity_error_name(ValidityError err) {
+  switch (err) {
+    case ValidityError::kOk: return "ok";
+    case ValidityError::kBadSignature: return "bad_signature";
+    case ValidityError::kMissingPred: return "missing_pred";
+    case ValidityError::kGenesisWithParent: return "genesis_with_parent";
+    case ValidityError::kNoParent: return "no_parent";
+    case ValidityError::kMultipleParents: return "multiple_parents";
+    case ValidityError::kBadParentSeqNo: return "bad_parent_seqno";
+  }
+  return "?";
+}
+
+ValidityError Validator::check(const Block& block, const BlockDag& dag,
+                               bool skip_signature) const {
+  // (i) signature over ref(B).
+  if (!skip_signature &&
+      !sigs_.verify(block.n(), block.ref().span(), block.sigma())) {
+    return ValidityError::kBadSignature;
+  }
+
+  // (iii) all preds must be known (and therefore valid — the DAG invariant).
+  // While scanning, identify parent candidates: preds built by B.n.
+  std::unordered_set<Hash256> seen;
+  int parents = 0;
+  BlockPtr parent;
+  for (const Hash256& p : block.preds()) {
+    const BlockPtr pred = dag.get(p);
+    if (!pred) return ValidityError::kMissingPred;
+    if (!seen.insert(p).second) continue;  // duplicate ref: counts once
+    if (pred->n() == block.n()) {
+      ++parents;
+      parent = pred;
+    }
+  }
+
+  // (ii) genesis xor exactly-one-parent.
+  if (block.is_genesis()) {
+    // k = 0 is minimal in N0, so no pred by the same builder can precede it.
+    return parents == 0 ? ValidityError::kOk : ValidityError::kGenesisWithParent;
+  }
+  if (parents == 0) return ValidityError::kNoParent;
+  if (parents > 1) return ValidityError::kMultipleParents;
+
+  const bool seq_ok = mode_ == SeqNoMode::kConsecutive
+                          ? parent->k() + 1 == block.k()
+                          : parent->k() < block.k();
+  return seq_ok ? ValidityError::kOk : ValidityError::kBadParentSeqNo;
+}
+
+}  // namespace blockdag

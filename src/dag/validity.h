@@ -1,0 +1,73 @@
+// Block validity (Definition 3.3).
+//
+// A server s considers block B valid iff:
+//   (i)   verify(B.n, ref(B), B.σ) — B.n really built B;
+//   (ii)  B is a genesis block (k = 0, no parent possible), or B has
+//         *exactly one* parent — a pred built by B.n whose sequence number
+//         precedes B's;
+//   (iii) s considers every B' ∈ B.preds valid.
+//
+// Condition (iii) is checked incrementally: the gossip layer only asks the
+// validator about blocks whose preds are all already in the (all-valid)
+// DAG, exactly mirroring Algorithm 1 line 6.
+//
+// The sequence-number mode implements the §7 extension: kConsecutive is
+// the paper's base model (parent.k + 1 = B.k); kIncreasing merely requires
+// parent.k < B.k, which eases crash-recovery (Limitations discussion).
+#pragma once
+
+#include <string>
+
+#include "crypto/signature.h"
+#include "dag/block.h"
+#include "dag/dag.h"
+
+namespace blockdag {
+
+enum class SeqNoMode {
+  kConsecutive,  // B.parent.k + 1 = B.k (Definition 3.1)
+  kIncreasing,   // B.parent.k < B.k (§7 extension)
+};
+
+enum class ValidityError {
+  kOk = 0,
+  kBadSignature,       // (i) fails
+  kMissingPred,        // (iii) cannot even be evaluated: pred unknown
+  kGenesisWithParent,  // k = 0 but a pred qualifies as parent
+  kNoParent,           // k > 0 and no pred by the same builder
+  kMultipleParents,    // more than one pred by the same builder
+  kBadParentSeqNo,     // parent seq-no violates the active SeqNoMode
+};
+
+// Note on duplicate refs in preds: §4 lists "reference a block multiple
+// times" among the byzantine behaviours P must absorb; Definition 3.3 does
+// not exclude it. We therefore deduplicate refs before the parent count —
+// duplicate references collapse to one DAG edge and one delivery.
+
+const char* validity_error_name(ValidityError err);
+
+class Validator {
+ public:
+  Validator(SignatureProvider& sigs, SeqNoMode mode = SeqNoMode::kConsecutive)
+      : sigs_(sigs), mode_(mode) {}
+
+  // Checks B against `dag`, which must contain only blocks this server
+  // already considers valid. Returns kOk when valid(s, B) holds.
+  // `skip_signature` lets callers that already verified σ on receipt (the
+  // gossip ingress path) avoid re-verifying on every pending-buffer scan —
+  // verification is by far the most expensive part of Definition 3.3.
+  ValidityError check(const Block& block, const BlockDag& dag,
+                      bool skip_signature = false) const;
+
+  bool valid(const Block& block, const BlockDag& dag) const {
+    return check(block, dag) == ValidityError::kOk;
+  }
+
+  SeqNoMode mode() const { return mode_; }
+
+ private:
+  SignatureProvider& sigs_;
+  SeqNoMode mode_;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,215 @@
+#include "gossip/gossip.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/serialize.h"
+
+namespace blockdag {
+
+GossipServer::GossipServer(ServerId self, Scheduler& sched, SimNetwork& net,
+                           SignatureProvider& sigs, RequestBuffer& rqsts,
+                           GossipConfig config, SeqNoMode seq_mode)
+    : self_(self),
+      sched_(sched),
+      net_(net),
+      sigs_(sigs),
+      rqsts_(rqsts),
+      config_(config),
+      validator_(sigs, seq_mode) {}
+
+void GossipServer::on_network(ServerId from, const Bytes& wire) {
+  auto decoded = decode_wire(wire);
+  if (!decoded) return;  // malformed (byzantine) traffic is dropped
+
+  if (auto* env = std::get_if<BlockEnvelope>(&*decoded)) {
+    handle_block(std::move(env->block));
+  } else if (auto* fwd = std::get_if<FwdRequestEnvelope>(&*decoded)) {
+    handle_fwd_request(from, fwd->ref);
+  }
+}
+
+void GossipServer::handle_block(Block&& block) {
+  ++stats_.blocks_received;
+  const Hash256 ref = block.ref();
+  // Line 4: only blocks not already in G (nor already buffered/rejected).
+  if (dag_.contains(ref) || pending_.count(ref) || rejected_.count(ref)) return;
+
+  // Definition 3.3(i) can be checked immediately; a bad signature can never
+  // become valid, so reject outright.
+  if (!sigs_.verify(block.n(), ref.span(), block.sigma())) {
+    rejected_.insert(ref);
+    ++stats_.blocks_rejected;
+    return;
+  }
+
+  pending_.emplace(ref, std::make_shared<const Block>(std::move(block)));
+  try_insert_pending();
+}
+
+void GossipServer::try_insert_pending() {
+  // Lines 6–9: insert every buffered block that became valid; repeat until
+  // a fixed point, since each insertion can unblock others.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      const BlockPtr& cand = it->second;
+      // σ was verified once at ingress (handle_block); only the structural
+      // conditions can change as the DAG grows.
+      const ValidityError err =
+          validator_.check(*cand, dag_, /*skip_signature=*/true);
+      if (err == ValidityError::kMissingPred) {
+        ++it;
+        continue;
+      }
+      if (err == ValidityError::kOk) {
+        insert_valid(cand);
+      } else {
+        rejected_.insert(cand->ref());
+        ++stats_.blocks_rejected;
+      }
+      it = pending_.erase(it);
+      progress = true;
+    }
+  }
+
+  // Lines 10–11: for buffered blocks with unknown predecessors, arm a FWD
+  // timer towards the builder of the referencing block.
+  for (const auto& [ref, cand] : pending_) {
+    (void)ref;
+    for (const Hash256& p : cand->preds()) {
+      if (!dag_.contains(p) && !pending_.count(p)) {
+        schedule_fwd(p, cand->n());
+      }
+    }
+  }
+}
+
+void GossipServer::insert_valid(const BlockPtr& block) {
+  const bool ok = dag_.insert(block);
+  assert(ok);
+  (void)ok;
+  ++stats_.blocks_inserted;
+  // Line 8: reference the newly valid block in the block under
+  // construction. This runs exactly once per block — insertion is gated on
+  // DAG membership — which is Lemma A.6 (at most one reference),
+  // the ingredient of no-duplication (Lemma 4.3(2)).
+  building_preds_.push_back(block->ref());
+  if (on_inserted_) on_inserted_(block);
+}
+
+void GossipServer::schedule_fwd(const Hash256& missing, ServerId ask) {
+  if (fwd_armed_.count(missing)) return;
+  fwd_armed_.insert(missing);
+  sched_.after(config_.fwd_retry_delay,
+               [this, missing, ask] { fire_fwd(missing, ask, 1); });
+}
+
+void GossipServer::fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t attempt) {
+  if (dag_.contains(missing) || pending_.count(missing)) {
+    fwd_armed_.erase(missing);
+    return;  // resolved meanwhile
+  }
+  ++stats_.fwd_requests_sent;
+  net_.send(self_, ask, WireKind::kFwdRequest, encode_fwd_request(missing));
+  if (config_.max_fwd_retries != 0 && attempt >= config_.max_fwd_retries) {
+    fwd_armed_.erase(missing);
+    return;  // give up: only byzantine-referenced blocks can dangle forever
+  }
+  sched_.after(config_.fwd_retry_delay,
+               [this, missing, ask, attempt] { fire_fwd(missing, ask, attempt + 1); });
+}
+
+void GossipServer::handle_fwd_request(ServerId from, const Hash256& ref) {
+  // Lines 12–13: answer only for blocks we actually hold in G.
+  const BlockPtr block = dag_.get(ref);
+  if (!block) return;
+  ++stats_.fwd_replies_sent;
+  net_.send(self_, from, WireKind::kFwdReply,
+            encode_block_envelope(*block, WireTag::kFwdReply));
+}
+
+void GossipServer::disseminate(bool even_if_empty) {
+  std::vector<LabeledRequest> rs = rqsts_.get(config_.max_requests_per_block);
+
+  if (!even_if_empty && rs.empty()) {
+    // Nothing to say: no requests and no references beyond our own parent.
+    const std::size_t baseline = next_k_ > 0 ? 1 : 0;
+    if (building_preds_.size() <= baseline) return;
+  }
+
+  // Line 15: stamp requests and sign. σ signs ref(B), which covers
+  // (n, k, preds, rs) but not σ itself (Definition 3.1).
+  const Hash256 ref = Block::compute_ref(self_, next_k_, building_preds_, rs);
+  Bytes sigma = sigs_.sign(self_, ref.span());
+  auto block = std::make_shared<const Block>(self_, next_k_, building_preds_,
+                                             std::move(rs), std::move(sigma));
+  assert(block->ref() == ref);
+
+  // Line 16: our own block is valid by construction — every referenced
+  // block is already in G and our parent linkage is correct (Lemma A.4).
+  assert(validator_.valid(*block, dag_));
+  const bool ok = dag_.insert(block);
+  assert(ok);
+  (void)ok;
+  ++stats_.blocks_built;
+  ++stats_.blocks_inserted;
+  if (on_inserted_) on_inserted_(block);
+
+  // Line 17: send B to every server. (Self-delivery short-circuits: the
+  // block is already in G, so the receive path ignores it.)
+  net_.broadcast(self_, WireKind::kBlock, encode_block_envelope(*block, WireTag::kBlock));
+
+  // Line 18: start the next block with the parent reference.
+  ++next_k_;
+  building_preds_.assign(1, ref);
+}
+
+Bytes GossipServer::snapshot() const {
+  Writer w;
+  const auto& order = dag_.topological_order();
+  w.u32(static_cast<std::uint32_t>(order.size()));
+  for (const BlockPtr& b : order) w.bytes(b->encode());
+  w.u64(next_k_);
+  w.u32(static_cast<std::uint32_t>(building_preds_.size()));
+  for (const Hash256& p : building_preds_) w.raw(p.span());
+  return std::move(w).take();
+}
+
+bool GossipServer::restore(const Bytes& snapshot) {
+  assert(dag_.size() == 0);
+  Reader r(snapshot);
+  const auto count = r.u32();
+  if (!count) return false;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto wire = r.bytes();
+    if (!wire) return false;
+    auto block = Block::decode(*wire);
+    if (!block) return false;
+    // The snapshot is this server's own persistent storage: blocks in it
+    // were validated before the crash, and snapshot order is topological.
+    if (!dag_.insert(std::make_shared<const Block>(std::move(*block)))) return false;
+  }
+  const auto k = r.u64();
+  const auto n_preds = r.u32();
+  if (!k || !n_preds) return false;
+  next_k_ = *k;
+  building_preds_.clear();
+  for (std::uint32_t i = 0; i < *n_preds; ++i) {
+    const auto raw = r.raw(Hash256::kSize);
+    if (!raw) return false;
+    Sha256::Digest d;
+    std::copy(raw->begin(), raw->end(), d.begin());
+    building_preds_.emplace_back(d);
+  }
+  if (!r.done()) return false;
+  // Replay insert notifications so a fresh interpreter catches up — the
+  // §7 point that interpretation is recomputable, not persisted.
+  if (on_inserted_) {
+    for (const BlockPtr& b : dag_.topological_order()) on_inserted_(b);
+  }
+  return true;
+}
+
+}  // namespace blockdag

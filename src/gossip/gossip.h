@@ -1,0 +1,135 @@
+// The gossip module (Algorithm 1): building the block DAG G and block B.
+//
+// A correct server:
+//   * buffers received blocks it cannot yet validate (`blks`, lines 4–5);
+//   * inserts any buffered block that becomes valid into G and appends a
+//     reference to it to the block under construction — exactly once per
+//     block (lines 6–9, Lemma A.6);
+//   * requests missing predecessors from the builder of the referencing
+//     block via FWD, re-issuing after a timeout Δ (lines 10–11, guarded by
+//     a timer as the paper prescribes);
+//   * answers FWD requests for blocks it holds (lines 12–13);
+//   * on disseminate(): stamps the pending requests into B.rs, signs B,
+//     inserts it into G, sends it to every server, and starts the next
+//     block with preds = [ref(B)] (lines 14–18).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/signature.h"
+#include "dag/dag.h"
+#include "dag/validity.h"
+#include "gossip/request_buffer.h"
+#include "gossip/wire.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace blockdag {
+
+struct GossipConfig {
+  // Δ: wait before (re-)issuing a FWD request for a missing predecessor.
+  SimTime fwd_retry_delay = sim_ms(20);
+  // Upper bound on requests stamped into one block (rqsts.get() batch).
+  std::size_t max_requests_per_block = 512;
+  // Upper bound on FWD re-requests per missing block (0 = unlimited). Only
+  // byzantine-built references can dangle forever; correct servers' blocks
+  // always arrive (Lemma 3.6).
+  std::uint32_t max_fwd_retries = 0;
+};
+
+struct GossipStats {
+  std::uint64_t blocks_built = 0;
+  std::uint64_t blocks_received = 0;
+  std::uint64_t blocks_inserted = 0;
+  std::uint64_t blocks_rejected = 0;  // permanently invalid
+  std::uint64_t fwd_requests_sent = 0;
+  std::uint64_t fwd_replies_sent = 0;
+};
+
+class GossipServer {
+ public:
+  // Called whenever a block enters G (both received and self-built), in
+  // insertion = topological order; drives incremental interpretation.
+  using BlockInsertedHandler = std::function<void(const BlockPtr&)>;
+
+  GossipServer(ServerId self, Scheduler& sched, SimNetwork& net,
+               SignatureProvider& sigs, RequestBuffer& rqsts,
+               GossipConfig config = {}, SeqNoMode seq_mode = SeqNoMode::kConsecutive);
+
+  ServerId self() const { return self_; }
+  const BlockDag& dag() const { return dag_; }
+  const GossipStats& stats() const { return stats_; }
+  const Validator& validator() const { return validator_; }
+
+  void set_block_inserted_handler(BlockInsertedHandler handler) {
+    on_inserted_ = std::move(handler);
+  }
+
+  // Network ingress (attach to SimNetwork).
+  void on_network(ServerId from, const Bytes& wire);
+
+  // Algorithm 1 lines 14–18. Builds and sends the current block. When
+  // `even_if_empty` is false, skips dissemination when there is nothing to
+  // say (no pending requests and no new references) — a practical pacing
+  // choice; liveness only needs *eventual* dissemination.
+  void disseminate(bool even_if_empty = true);
+
+  // Number of buffered (not yet valid) blocks — the `blks` set.
+  std::size_t pending_blocks() const { return pending_.size(); }
+
+  // --- Crash recovery (§7 Limitations) ---
+  //
+  // A crash-recovering server must persist (and restore) its gossip state:
+  // the block DAG, the next sequence number, and the references already
+  // accumulated for the block under construction. Restoring the *latter
+  // two* is what keeps a recovered server correct: re-referencing an
+  // already-referenced block would violate the reference-once discipline
+  // (Lemma A.6) and manufacture duplicate deliveries to itself.
+  // Interpretation state needs no persistence at all — it is a
+  // deterministic function of the DAG (Lemma 4.2) and is simply recomputed.
+
+  // Serializes DAG + construction state.
+  Bytes snapshot() const;
+
+  // Restores from a snapshot; only callable on a fresh server (empty DAG).
+  // Returns false (leaving the server untouched on block-decode failure,
+  // possibly partially restored on later corruption) for malformed bytes.
+  bool restore(const Bytes& snapshot);
+
+ private:
+  void handle_block(Block&& block);
+  void handle_fwd_request(ServerId from, const Hash256& ref);
+  void try_insert_pending();
+  void insert_valid(const BlockPtr& block);
+  void schedule_fwd(const Hash256& missing, ServerId ask);
+  void fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t attempt);
+
+  ServerId self_;
+  Scheduler& sched_;
+  SimNetwork& net_;
+  SignatureProvider& sigs_;
+  RequestBuffer& rqsts_;
+  GossipConfig config_;
+  Validator validator_;
+
+  BlockDag dag_;
+
+  // The block under construction: next sequence number and accumulated
+  // references (Algorithm 1 keeps a whole Block; we keep its mutable parts).
+  SeqNo next_k_ = 0;
+  std::vector<Hash256> building_preds_;
+
+  // blks: received, not-yet-insertable blocks, keyed by ref.
+  std::unordered_map<Hash256, BlockPtr> pending_;
+  // Missing refs with an armed FWD timer (avoid duplicate timers).
+  std::unordered_set<Hash256> fwd_armed_;
+  // Permanently rejected refs (invalid once preds were known).
+  std::unordered_set<Hash256> rejected_;
+
+  BlockInsertedHandler on_inserted_;
+  GossipStats stats_;
+};
+
+}  // namespace blockdag

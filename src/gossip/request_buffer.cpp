@@ -1,0 +1,16 @@
+#include "gossip/request_buffer.h"
+
+namespace blockdag {
+
+std::vector<LabeledRequest> RequestBuffer::get(std::size_t max) {
+  std::vector<LabeledRequest> out;
+  const std::size_t take = std::min(max, queue_.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace blockdag

@@ -1,0 +1,34 @@
+// The shared rqsts buffer between shim(P) and gossip (Algorithm 3 line 2).
+//
+// shim calls put(ℓ, r) on user requests; gossip calls get() when building a
+// block (Algorithm 1 line 15) to obtain "a suitable number" of pending
+// requests. Operations are atomic by construction: the simulation is
+// single-threaded and each handler body runs to completion.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "dag/block.h"
+#include "util/types.h"
+
+namespace blockdag {
+
+class RequestBuffer {
+ public:
+  void put(Label label, Bytes request) {
+    queue_.push_back(LabeledRequest{label, std::move(request)});
+  }
+
+  // Removes and returns up to `max` pending requests, FIFO.
+  std::vector<LabeledRequest> get(std::size_t max);
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  std::deque<LabeledRequest> queue_;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,40 @@
+// Wire envelopes for the gossip protocol.
+//
+// Section 3 stresses that gossip has "one core message type, namely a
+// block". The only other traffic is the explicit forwarding mechanism
+// (Algorithm 1 lines 10–13): FWD ref(B) requests and their block replies.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "dag/block.h"
+
+namespace blockdag {
+
+enum class WireTag : std::uint8_t {
+  kBlock = 1,     // a disseminated block (Algorithm 1 line 17)
+  kFwdRequest,    // FWD ref(B) (line 11)
+  kFwdReply,      // the forwarded block (line 13)
+};
+
+struct BlockEnvelope {
+  WireTag tag = WireTag::kBlock;
+  Block block;
+};
+
+struct FwdRequestEnvelope {
+  Hash256 ref;
+};
+
+using WireMessage = std::variant<BlockEnvelope, FwdRequestEnvelope>;
+
+Bytes encode_block_envelope(const Block& block, WireTag tag);
+Bytes encode_fwd_request(const Hash256& ref);
+
+// Returns std::nullopt on malformed input (byzantine senders may emit
+// arbitrary bytes; decoding failures are silently dropped, as a real
+// implementation would).
+std::optional<WireMessage> decode_wire(std::span<const std::uint8_t> wire);
+
+}  // namespace blockdag

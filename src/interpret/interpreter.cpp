@@ -1,0 +1,203 @@
+#include "interpret/interpreter.h"
+
+#include <cassert>
+#include <set>
+
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+
+Interpreter::Interpreter(const BlockDag& dag, const ProtocolFactory& factory,
+                         std::uint32_t n_servers)
+    : dag_(dag), factory_(factory), n_servers_(n_servers) {}
+
+bool Interpreter::is_interpreted(const Hash256& ref) const {
+  const auto it = states_.find(ref);
+  return it != states_.end() && it->second.interpreted;
+}
+
+bool Interpreter::eligible(const Hash256& ref) const {
+  // eligible(B): B ∈ G, I[B] = false, and I[Bi] for every Bi ∈ B.preds.
+  const BlockPtr block = dag_.get(ref);
+  if (!block || is_interpreted(ref)) return false;
+  for (const Hash256& p : block->preds()) {
+    if (!is_interpreted(p)) return false;
+  }
+  return true;
+}
+
+const BlockInterpretation* Interpreter::state_of(const Hash256& ref) const {
+  const auto it = states_.find(ref);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+std::size_t Interpreter::run() {
+  const auto& order = dag_.topological_order();
+  std::size_t done = 0;
+  while (cursor_ < order.size()) {
+    const BlockPtr& block = order[cursor_];
+    if (is_interpreted(block->ref())) {
+      ++cursor_;
+      continue;
+    }
+    if (!eligible(block->ref())) break;  // can only happen after pruning
+    interpret_block(block);
+    ++cursor_;
+    ++done;
+  }
+  return done;
+}
+
+bool Interpreter::interpret_one(const Hash256& ref) {
+  if (!eligible(ref)) return false;
+  interpret_block(dag_.get(ref));
+  return true;
+}
+
+std::shared_ptr<const Process> Interpreter::instance_for(BlockInterpretation& st,
+                                                         Label label,
+                                                         ServerId owner) const {
+  const auto it = st.pis.find(label);
+  if (it != st.pis.end()) return it->second;
+  // Lazy start of P(ℓ, B.n): the paper initializes instances at genesis
+  // blocks; an implementation starts them on first use (Section 4).
+  std::shared_ptr<const Process> fresh = factory_.create(label, owner, n_servers_);
+  st.pis.emplace(label, fresh);
+  return fresh;
+}
+
+void Interpreter::interpret_block(const BlockPtr& block) {
+  const ServerId owner = block->n();
+  BlockInterpretation st;
+
+  // Line 4: copy the parent's process-instance states (copy-on-write: we
+  // copy shared handles; instances clone only when they process an event).
+  if (const BlockPtr parent = dag_.parent_of(*block)) {
+    const auto pit = states_.find(parent->ref());
+    assert(pit != states_.end() && pit->second.interpreted);
+    st.pis = pit->second.pis;
+  }
+  // Active labels flow down from *all* predecessors (the line 7 set ranges
+  // over requests anywhere in B's strict ancestry).
+  for (const Hash256& p : block->preds()) {
+    const auto pit = states_.find(p);
+    if (pit == states_.end()) continue;  // pruned-away ancestor
+    st.active_labels.insert(pit->second.active_labels.begin(),
+                            pit->second.active_labels.end());
+  }
+
+  std::vector<std::pair<Label, Bytes>> raised;  // indications to emit last
+
+  // Tracks per-label mutable working copies so multiple events to the same
+  // label within this block clone at most once.
+  std::map<Label, std::unique_ptr<Process>> working;
+  const auto working_for = [&](Label label) -> Process& {
+    auto wit = working.find(label);
+    if (wit == working.end()) {
+      std::shared_ptr<const Process> base = instance_for(st, label, owner);
+      ++stats_.instance_clones;
+      wit = working.emplace(label, base->clone()).first;
+    }
+    return *wit->second;
+  };
+  const auto absorb = [&](Label label, StepResult&& result) {
+    auto& out = st.ms_out[label];
+    for (auto& m : result.messages) {
+      ++stats_.messages_materialized;
+      out.push_back(std::move(m));
+    }
+    for (auto& i : result.indications) {
+      raised.emplace_back(label, std::move(i));
+    }
+  };
+
+  // Lines 5–6: feed the literal requests carried by this block, in the
+  // order they were inscribed.
+  for (const LabeledRequest& lr : block->rs()) {
+    st.active_labels.insert(lr.label);
+    ++stats_.requests_processed;
+    absorb(lr.label, working_for(lr.label).on_request(lr.request));
+  }
+
+  // Lines 7–9: collect in-messages addressed to B.n from the out-buffers
+  // of direct predecessors. Ms[in, ℓ] has set semantics (∪), realized by an
+  // <M-ordered set — which also provides the line 10 iteration order.
+  std::map<Label, std::set<Message, MessageOrder>> inbox;
+  std::set<Hash256> seen_preds;  // duplicate refs collapse (set of edges)
+  for (const Hash256& p : block->preds()) {
+    if (!seen_preds.insert(p).second) continue;
+    const auto pit = states_.find(p);
+    if (pit == states_.end()) continue;  // pruned-away ancestor
+    for (const auto& [label, msgs] : pit->second.ms_out) {
+      for (const Message& m : msgs) {
+        if (m.receiver == owner) inbox[label].insert(m);
+      }
+    }
+  }
+
+  // Lines 10–11: feed each in-message in <M order.
+  for (auto& [label, msgs] : inbox) {
+    auto& in_rec = st.ms_in[label];
+    for (const Message& m : msgs) {
+      in_rec.push_back(m);
+      ++stats_.messages_delivered;
+      absorb(label, working_for(label).on_message(m));
+    }
+  }
+
+  // Commit the advanced instances into B.PIs.
+  for (auto& [label, proc] : working) {
+    st.pis[label] = std::shared_ptr<const Process>(std::move(proc));
+  }
+
+  // Line 12: I[B] = true.
+  st.interpreted = true;
+  ++stats_.blocks_interpreted;
+  states_[block->ref()] = std::move(st);
+
+  // Lines 13–14: surface indications as (ℓ, i, B.n).
+  for (auto& [label, indication] : raised) {
+    ++stats_.indications;
+    if (on_indication_) on_indication_(label, indication, owner);
+  }
+}
+
+Bytes Interpreter::digest_of(const Hash256& ref) const {
+  const BlockInterpretation* st = state_of(ref);
+  Writer w;
+  w.u8(st && st->interpreted ? 1 : 0);
+  if (st) {
+    w.u32(static_cast<std::uint32_t>(st->pis.size()));
+    for (const auto& [label, proc] : st->pis) {
+      w.u64(label);
+      w.bytes(proc->state_digest());
+    }
+    const auto put_buffers = [&w](const std::map<Label, std::vector<Message>>& ms) {
+      w.u32(static_cast<std::uint32_t>(ms.size()));
+      for (const auto& [label, msgs] : ms) {
+        w.u64(label);
+        w.u32(static_cast<std::uint32_t>(msgs.size()));
+        for (const Message& m : msgs) w.bytes(m.canonical());
+      }
+    };
+    put_buffers(st->ms_in);
+    put_buffers(st->ms_out);
+  }
+  const auto digest = Sha256::digest(w.data());
+  return Bytes(digest.begin(), digest.end());
+}
+
+void Interpreter::forget_pruned() {
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (!dag_.contains(it->first)) {
+      it = states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Reset the cursor: the topological order vector was rebuilt by pruning.
+  cursor_ = 0;
+}
+
+}  // namespace blockdag

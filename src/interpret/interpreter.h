@@ -1,0 +1,119 @@
+// The interpret module (Algorithm 2): replaying a deterministic protocol P
+// over a block DAG.
+//
+// For every block B (taken in an eligibility-respecting order: all preds
+// interpreted first), the interpreter
+//   1. copies the process-instance states from B.parent (line 4; genesis
+//     blocks start fresh instances — lazily, as §4 suggests for
+//     implementations);
+//   2. feeds every request (ℓ, r) ∈ B.rs to B.n's simulated instance of ℓ
+//     (lines 5–6), collecting triggered messages into B.Ms[out, ℓ];
+//   3. for every label active in B's ancestry, gathers in-messages
+//     addressed to B.n from the out-buffers of B's *direct* predecessors
+//     (lines 7–9) and feeds them in the fixed order <M (lines 10–11),
+//     collecting newly triggered messages into B.Ms[out, ℓ];
+//   4. raises every indication of the simulated instances as
+//     (ℓ, i, B.n) (lines 13–14).
+//
+// Interpretation is a pure function of the DAG (Lemma 4.2): it never looks
+// at who is interpreting, wall-clock time, or network state. The
+// interpreter is incremental — as gossip grows the DAG, newly eligible
+// blocks are interpreted on demand.
+//
+// Messages materialized here are never sent on any wire: this is the
+// paper's message compression (Section 4 discussion).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/dag.h"
+#include "protocol/protocol.h"
+
+namespace blockdag {
+
+// Interpretation state attached to a block (the paper's B.PIs / B.Ms /
+// I[B]). Exposed read-only so tests can check Figure 4 buffer contents.
+struct BlockInterpretation {
+  bool interpreted = false;  // I[B]
+
+  // B.PIs[ℓ]: state of instance ℓ of server B.n after interpreting B.
+  // Shared pointers implement copy-on-write along parent chains.
+  std::map<Label, std::shared_ptr<const Process>> pis;
+
+  // B.Ms[in, ℓ] / B.Ms[out, ℓ].
+  std::map<Label, std::vector<Message>> ms_in;
+  std::map<Label, std::vector<Message>> ms_out;
+
+  // Labels with a request at some ancestor (incl. B itself): the set that
+  // line 7 quantifies over. Propagated down the DAG.
+  std::set<Label> active_labels;
+};
+
+struct InterpreterStats {
+  std::uint64_t blocks_interpreted = 0;
+  std::uint64_t requests_processed = 0;
+  std::uint64_t messages_delivered = 0;    // fed via receive(m), line 11
+  std::uint64_t messages_materialized = 0; // appended to some Ms[out]
+  std::uint64_t indications = 0;
+  std::uint64_t instance_clones = 0;       // copy-on-write clones performed
+};
+
+class Interpreter {
+ public:
+  // Indication callback: (ℓ, indication, server-on-whose-behalf) —
+  // Algorithm 2 line 14 `indicate(ℓj, i, B.n)`.
+  using IndicationHandler =
+      std::function<void(Label, const Bytes&, ServerId)>;
+
+  Interpreter(const BlockDag& dag, const ProtocolFactory& factory,
+              std::uint32_t n_servers);
+
+  void set_indication_handler(IndicationHandler handler) {
+    on_indication_ = std::move(handler);
+  }
+
+  // Interprets every currently-eligible uninterpreted block, following the
+  // DAG's insertion (= topological) order. Returns blocks interpreted.
+  std::size_t run();
+
+  // Interprets exactly `ref` if it is eligible; returns false otherwise.
+  // Lets tests exercise arbitrary eligible orders (the choice in line 3 —
+  // Lemma A.11 says the result is order-independent).
+  bool interpret_one(const Hash256& ref);
+
+  bool is_interpreted(const Hash256& ref) const;
+  bool eligible(const Hash256& ref) const;
+
+  // Read access to B's interpretation state (nullptr if never touched).
+  const BlockInterpretation* state_of(const Hash256& ref) const;
+
+  // Deterministic digest over a block's post-interpretation state — used
+  // by tests asserting Lemma 4.2 across different servers/DAG prefixes.
+  Bytes digest_of(const Hash256& ref) const;
+
+  const InterpreterStats& stats() const { return stats_; }
+
+  // Drops interpretation state of blocks no longer in the DAG (pruning
+  // extension §7; pairs with BlockDag::prune_below).
+  void forget_pruned();
+
+ private:
+  void interpret_block(const BlockPtr& block);
+  std::shared_ptr<const Process> instance_for(BlockInterpretation& st, Label label,
+                                              ServerId owner) const;
+
+  const BlockDag& dag_;
+  const ProtocolFactory& factory_;
+  std::uint32_t n_servers_;
+  std::unordered_map<Hash256, BlockInterpretation> states_;
+  std::size_t cursor_ = 0;  // index into dag_.topological_order()
+  IndicationHandler on_indication_;
+  InterpreterStats stats_;
+};
+
+}  // namespace blockdag

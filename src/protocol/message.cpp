@@ -1,0 +1,37 @@
+#include "protocol/message.h"
+
+#include <algorithm>
+
+#include "util/hex.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+
+Bytes Message::canonical() const {
+  Writer w;
+  w.u32(sender);
+  w.u32(receiver);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+bool MessageOrder::operator()(const Message& a, const Message& b) const {
+  // Compare without materializing encodings: field-lexicographic order over
+  // (sender, receiver, payload) coincides with encoding order because the
+  // encoding is fixed-width for the leading fields and length-prefixed for
+  // the payload... length prefix first means shorter payloads sort first.
+  if (a.sender != b.sender) return a.sender < b.sender;
+  if (a.receiver != b.receiver) return a.receiver < b.receiver;
+  if (a.payload.size() != b.payload.size()) return a.payload.size() < b.payload.size();
+  return std::lexicographical_compare(a.payload.begin(), a.payload.end(),
+                                      b.payload.begin(), b.payload.end());
+}
+
+std::string describe(const Message& m) {
+  return "msg(" + std::to_string(m.sender) + "→" + std::to_string(m.receiver) +
+         ", " + std::to_string(m.payload.size()) + "B, " +
+         to_hex(std::span(m.payload.data(), std::min<std::size_t>(4, m.payload.size()))) +
+         ")";
+}
+
+}  // namespace blockdag

@@ -1,0 +1,38 @@
+// Protocol messages and the fixed total order <M.
+//
+// Every message m ∈ M_P has m.sender and m.receiver (Section 2). The paper
+// assumes "an arbitrary, but fixed, total order on messages: <M", used in
+// Algorithm 2 line 10 so that every server interpreting the DAG feeds
+// in-messages to the simulated instances in exactly the same order. We
+// realize <M as the lexicographic order over canonical encodings — a total
+// order because canonical encodings are injective.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+struct Message {
+  ServerId sender = kInvalidServer;
+  ServerId receiver = kInvalidServer;
+  Bytes payload;
+
+  // Canonical encoding: injective, so lexicographic comparison is <M.
+  Bytes canonical() const;
+
+  bool operator==(const Message&) const = default;
+};
+
+// Strict weak ordering implementing <M.
+struct MessageOrder {
+  bool operator()(const Message& a, const Message& b) const;
+};
+
+std::string describe(const Message& m);  // short debug rendering
+
+}  // namespace blockdag

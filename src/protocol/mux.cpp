@@ -1,0 +1,30 @@
+#include "protocol/mux.h"
+
+namespace blockdag {
+
+void ProtocolMux::mount(Label first, Label last, const ProtocolFactory& factory) {
+  if (first > last) throw std::invalid_argument("ProtocolMux: empty label range");
+  for (const Mount& m : mounts_) {
+    if (first <= m.last && m.first <= last) {
+      throw std::invalid_argument("ProtocolMux: overlapping label ranges");
+    }
+  }
+  mounts_.push_back(Mount{first, last, &factory});
+}
+
+const ProtocolFactory* ProtocolMux::route(Label label) const {
+  for (const Mount& m : mounts_) {
+    if (m.first <= label && label <= m.last) return m.factory;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Process> ProtocolMux::create(Label label, ServerId self,
+                                             std::uint32_t n_servers) const {
+  if (const ProtocolFactory* factory = route(label)) {
+    return factory->create(label, self, n_servers);
+  }
+  return std::make_unique<InertProcess>(self);
+}
+
+}  // namespace blockdag

@@ -1,0 +1,65 @@
+// ProtocolMux: several *different* deterministic protocols sharing one
+// block DAG.
+//
+// The framework runs one instance of P per label (Figure 1). Since the
+// interpreter only sees P through ProtocolFactory, a factory that
+// dispatches on the label ℓ lets entirely different protocols — say BRB
+// payments and PBFT consensus slots — ride the same blocks, the same
+// gossip, and the same signatures simultaneously. This generalizes the
+// paper's "running many instances of protocols in parallel 'for free'"
+// from many instances of one P to a mixed fleet.
+//
+// Labels are partitioned by range: each registered protocol owns
+// [first_label, last_label]. Ranges must not overlap.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "protocol/protocol.h"
+
+namespace blockdag {
+
+class ProtocolMux final : public ProtocolFactory {
+ public:
+  // Registers `factory` for labels in [first, last] (inclusive). The
+  // factory must outlive the mux. Throws std::invalid_argument on overlap
+  // or an empty range.
+  void mount(Label first, Label last, const ProtocolFactory& factory);
+
+  // The factory owning `label`, or nullptr.
+  const ProtocolFactory* route(Label label) const;
+
+  std::unique_ptr<Process> create(Label label, ServerId self,
+                                  std::uint32_t n_servers) const override;
+  const char* name() const override { return "mux"; }
+
+ private:
+  struct Mount {
+    Label first;
+    Label last;
+    const ProtocolFactory* factory;
+  };
+  std::vector<Mount> mounts_;
+};
+
+// Fallback instance for unrouted labels: inert, ignores everything. A
+// byzantine server can inscribe requests for arbitrary labels; unknown
+// labels must not crash the interpretation.
+class InertProcess final : public Process {
+ public:
+  explicit InertProcess(ServerId self) : self_(self) {}
+  ServerId self() const override { return self_; }
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<InertProcess>(self_);
+  }
+  StepResult on_request(const Bytes&) override { return {}; }
+  StepResult on_message(const Message&) override { return {}; }
+  Bytes state_digest() const override { return {}; }
+
+ private:
+  ServerId self_;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,6 @@
+// Out-of-line virtual destructor anchors for the protocol interfaces.
+#include "protocol/protocol.h"
+
+namespace blockdag {
+// (vtable anchors only; see header.)
+}  // namespace blockdag

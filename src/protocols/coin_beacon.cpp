@@ -1,0 +1,96 @@
+#include "protocols/coin_beacon.h"
+
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace blockdag::beacon {
+
+namespace {
+constexpr std::uint8_t kReqContribute = 0x11;
+constexpr std::uint8_t kMsgShare = 1;
+constexpr std::uint8_t kIndBeacon = 0x21;
+}  // namespace
+
+Bytes make_contribute(std::uint64_t coins) {
+  Writer w;
+  w.u8(kReqContribute);
+  w.u64(coins);
+  return std::move(w).take();
+}
+
+Bytes make_beacon(std::uint64_t value) {
+  Writer w;
+  w.u8(kIndBeacon);
+  w.u64(value);
+  return std::move(w).take();
+}
+
+std::optional<std::uint64_t> parse_beacon(const Bytes& indication) {
+  Reader r(indication);
+  const auto tag = r.u8();
+  const auto value = r.u64();
+  if (!tag || *tag != kIndBeacon || !value || !r.done()) return std::nullopt;
+  return value;
+}
+
+void BeaconProcess::maybe_emit(StepResult& result) {
+  const std::uint32_t threshold = plausibility_quorum(n_);  // f+1
+  if (emitted_ || shares_.size() < threshold) return;
+  emitted_ = true;
+  // XOR of the first f+1 contributions in server-id order: a fixed,
+  // deterministic rule so every interpretation agrees (Lemma 4.2).
+  std::uint64_t value = 0;
+  std::uint32_t taken = 0;
+  for (const auto& [server, coins] : shares_) {
+    (void)server;
+    value ^= coins;
+    if (++taken == threshold) break;
+  }
+  result.indications.push_back(make_beacon(value));
+}
+
+StepResult BeaconProcess::on_request(const Bytes& request) {
+  StepResult result;
+  Reader r(request);
+  const auto tag = r.u8();
+  const auto coins = r.u64();
+  if (!tag || *tag != kReqContribute || !coins || !r.done()) return result;
+  if (contributed_) return result;  // one contribution per server
+  contributed_ = true;
+
+  Writer w;
+  w.u8(kMsgShare);
+  w.u64(*coins);
+  const Bytes payload = std::move(w).take();
+  result.messages.reserve(n_);
+  for (ServerId to = 0; to < n_; ++to) {
+    result.messages.push_back(Message{self_, to, payload});
+  }
+  return result;
+}
+
+StepResult BeaconProcess::on_message(const Message& message) {
+  StepResult result;
+  Reader r(message.payload);
+  const auto tag = r.u8();
+  const auto coins = r.u64();
+  if (!tag || *tag != kMsgShare || !coins || !r.done()) return result;
+  shares_.emplace(message.sender, *coins);  // first share per sender counts
+  maybe_emit(result);
+  return result;
+}
+
+Bytes BeaconProcess::state_digest() const {
+  Writer w;
+  w.u8(contributed_);
+  w.u8(emitted_);
+  w.u32(static_cast<std::uint32_t>(shares_.size()));
+  for (const auto& [server, coins] : shares_) {
+    w.u32(server);
+    w.u64(coins);
+  }
+  const auto d = Sha256::digest(w.data());
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace blockdag::beacon

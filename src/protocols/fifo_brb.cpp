@@ -1,0 +1,175 @@
+#include "protocols/fifo_brb.h"
+
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace blockdag::fifo {
+
+namespace {
+constexpr std::uint8_t kReqBroadcast = 1;
+constexpr std::uint8_t kMsgEcho = 1;
+constexpr std::uint8_t kMsgReady = 2;
+constexpr std::uint8_t kIndDeliver = 1;
+
+struct Parsed {
+  std::uint8_t type;
+  ServerId origin;
+  std::uint64_t seq;
+  Bytes value;
+};
+
+std::optional<Parsed> parse(const Bytes& payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  const auto origin = r.u32();
+  const auto seq = r.u64();
+  if (!tag || !origin || !seq) return std::nullopt;
+  auto value = r.bytes();
+  if (!value || !r.done()) return std::nullopt;
+  return Parsed{*tag, *origin, *seq, std::move(*value)};
+}
+}  // namespace
+
+Bytes make_broadcast(const Bytes& value) {
+  Writer w;
+  w.u8(kReqBroadcast);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+Bytes make_deliver(const Delivery& d) {
+  Writer w;
+  w.u8(kIndDeliver);
+  w.u32(d.origin);
+  w.u64(d.seq);
+  w.bytes(d.value);
+  return std::move(w).take();
+}
+
+std::optional<Delivery> parse_deliver(const Bytes& indication) {
+  Reader r(indication);
+  const auto tag = r.u8();
+  const auto origin = r.u32();
+  const auto seq = r.u64();
+  if (!tag || *tag != kIndDeliver || !origin || !seq) return std::nullopt;
+  auto value = r.bytes();
+  if (!value || !r.done()) return std::nullopt;
+  return Delivery{*origin, *seq, std::move(*value)};
+}
+
+StepResult FifoBrbProcess::send_to_all(std::uint8_t type, ServerId origin,
+                                       std::uint64_t seq, const Bytes& value) {
+  Writer w;
+  w.u8(type);
+  w.u32(origin);
+  w.u64(seq);
+  w.bytes(value);
+  const Bytes payload = std::move(w).take();
+  StepResult result;
+  result.messages.reserve(n_);
+  for (ServerId to = 0; to < n_; ++to) {
+    result.messages.push_back(Message{self_, to, payload});
+  }
+  return result;
+}
+
+void FifoBrbProcess::maybe_progress(StepResult& result, const SlotKey& key,
+                                    const Bytes& value) {
+  Slot& slot = slots_[key];
+  const std::uint32_t quorum = byzantine_quorum(n_);
+  const std::uint32_t amplify = plausibility_quorum(n_);
+
+  if (!slot.readied && (slot.echos[value].size() >= quorum ||
+                        slot.readies[value].size() >= amplify)) {
+    slot.readied = true;
+    result.append(send_to_all(kMsgReady, key.first, key.second, value));
+  }
+  if (!slot.delivered && slot.readies[value].size() >= quorum) {
+    slot.delivered = true;
+    ready_to_deliver_[key.first][key.second] = value;
+    flush_fifo(result, key.first);
+  }
+}
+
+void FifoBrbProcess::flush_fifo(StepResult& result, ServerId origin) {
+  auto& pending = ready_to_deliver_[origin];
+  std::uint64_t& next = next_deliver_seq_[origin];
+  for (auto it = pending.find(next); it != pending.end(); it = pending.find(next)) {
+    result.indications.push_back(make_deliver(Delivery{origin, next, it->second}));
+    pending.erase(it);
+    ++next;
+  }
+}
+
+StepResult FifoBrbProcess::on_request(const Bytes& request) {
+  StepResult result;
+  Reader r(request);
+  const auto tag = r.u8();
+  if (!tag || *tag != kReqBroadcast) return result;
+  auto value = r.bytes();
+  if (!value || !r.done()) return result;
+
+  // The requesting server is the origin; sequence numbers are assigned in
+  // request order, which makes the stream FIFO by construction.
+  const std::uint64_t seq = next_own_seq_++;
+  const SlotKey key{self_, seq};
+  Slot& slot = slots_[key];
+  if (slot.echoed) return result;
+  slot.echoed = true;
+  result.append(send_to_all(kMsgEcho, self_, seq, *value));
+  return result;
+}
+
+StepResult FifoBrbProcess::on_message(const Message& message) {
+  StepResult result;
+  const auto parsed = parse(message.payload);
+  if (!parsed || parsed->origin >= n_) return result;
+
+  const SlotKey key{parsed->origin, parsed->seq};
+  Slot& slot = slots_[key];
+  if (parsed->type == kMsgEcho) {
+    slot.echos[parsed->value].insert(message.sender);
+    if (!slot.echoed) {
+      slot.echoed = true;
+      result.append(send_to_all(kMsgEcho, parsed->origin, parsed->seq, parsed->value));
+    }
+  } else if (parsed->type == kMsgReady) {
+    slot.readies[parsed->value].insert(message.sender);
+  } else {
+    return result;
+  }
+  maybe_progress(result, key, parsed->value);
+  return result;
+}
+
+Bytes FifoBrbProcess::state_digest() const {
+  Writer w;
+  w.u64(next_own_seq_);
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [key, slot] : slots_) {
+    w.u32(key.first);
+    w.u64(key.second);
+    w.u8(slot.echoed);
+    w.u8(slot.readied);
+    w.u8(slot.delivered);
+    const auto put = [&w](const std::map<Bytes, std::set<ServerId>>& m) {
+      w.u32(static_cast<std::uint32_t>(m.size()));
+      for (const auto& [value, senders] : m) {
+        w.bytes(value);
+        w.u32(static_cast<std::uint32_t>(senders.size()));
+        for (ServerId s : senders) w.u32(s);
+      }
+    };
+    put(slot.echos);
+    put(slot.readies);
+  }
+  w.u32(static_cast<std::uint32_t>(next_deliver_seq_.size()));
+  for (const auto& [origin, next] : next_deliver_seq_) {
+    w.u32(origin);
+    w.u64(next);
+  }
+  const auto d = Sha256::digest(w.data());
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace blockdag::fifo

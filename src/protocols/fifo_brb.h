@@ -1,0 +1,80 @@
+// FIFO byzantine reliable broadcast.
+//
+// A third deterministic P: every server may broadcast a *stream* of values
+// within one protocol instance; correct servers deliver each origin's
+// values in the origin's broadcast order. Built as one double-echo (BRB)
+// slot per (origin, sequence) with a per-origin hold-back queue — the
+// classic FIFO layering, here inside a single black-box P so that one
+// label carries a whole ordered channel.
+//
+//   Rqsts = { broadcast(v) }                     (origin = requesting server)
+//   Inds  = { deliver(origin, seq, v) }
+//   M     = { ECHO (o,s,v), READY (o,s,v) }
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "protocol/protocol.h"
+
+namespace blockdag::fifo {
+
+Bytes make_broadcast(const Bytes& value);
+
+struct Delivery {
+  ServerId origin;
+  std::uint64_t seq;
+  Bytes value;
+};
+Bytes make_deliver(const Delivery& d);
+std::optional<Delivery> parse_deliver(const Bytes& indication);
+
+class FifoBrbProcess final : public Process {
+ public:
+  FifoBrbProcess(ServerId self, std::uint32_t n_servers) : self_(self), n_(n_servers) {}
+
+  ServerId self() const override { return self_; }
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<FifoBrbProcess>(*this);
+  }
+
+  StepResult on_request(const Bytes& request) override;
+  StepResult on_message(const Message& message) override;
+  Bytes state_digest() const override;
+
+ private:
+  struct Slot {
+    bool echoed = false;
+    bool readied = false;
+    bool delivered = false;  // slot-level BRB delivery (pre-FIFO)
+    std::map<Bytes, std::set<ServerId>> echos;
+    std::map<Bytes, std::set<ServerId>> readies;
+  };
+  using SlotKey = std::pair<ServerId, std::uint64_t>;
+
+  StepResult send_to_all(std::uint8_t type, ServerId origin, std::uint64_t seq,
+                         const Bytes& value);
+  void maybe_progress(StepResult& result, const SlotKey& key, const Bytes& value);
+  void flush_fifo(StepResult& result, ServerId origin);
+
+  ServerId self_;
+  std::uint32_t n_;
+
+  std::uint64_t next_own_seq_ = 0;
+  std::map<SlotKey, Slot> slots_;
+  // Slot-delivered values awaiting FIFO order, per origin.
+  std::map<ServerId, std::map<std::uint64_t, Bytes>> ready_to_deliver_;
+  std::map<ServerId, std::uint64_t> next_deliver_seq_;
+};
+
+class FifoBrbFactory final : public ProtocolFactory {
+ public:
+  std::unique_ptr<Process> create(Label, ServerId self,
+                                  std::uint32_t n_servers) const override {
+    return std::make_unique<FifoBrbProcess>(self, n_servers);
+  }
+  const char* name() const override { return "fifo_brb"; }
+};
+
+}  // namespace blockdag::fifo

@@ -1,0 +1,310 @@
+#include "runtime/byzantine.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+
+const char* byzantine_kind_name(ByzantineKind kind) {
+  switch (kind) {
+    case ByzantineKind::kSilent: return "silent";
+    case ByzantineKind::kEquivocator: return "equivocator";
+    case ByzantineKind::kDuplicateReferencer: return "duplicate_referencer";
+    case ByzantineKind::kFlooder: return "flooder";
+    case ByzantineKind::kBadSigner: return "bad_signer";
+    case ByzantineKind::kGarbageSpammer: return "garbage_spammer";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared plumbing: tracks received valid blocks in a local DAG so the
+// adversary can craft blocks that pass every check except the one it is
+// attacking, and answers FWD requests so its blocks actually validate at
+// correct servers (an adversary *wants* its equivocations accepted).
+class ByzantineBase : public ByzantineServer {
+ public:
+  ByzantineBase(ServerId self, SimNetwork& net, SignatureProvider& sigs,
+                std::uint64_t seed)
+      : self_(self), net_(net), sigs_(sigs), validator_(sigs), rng_(seed) {}
+
+ protected:
+  void track(const Bytes& wire) {
+    auto decoded = decode_wire(wire);
+    if (!decoded) return;
+    if (auto* env = std::get_if<BlockEnvelope>(&*decoded)) {
+      auto ptr = std::make_shared<const Block>(std::move(env->block));
+      if (dag_.contains(ptr->ref()) || pending_.count(ptr->ref())) return;
+      // Verify once at ingress; drain_pending skips re-verification.
+      if (!sigs_.verify(ptr->n(), ptr->ref().span(), ptr->sigma())) return;
+      pending_.emplace(ptr->ref(), std::move(ptr));
+      drain_pending();
+    }
+  }
+
+  bool answer_fwd(ServerId from, const Bytes& wire) {
+    auto decoded = decode_wire(wire);
+    if (!decoded) return false;
+    if (auto* fwd = std::get_if<FwdRequestEnvelope>(&*decoded)) {
+      for (const auto& dag : my_blocks_) {
+        if (dag->ref() == fwd->ref) {
+          net_.send(self_, from, WireKind::kFwdReply,
+                    encode_block_envelope(*dag, WireTag::kFwdReply));
+          return true;
+        }
+      }
+      const BlockPtr b = dag_.get(fwd->ref);
+      if (b) {
+        net_.send(self_, from, WireKind::kFwdReply,
+                  encode_block_envelope(*b, WireTag::kFwdReply));
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // Builds and remembers a signed block. Forged blocks also enter the
+  // adversary's own DAG view — correct servers' blocks will reference
+  // them, and the adversary must be able to resolve those references to
+  // keep tracking the honest frontier.
+  BlockPtr forge(SeqNo k, std::vector<Hash256> preds, std::vector<LabeledRequest> rs) {
+    const Hash256 ref = Block::compute_ref(self_, k, preds, rs);
+    Bytes sigma = sigs_.sign(self_, ref.span());
+    auto block = std::make_shared<const Block>(self_, k, std::move(preds),
+                                               std::move(rs), std::move(sigma));
+    my_blocks_.push_back(block);
+    dag_.insert(block);
+    drain_pending();
+    return block;
+  }
+
+  // Refs of valid blocks received since the last call (each returned once),
+  // so forged blocks can weave into the real DAG.
+  std::vector<Hash256> take_fresh_refs() {
+    return std::exchange(fresh_refs_, {});
+  }
+
+  ServerId self_;
+  SimNetwork& net_;
+  SignatureProvider& sigs_;
+  Validator validator_;
+  Rng rng_;
+  BlockDag dag_;
+
+ protected:
+  void drain_pending() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        const ValidityError err =
+            validator_.check(*it->second, dag_, /*skip_signature=*/true);
+        if (err == ValidityError::kMissingPred) {
+          ++it;
+          continue;
+        }
+        if (err == ValidityError::kOk) {
+          dag_.insert(it->second);
+          fresh_refs_.push_back(it->second->ref());
+        }
+        it = pending_.erase(it);
+        progress = true;
+      }
+    }
+  }
+
+  std::unordered_map<Hash256, BlockPtr> pending_;
+  std::vector<Hash256> fresh_refs_;
+  std::vector<BlockPtr> my_blocks_;
+};
+
+class Silent final : public ByzantineServer {
+ public:
+  void on_network(ServerId, const Bytes&) override {}
+  void tick() override {}
+};
+
+// Builds two conflicting blocks per beat — same (n, k), different request
+// payloads — and shows each half of the network a different chain
+// (Figure 3's ˇs1 on B3/B4, sustained).
+class Equivocator final : public ByzantineBase {
+ public:
+  using ByzantineBase::ByzantineBase;
+
+  void on_network(ServerId from, const Bytes& wire) override {
+    if (answer_fwd(from, wire)) return;
+    track(wire);
+  }
+
+  void tick() override {
+    const std::vector<Hash256> fresh = take_fresh_refs();
+
+    std::vector<Hash256> preds_a = chain_a_;
+    std::vector<Hash256> preds_b = chain_b_;
+    preds_a.insert(preds_a.end(), fresh.begin(), fresh.end());
+    preds_b.insert(preds_b.end(), fresh.begin(), fresh.end());
+
+    // The two versions differ in their request payload.
+    Writer wa;
+    wa.u64(rng_.next());
+    Writer wb;
+    wb.u64(rng_.next());
+    const BlockPtr a = forge(k_, preds_a, {LabeledRequest{1, std::move(wa).take()}});
+    const BlockPtr b = forge(k_, preds_b, {LabeledRequest{1, std::move(wb).take()}});
+    ++k_;
+    chain_a_.assign(1, a->ref());
+    chain_b_.assign(1, b->ref());
+
+    for (ServerId to = 0; to < net_.size(); ++to) {
+      if (to == self_) continue;
+      const BlockPtr& version = (to % 2 == 0) ? a : b;
+      net_.send(self_, to, WireKind::kBlock,
+                encode_block_envelope(*version, WireTag::kBlock));
+    }
+  }
+
+ private:
+  SeqNo k_ = 0;
+  std::vector<Hash256> chain_a_;  // parent ref of chain A (empty at genesis)
+  std::vector<Hash256> chain_b_;
+};
+
+// Lists every reference twice (behaviour (2)): correct interpretation must
+// not deliver the induced messages twice to correct receivers.
+class DuplicateReferencer final : public ByzantineBase {
+ public:
+  using ByzantineBase::ByzantineBase;
+
+  void on_network(ServerId from, const Bytes& wire) override {
+    if (answer_fwd(from, wire)) return;
+    track(wire);
+  }
+
+  void tick() override {
+    std::vector<Hash256> preds = parent_;
+    for (const Hash256& r : take_fresh_refs()) {
+      preds.push_back(r);
+      preds.push_back(r);  // duplicate every reference
+    }
+    if (!parent_.empty()) preds.push_back(parent_.front());  // and the parent
+
+    const BlockPtr b = forge(k_++, std::move(preds), {});
+    parent_.assign(1, b->ref());
+    net_.broadcast(self_, WireKind::kBlock,
+                   encode_block_envelope(*b, WireTag::kBlock));
+  }
+
+ private:
+  SeqNo k_ = 0;
+  std::vector<Hash256> parent_;
+};
+
+// Replays every received block back at the network, twice.
+class Flooder final : public ByzantineBase {
+ public:
+  using ByzantineBase::ByzantineBase;
+
+  void on_network(ServerId from, const Bytes& wire) override {
+    if (answer_fwd(from, wire)) return;
+    track(wire);
+    auto decoded = decode_wire(wire);
+    if (decoded) {
+      if (auto* env = std::get_if<BlockEnvelope>(&*decoded)) {
+        // Re-broadcast each distinct block once (else the flooder feeds
+        // back on its own self-delivery forever).
+        if (flooded_.insert(env->block.ref()).second) {
+          net_.broadcast(self_, WireKind::kBlock, wire);
+          net_.broadcast(self_, WireKind::kBlock, wire);
+        }
+      }
+    }
+  }
+
+  void tick() override {
+    // Also maintain a (valid) chain of its own, re-sent every beat.
+    std::vector<Hash256> preds = parent_;
+    const auto fresh = take_fresh_refs();
+    preds.insert(preds.end(), fresh.begin(), fresh.end());
+    const BlockPtr b = forge(k_++, std::move(preds), {});
+    parent_.assign(1, b->ref());
+    const Bytes wire = encode_block_envelope(*b, WireTag::kBlock);
+    net_.broadcast(self_, WireKind::kBlock, wire);
+    net_.broadcast(self_, WireKind::kBlock, wire);
+  }
+
+ private:
+  SeqNo k_ = 0;
+  std::vector<Hash256> parent_;
+  std::unordered_set<Hash256> flooded_;
+};
+
+// Broadcasts blocks whose signatures are garbage: Definition 3.3(i) must
+// reject them at every correct server.
+class BadSigner final : public ByzantineBase {
+ public:
+  using ByzantineBase::ByzantineBase;
+
+  void on_network(ServerId from, const Bytes& wire) override {
+    if (answer_fwd(from, wire)) return;
+    track(wire);
+  }
+
+  void tick() override {
+    std::vector<Hash256> preds = take_fresh_refs();
+    Bytes junk(32);
+    for (auto& x : junk) x = static_cast<std::uint8_t>(rng_.next());
+    Block block(self_, k_++, std::move(preds), {}, std::move(junk));
+    net_.broadcast(self_, WireKind::kBlock,
+                   encode_block_envelope(block, WireTag::kBlock));
+  }
+
+ private:
+  SeqNo k_ = 0;
+};
+
+// Broadcasts random byte strings — exercises wire-decoding robustness.
+class GarbageSpammer final : public ByzantineBase {
+ public:
+  using ByzantineBase::ByzantineBase;
+
+  void on_network(ServerId from, const Bytes& wire) override {
+    if (answer_fwd(from, wire)) return;
+    track(wire);
+  }
+
+  void tick() override {
+    Bytes junk(1 + rng_.below(64));
+    for (auto& x : junk) x = static_cast<std::uint8_t>(rng_.next());
+    net_.broadcast(self_, WireKind::kBlock, junk);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ByzantineServer> make_byzantine(ByzantineKind kind, ServerId self,
+                                                Scheduler& sched, SimNetwork& net,
+                                                SignatureProvider& sigs,
+                                                std::uint64_t seed) {
+  (void)sched;
+  switch (kind) {
+    case ByzantineKind::kSilent:
+      return std::make_unique<Silent>();
+    case ByzantineKind::kEquivocator:
+      return std::make_unique<Equivocator>(self, net, sigs, seed);
+    case ByzantineKind::kDuplicateReferencer:
+      return std::make_unique<DuplicateReferencer>(self, net, sigs, seed);
+    case ByzantineKind::kFlooder:
+      return std::make_unique<Flooder>(self, net, sigs, seed);
+    case ByzantineKind::kBadSigner:
+      return std::make_unique<BadSigner>(self, net, sigs, seed);
+    case ByzantineKind::kGarbageSpammer:
+      return std::make_unique<GarbageSpammer>(self, net, sigs, seed);
+  }
+  return std::make_unique<Silent>();
+}
+
+}  // namespace blockdag

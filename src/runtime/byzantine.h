@@ -1,0 +1,53 @@
+// Byzantine server behaviours at the gossip layer.
+//
+// Section 4 enumerates exactly how a byzantine server ˇs can influence G:
+//   (1) equivocate — build two blocks occupying the same chain position,
+//       splitting the interpreted state for ˇs (Figure 3);
+//   (2) reference a block multiple times — inducing duplicate messages;
+//   (3) never reference a block — silence;
+// plus the always-available garbage: invalid signatures, malformed bytes,
+// flooding. Each behaviour below is a standalone implementation of the
+// wire protocol — byzantine code shares nothing with the honest
+// GossipServer, so a bug in honest code cannot accidentally "help" the
+// adversary (and vice versa).
+#pragma once
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "dag/dag.h"
+#include "dag/validity.h"
+#include "gossip/wire.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace blockdag {
+
+enum class ByzantineKind {
+  kSilent,               // behaviour (3): sends nothing, answers nothing
+  kEquivocator,          // behaviour (1): two chains, one per network half
+  kDuplicateReferencer,  // behaviour (2): every pred listed twice
+  kFlooder,              // re-broadcasts every block it receives
+  kBadSigner,            // broadcasts blocks with garbage signatures
+  kGarbageSpammer,       // broadcasts malformed byte strings
+};
+
+const char* byzantine_kind_name(ByzantineKind kind);
+
+class ByzantineServer {
+ public:
+  virtual ~ByzantineServer() = default;
+
+  virtual void on_network(ServerId from, const Bytes& wire) = 0;
+  // Called on the cluster's dissemination beat.
+  virtual void tick() = 0;
+};
+
+// Factory. `pace` is the cluster dissemination interval (some behaviours
+// time their mischief off it).
+std::unique_ptr<ByzantineServer> make_byzantine(ByzantineKind kind, ServerId self,
+                                                Scheduler& sched, SimNetwork& net,
+                                                SignatureProvider& sigs,
+                                                std::uint64_t seed);
+
+}  // namespace blockdag

@@ -1,0 +1,182 @@
+#include "runtime/checkers.h"
+
+#include <algorithm>
+
+#include "util/hex.h"
+
+namespace blockdag {
+
+namespace {
+std::string show(const Bytes& v) {
+  return to_hex(std::span(v.data(), std::min<std::size_t>(8, v.size())));
+}
+}  // namespace
+
+void BrbChecker::expect_broadcast(Label label, ServerId broadcaster, Bytes value,
+                                  bool broadcaster_correct) {
+  expected_[label] = Expectation{broadcaster, std::move(value), broadcaster_correct};
+}
+
+void BrbChecker::record_delivery(ServerId server, Label label, Bytes value) {
+  deliveries_[label][server].push_back(std::move(value));
+}
+
+std::size_t BrbChecker::total_deliveries() const {
+  std::size_t n = 0;
+  for (const auto& [label, by_server] : deliveries_) {
+    (void)label;
+    for (const auto& [server, values] : by_server) {
+      (void)server;
+      n += values.size();
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> BrbChecker::violations(const std::vector<ServerId>& correct,
+                                                bool run_completed) const {
+  std::vector<std::string> out;
+  const auto is_correct = [&](ServerId s) {
+    return std::find(correct.begin(), correct.end(), s) != correct.end();
+  };
+
+  for (const auto& [label, by_server] : deliveries_) {
+    // No duplication: every correct server delivers at most one value.
+    for (const auto& [server, values] : by_server) {
+      if (is_correct(server) && values.size() > 1) {
+        out.push_back("no-duplication violated: server " + std::to_string(server) +
+                      " delivered " + std::to_string(values.size()) +
+                      " values for label " + std::to_string(label));
+      }
+    }
+    // Consistency: no two correct servers deliver different values.
+    std::optional<Bytes> seen;
+    for (const auto& [server, values] : by_server) {
+      if (!is_correct(server) || values.empty()) continue;
+      if (!seen) {
+        seen = values.front();
+      } else if (*seen != values.front()) {
+        out.push_back("consistency violated at label " + std::to_string(label) +
+                      ": " + show(*seen) + " vs " + show(values.front()));
+      }
+    }
+    // Integrity: delivered value of a correct broadcaster was broadcast.
+    const auto eit = expected_.find(label);
+    for (const auto& [server, values] : by_server) {
+      if (!is_correct(server)) continue;
+      for (const Bytes& v : values) {
+        if (eit == expected_.end()) {
+          out.push_back("integrity violated: delivery for unknown label " +
+                        std::to_string(label) + " at server " + std::to_string(server));
+        } else if (eit->second.broadcaster_correct && v != eit->second.value) {
+          out.push_back("integrity violated at label " + std::to_string(label) +
+                        ": delivered " + show(v) + ", broadcast " +
+                        show(eit->second.value));
+        }
+      }
+    }
+    // Totality: if some correct server delivered, all must (once quiesced).
+    if (run_completed) {
+      const bool any = std::any_of(
+          by_server.begin(), by_server.end(), [&](const auto& kv) {
+            return is_correct(kv.first) && !kv.second.empty();
+          });
+      if (any) {
+        for (ServerId s : correct) {
+          const auto sit = by_server.find(s);
+          if (sit == by_server.end() || sit->second.empty()) {
+            out.push_back("totality violated at label " + std::to_string(label) +
+                          ": server " + std::to_string(s) + " never delivered");
+          }
+        }
+      }
+    }
+  }
+
+  // Validity: a correct broadcaster's value is delivered by every correct
+  // server (once quiesced).
+  if (run_completed) {
+    for (const auto& [label, exp] : expected_) {
+      if (!exp.broadcaster_correct || !is_correct(exp.broadcaster)) continue;
+      const auto dit = deliveries_.find(label);
+      for (ServerId s : correct) {
+        const bool got = dit != deliveries_.end() && dit->second.count(s) &&
+                         !dit->second.at(s).empty() &&
+                         dit->second.at(s).front() == exp.value;
+        if (!got) {
+          out.push_back("validity violated at label " + std::to_string(label) +
+                        ": server " + std::to_string(s) + " did not deliver " +
+                        show(exp.value));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void ConsensusChecker::expect_proposal(Label label, ServerId proposer, Bytes value) {
+  proposals_[label][proposer] = std::move(value);
+}
+
+void ConsensusChecker::record_decision(ServerId server, Label label, Bytes value) {
+  decisions_[label][server].push_back(std::move(value));
+}
+
+std::vector<std::string> ConsensusChecker::violations(
+    const std::vector<ServerId>& correct, bool expect_termination) const {
+  std::vector<std::string> out;
+  const auto is_correct = [&](ServerId s) {
+    return std::find(correct.begin(), correct.end(), s) != correct.end();
+  };
+
+  for (const auto& [label, by_server] : decisions_) {
+    std::optional<Bytes> agreed;
+    for (const auto& [server, values] : by_server) {
+      if (!is_correct(server)) continue;
+      if (values.size() > 1) {
+        out.push_back("consensus integrity violated: server " +
+                      std::to_string(server) + " decided twice for label " +
+                      std::to_string(label));
+      }
+      if (values.empty()) continue;
+      if (!agreed) {
+        agreed = values.front();
+      } else if (*agreed != values.front()) {
+        out.push_back("consensus agreement violated at label " +
+                      std::to_string(label) + ": " + show(*agreed) + " vs " +
+                      show(values.front()));
+      }
+    }
+    // Validity: the decided value was proposed by someone.
+    const auto pit = proposals_.find(label);
+    if (agreed && pit != proposals_.end()) {
+      const bool proposed = std::any_of(
+          pit->second.begin(), pit->second.end(),
+          [&](const auto& kv) { return kv.second == *agreed; });
+      if (!proposed) {
+        out.push_back("consensus validity violated at label " +
+                      std::to_string(label) + ": decided value " + show(*agreed) +
+                      " was never proposed");
+      }
+    }
+  }
+
+  if (expect_termination) {
+    for (const auto& [label, by_proposer] : proposals_) {
+      (void)by_proposer;
+      const auto dit = decisions_.find(label);
+      for (ServerId s : correct) {
+        const bool decided = dit != decisions_.end() && dit->second.count(s) &&
+                             !dit->second.at(s).empty();
+        if (!decided) {
+          out.push_back("consensus termination violated at label " +
+                        std::to_string(label) + ": server " + std::to_string(s) +
+                        " undecided");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace blockdag

@@ -1,0 +1,64 @@
+// Property checkers for embedded protocols.
+//
+// Theorem 5.1 says shim(P) preserves P's properties; these checkers turn
+// the properties into executable assertions over recorded executions. The
+// BRB checker covers the five properties of byzantine reliable broadcast
+// (Section 5): validity, no duplication, integrity, consistency, totality.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+class BrbChecker {
+ public:
+  // Declare a broadcast that happened: instance ℓ, the broadcaster, the
+  // value, and whether the broadcaster is correct.
+  void expect_broadcast(Label label, ServerId broadcaster, Bytes value,
+                        bool broadcaster_correct);
+
+  // Record a deliver(v) indication observed at `server` for instance ℓ.
+  void record_delivery(ServerId server, Label label, Bytes value);
+
+  // Evaluates all properties over the recorded execution. `correct` lists
+  // the correct servers. When `run_completed` is true, liveness-flavoured
+  // properties (validity, totality) are enforced: the run is assumed to
+  // have quiesced so "eventually" must have happened.
+  std::vector<std::string> violations(const std::vector<ServerId>& correct,
+                                      bool run_completed) const;
+
+  std::size_t total_deliveries() const;
+
+ private:
+  struct Expectation {
+    ServerId broadcaster;
+    Bytes value;
+    bool broadcaster_correct;
+  };
+  std::map<Label, Expectation> expected_;
+  // label → server → delivered values in order.
+  std::map<Label, std::map<ServerId, std::vector<Bytes>>> deliveries_;
+};
+
+// Checker for single-shot consensus (PBFT-lite): agreement, validity
+// (decided value was proposed), and termination when the run completed.
+class ConsensusChecker {
+ public:
+  void expect_proposal(Label label, ServerId proposer, Bytes value);
+  void record_decision(ServerId server, Label label, Bytes value);
+
+  std::vector<std::string> violations(const std::vector<ServerId>& correct,
+                                      bool expect_termination) const;
+
+ private:
+  std::map<Label, std::map<ServerId, Bytes>> proposals_;  // label → proposer → v
+  std::map<Label, std::map<ServerId, std::vector<Bytes>>> decisions_;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,111 @@
+#include "runtime/cluster.h"
+
+#include <cassert>
+
+namespace blockdag {
+
+Cluster::Cluster(const ProtocolFactory& factory, ClusterConfig config)
+    : config_(std::move(config)) {
+  NetworkConfig net_cfg = config_.net;
+  net_cfg.seed = config_.seed ^ 0xabcdef;
+  net_ = std::make_unique<SimNetwork>(sched_, config_.n_servers, net_cfg);
+
+  if (config_.use_wots) {
+    sigs_ = std::make_unique<WotsSignatureProvider>(config_.n_servers, config_.seed);
+  } else {
+    sigs_ = std::make_unique<IdealSignatureProvider>(config_.n_servers, config_.seed);
+  }
+
+  shims_.resize(config_.n_servers);
+  byz_.resize(config_.n_servers);
+  for (ServerId s = 0; s < config_.n_servers; ++s) {
+    const auto bit = config_.byzantine.find(s);
+    if (bit == config_.byzantine.end()) {
+      shims_[s] = std::make_unique<Shim>(s, sched_, *net_, *sigs_, factory,
+                                         config_.n_servers, config_.gossip,
+                                         config_.pacing, config_.seq_mode);
+    } else {
+      byz_[s] = make_byzantine(bit->second, s, sched_, *net_, *sigs_,
+                               config_.seed ^ (0x1000 + s));
+      ByzantineServer* server = byz_[s].get();
+      net_->attach(s, [server](ServerId from, const Bytes& wire) {
+        server->on_network(from, wire);
+      });
+    }
+  }
+}
+
+std::vector<ServerId> Cluster::correct_servers() const {
+  std::vector<ServerId> out;
+  for (ServerId s = 0; s < config_.n_servers; ++s) {
+    if (is_correct(s)) out.push_back(s);
+  }
+  return out;
+}
+
+std::uint32_t Cluster::n_correct() const {
+  return static_cast<std::uint32_t>(correct_servers().size());
+}
+
+void Cluster::schedule_byz_tick(ServerId server) {
+  sched_.after(config_.pacing.interval, [this, server] {
+    if (!started_) return;
+    byz_[server]->tick();
+    schedule_byz_tick(server);
+  });
+}
+
+void Cluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (ServerId s = 0; s < config_.n_servers; ++s) {
+    if (shims_[s]) {
+      shims_[s]->start();
+    } else {
+      schedule_byz_tick(s);
+    }
+  }
+}
+
+void Cluster::stop() {
+  started_ = false;
+  for (auto& shim : shims_) {
+    if (shim) shim->stop();
+  }
+}
+
+void Cluster::request(ServerId server, Label label, Bytes req) {
+  assert(is_correct(server));
+  shims_[server]->request(label, std::move(req));
+}
+
+bool Cluster::dags_converged() const {
+  const Shim* reference = nullptr;
+  for (const auto& shim : shims_) {
+    if (!shim) continue;
+    if (!reference) {
+      reference = shim.get();
+      continue;
+    }
+    const BlockDag& a = reference->dag();
+    const BlockDag& b = shim->dag();
+    if (a.size() != b.size() || !a.subgraph_of(b)) return false;
+  }
+  return true;
+}
+
+std::size_t Cluster::indicated_count(Label label) const {
+  std::size_t count = 0;
+  for (const auto& shim : shims_) {
+    if (!shim) continue;
+    for (const UserIndication& ind : shim->indications()) {
+      if (ind.label == label) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace blockdag

@@ -1,0 +1,32 @@
+// Minimal aligned-table printer for benchmark output.
+//
+// Every bench reproduces a figure or claim by printing rows; this keeps
+// the output readable and diffable (EXPERIMENTS.md records these tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blockdag {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string num(std::uint64_t v);
+  static std::string num(double v, int precision = 2);
+
+  // Renders with right-aligned columns and a header underline.
+  std::string render() const;
+  void print() const;  // render() to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blockdag

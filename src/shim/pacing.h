@@ -1,0 +1,28 @@
+// Dissemination pacing (Algorithm 3 lines 10–11).
+//
+// "Within the control of s, the time between calls to disseminate can be
+// adapted to meet the network assumptions of P and can be enforced e.g. by
+// an internal timer, the block's payload, or when s falls n blocks behind.
+// For our proofs we only need to guarantee that a correct s will
+// eventually request disseminate." We implement the timer policy with two
+// refinements the paper names: disseminate early when enough payload is
+// queued, and optionally skip empty beats.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler.h"
+
+namespace blockdag {
+
+struct PacingConfig {
+  // Base interval between disseminate() calls.
+  SimTime interval = sim_ms(10);
+  // Disseminate immediately once this many requests are queued (0 = off).
+  std::size_t eager_request_threshold = 0;
+  // When true, a beat with no requests and no new references is skipped
+  // (liveness still holds: the next non-empty beat disseminates).
+  bool skip_empty = false;
+};
+
+}  // namespace blockdag

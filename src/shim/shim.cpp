@@ -1,0 +1,68 @@
+#include "shim/shim.h"
+
+namespace blockdag {
+
+Shim::Shim(ServerId self, Scheduler& sched, SimNetwork& net, SignatureProvider& sigs,
+           const ProtocolFactory& factory, std::uint32_t n_servers,
+           GossipConfig gossip_config, PacingConfig pacing, SeqNoMode seq_mode)
+    : sched_(sched),
+      gossip_(self, sched, net, sigs, rqsts_, gossip_config, seq_mode),
+      interpreter_(gossip_.dag(), factory, n_servers),
+      pacing_(pacing) {
+  net.attach(self, [this](ServerId from, const Bytes& wire) {
+    gossip_.on_network(from, wire);
+  });
+  gossip_.set_block_inserted_handler(
+      [this](const BlockPtr& block) { on_block_inserted(block); });
+  // Lines 8–9: indicate to the user only for the interpretation of P for
+  // ourselves (s' = s): we trust our own simulated instance.
+  interpreter_.set_indication_handler(
+      [this](Label label, const Bytes& indication, ServerId on_behalf) {
+        if (on_behalf != gossip_.self()) return;
+        delivered_.push_back(UserIndication{label, indication, sched_.now()});
+        if (on_indication_) on_indication_(label, indication);
+      });
+}
+
+void Shim::request(Label label, Bytes request) {
+  // Lines 6–7.
+  rqsts_.put(label, std::move(request));
+  if (started_ && pacing_.eager_request_threshold != 0 &&
+      rqsts_.size() >= pacing_.eager_request_threshold) {
+    gossip_.disseminate(/*even_if_empty=*/false);
+    interpreter_.run();
+  }
+}
+
+void Shim::on_block_inserted(const BlockPtr&) {
+  // The DAG grew: interpret newly eligible blocks. Interpretation is
+  // decoupled in the paper (it could run entirely off-line, Section 4);
+  // running it inline keeps indication latency measurements tight while
+  // changing nothing about the computed states (Lemma 4.2).
+  interpreter_.run();
+}
+
+void Shim::tick() {
+  gossip_.disseminate(!pacing_.skip_empty);
+  interpreter_.run();
+}
+
+void Shim::schedule_next_dissemination() {
+  sched_.after(pacing_.interval, [this] {
+    if (!started_) return;
+    tick();
+    schedule_next_dissemination();
+  });
+}
+
+void Shim::stop() { started_ = false; }
+
+void Shim::start() {
+  if (started_) return;
+  started_ = true;
+  // First beat happens one interval in, so all servers configured at t=0
+  // start symmetrically.
+  schedule_next_dissemination();
+}
+
+}  // namespace blockdag

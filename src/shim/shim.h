@@ -1,0 +1,83 @@
+// shim(P) (Algorithm 3): choreography of the user, gossip and interpret.
+//
+// The shim owns the two shared data structures — the request buffer
+// `rqsts` and the block DAG G (held inside the gossip module) — and wires
+// them to one gossip process and one interpret process:
+//   * user request(ℓ, r)  →  rqsts.put(ℓ, r)              (lines 6–7)
+//   * interpret indicates (ℓ, i, s') with s' = s  →  user (lines 8–9)
+//   * repeatedly: gossip.disseminate()                    (lines 10–11)
+//
+// Theorem 5.1: this composition implements P's interface and preserves
+// every property of P whose proof relies on the reliable point-to-point
+// link abstraction.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gossip/gossip.h"
+#include "interpret/interpreter.h"
+#include "protocol/protocol.h"
+#include "shim/pacing.h"
+
+namespace blockdag {
+
+// A delivered indication, as surfaced to the user of P.
+struct UserIndication {
+  Label label = 0;
+  Bytes indication;
+  SimTime at = 0;  // simulated delivery time (for latency measurements)
+};
+
+class Shim {
+ public:
+  using IndicationHandler = std::function<void(Label, const Bytes&)>;
+
+  Shim(ServerId self, Scheduler& sched, SimNetwork& net, SignatureProvider& sigs,
+       const ProtocolFactory& factory, std::uint32_t n_servers,
+       GossipConfig gossip_config = {}, PacingConfig pacing = {},
+       SeqNoMode seq_mode = SeqNoMode::kConsecutive);
+
+  // The high-level interface of Figure 1: request(ℓ, r).
+  void request(Label label, Bytes request);
+
+  // Registers the user's indication callback (in addition to the
+  // indications() log, which is always kept).
+  void set_indication_handler(IndicationHandler handler) {
+    on_indication_ = std::move(handler);
+  }
+
+  // Starts the periodic dissemination loop (lines 10–11).
+  void start();
+
+  // Stops the loop (ends the simulation run cleanly).
+  void stop();
+
+  // One manual dissemination + interpretation step (tests drive this).
+  void tick();
+
+  ServerId self() const { return gossip_.self(); }
+  const BlockDag& dag() const { return gossip_.dag(); }
+  GossipServer& gossip() { return gossip_; }
+  const GossipServer& gossip() const { return gossip_; }
+  Interpreter& interpreter() { return interpreter_; }
+  const Interpreter& interpreter() const { return interpreter_; }
+
+  // Every indication delivered to this server's user, in delivery order.
+  const std::vector<UserIndication>& indications() const { return delivered_; }
+
+ private:
+  void on_block_inserted(const BlockPtr& block);
+  void schedule_next_dissemination();
+
+  Scheduler& sched_;
+  RequestBuffer rqsts_;
+  GossipServer gossip_;
+  Interpreter interpreter_;
+  PacingConfig pacing_;
+  bool started_ = false;
+  IndicationHandler on_indication_;
+  std::vector<UserIndication> delivered_;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,121 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace blockdag {
+
+const char* wire_kind_name(WireKind kind) {
+  switch (kind) {
+    case WireKind::kBlock: return "block";
+    case WireKind::kFwdRequest: return "fwd_request";
+    case WireKind::kFwdReply: return "fwd_reply";
+    case WireKind::kProtocol: return "protocol";
+    case WireKind::kCount: break;
+  }
+  return "?";
+}
+
+SimTime LatencyModel::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return base;
+    case Kind::kUniform:
+      return base + rng.below(spread + 1);
+    case Kind::kHeavyTail: {
+      // Pareto-like tail: median `spread` extra latency, occasionally much
+      // more. Exercises reordering in gossip.
+      const double u = rng.unit();
+      const double mult = 1.0 / (1.0 - 0.999 * u);  // in [1, 1000]
+      return base + static_cast<SimTime>(static_cast<double>(spread) * (mult - 1.0) * 0.5);
+    }
+  }
+  return base;
+}
+
+std::uint64_t WireMetrics::total_messages() const {
+  return std::accumulate(std::begin(messages), std::end(messages), std::uint64_t{0});
+}
+
+std::uint64_t WireMetrics::total_bytes() const {
+  return std::accumulate(std::begin(bytes), std::end(bytes), std::uint64_t{0});
+}
+
+SimNetwork::SimNetwork(Scheduler& sched, std::uint32_t n_servers, NetworkConfig config)
+    : sched_(sched),
+      config_(config),
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL),
+      handlers_(n_servers),
+      drops_used_(static_cast<std::size_t>(n_servers) * n_servers, 0) {}
+
+void SimNetwork::attach(ServerId server, Handler handler) {
+  assert(server < handlers_.size());
+  handlers_[server] = std::move(handler);
+}
+
+bool SimNetwork::partitioned(ServerId a, ServerId b) const {
+  for (const auto& p : partitions_) {
+    if (sched_.now() >= p.heal_at) continue;
+    const bool cross = (p.side_a[a] && p.side_b[b]) || (p.side_a[b] && p.side_b[a]);
+    if (cross) return true;
+  }
+  return false;
+}
+
+void SimNetwork::send(ServerId from, ServerId to, WireKind kind, Bytes payload) {
+  assert(to < handlers_.size());
+  const auto k = static_cast<std::size_t>(kind);
+
+  if (from == to) {
+    // Local delivery: no wire traffic, immediate.
+    sched_.after(0, [this, from, to, payload = std::move(payload)]() mutable {
+      if (handlers_[to]) handlers_[to](from, payload);
+    });
+    return;
+  }
+
+  metrics_.messages[k] += 1;
+  metrics_.bytes[k] += payload.size();
+
+  auto& used = drops_used_[static_cast<std::size_t>(from) * handlers_.size() + to];
+  if (config_.drop_probability > 0.0 && used < config_.max_drops_per_pair &&
+      rng_.chance(config_.drop_probability)) {
+    ++used;
+    ++metrics_.dropped;
+    return;
+  }
+
+  const LatencyModel& model =
+      sched_.now() < config_.gst ? config_.pre_gst_latency : config_.latency;
+  SimTime deliver_at = sched_.now() + model.sample(rng_);
+  // Partitioned traffic is held until healing, then subject to latency.
+  for (const auto& p : partitions_) {
+    if (sched_.now() < p.heal_at &&
+        ((p.side_a[from] && p.side_b[to]) || (p.side_a[to] && p.side_b[from]))) {
+      deliver_at = std::max(deliver_at, p.heal_at + config_.latency.sample(rng_));
+    }
+  }
+
+  sched_.at(deliver_at, [this, from, to, payload = std::move(payload)]() mutable {
+    if (handlers_[to]) handlers_[to](from, payload);
+  });
+}
+
+void SimNetwork::broadcast(ServerId from, WireKind kind, const Bytes& payload) {
+  for (ServerId to = 0; to < handlers_.size(); ++to) {
+    send(from, to, kind, payload);
+  }
+}
+
+void SimNetwork::partition(const std::vector<ServerId>& side_a,
+                           const std::vector<ServerId>& side_b, SimTime heal_at) {
+  Partition p;
+  p.side_a.assign(handlers_.size(), false);
+  p.side_b.assign(handlers_.size(), false);
+  for (ServerId s : side_a) p.side_a[s] = true;
+  for (ServerId s : side_b) p.side_b[s] = true;
+  p.heal_at = heal_at;
+  partitions_.push_back(std::move(p));
+}
+
+}  // namespace blockdag

@@ -1,0 +1,122 @@
+// Simulated point-to-point network.
+//
+// Stands in for the paper's real network. Assumption 1 (Reliable Delivery)
+// only requires that a block sent between correct servers *eventually*
+// arrives. The simulator therefore supports:
+//   * per-link latency sampled from a configurable model (fixed / uniform /
+//     heavy-tailed), deterministically seeded;
+//   * transient message drops (to exercise the gossip FWD recovery path —
+//     dropped first attempts are recovered by re-requests, preserving the
+//     *eventual* delivery the assumption demands);
+//   * temporary partitions that heal at a configured time;
+//   * wire metrics (message and byte counts per traffic class), which feed
+//     the compression benchmarks (DESIGN.md CLAIM-COMPRESS).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace blockdag {
+
+// Traffic classes, so benches can attribute wire cost.
+enum class WireKind : std::uint8_t {
+  kBlock = 0,      // gossip block dissemination
+  kFwdRequest,     // gossip FWD ref(B) requests
+  kFwdReply,       // gossip replies carrying a full block
+  kProtocol,       // baseline protocols' direct messages
+  kCount,
+};
+
+const char* wire_kind_name(WireKind kind);
+
+struct LatencyModel {
+  enum class Kind { kFixed, kUniform, kHeavyTail } kind = Kind::kUniform;
+  SimTime base = sim_ms(5);   // fixed: the latency; uniform: lower bound
+  SimTime spread = sim_ms(5); // uniform: width; heavy tail: median extra
+
+  SimTime sample(Rng& rng) const;
+};
+
+struct NetworkConfig {
+  LatencyModel latency;
+  double drop_probability = 0.0;  // applied per send attempt
+  // Drops are transient: after `max_drops_per_pair` losses on an ordered
+  // (from,to) pair, further sends succeed. This keeps Assumption 1 honest
+  // even with aggressive drop rates.
+  std::uint32_t max_drops_per_pair = UINT32_MAX;
+  std::uint64_t seed = 1;
+
+  // Partial synchrony (Dwork–Lynch–Stockmeyer, the §7 extension target):
+  // before the global stabilization time `gst`, sends sample
+  // `pre_gst_latency` instead of `latency` — typically wild, unbounded-ish
+  // delays. From `gst` on, every *newly sent* message obeys the bounded
+  // `latency` model. gst = 0 (default) means synchronous from the start.
+  SimTime gst = 0;
+  LatencyModel pre_gst_latency{LatencyModel::Kind::kHeavyTail, sim_ms(50), sim_ms(500)};
+};
+
+struct WireMetrics {
+  std::uint64_t messages[static_cast<std::size_t>(WireKind::kCount)] = {};
+  std::uint64_t bytes[static_cast<std::size_t>(WireKind::kCount)] = {};
+  std::uint64_t dropped = 0;
+
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+  void reset() { *this = WireMetrics{}; }
+};
+
+class SimNetwork {
+ public:
+  // Receives (from, payload) on the attached server.
+  using Handler = std::function<void(ServerId from, const Bytes& payload)>;
+
+  SimNetwork(Scheduler& sched, std::uint32_t n_servers, NetworkConfig config);
+
+  void attach(ServerId server, Handler handler);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(handlers_.size()); }
+
+  // Sends `payload` from `from` to `to`; delivery is scheduled at
+  // now + latency unless dropped or partitioned away.
+  void send(ServerId from, ServerId to, WireKind kind, Bytes payload);
+
+  // Sends to every server including `from` itself (self-delivery is local
+  // and free of wire cost, matching Algorithm 1 line 17 where a server
+  // trivially has its own block).
+  void broadcast(ServerId from, WireKind kind, const Bytes& payload);
+
+  // Cuts connectivity between groups A and B (both directions) until
+  // `heal_at`. Messages sent across the cut are queued and delivered after
+  // healing (plus a fresh latency sample) — partitions delay, not destroy,
+  // so Assumption 1 still holds.
+  void partition(const std::vector<ServerId>& side_a,
+                 const std::vector<ServerId>& side_b, SimTime heal_at);
+
+  const WireMetrics& metrics() const { return metrics_; }
+  WireMetrics& metrics() { return metrics_; }
+
+ private:
+  bool partitioned(ServerId a, ServerId b) const;
+
+  Scheduler& sched_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<std::uint32_t> drops_used_;  // n*n matrix, row-major
+  WireMetrics metrics_;
+
+  struct Partition {
+    std::vector<bool> side_a;  // membership bitmaps
+    std::vector<bool> side_b;
+    SimTime heal_at;
+  };
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace blockdag

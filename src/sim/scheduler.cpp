@@ -1,0 +1,40 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace blockdag {
+
+void Scheduler::at(SimTime t, Action action) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handle out before popping.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace blockdag

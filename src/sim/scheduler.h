@@ -1,0 +1,69 @@
+// Deterministic discrete-event scheduler.
+//
+// The simulation substrate that stands in for the authors' real network
+// (see DESIGN.md §2): all asynchrony in gossip and the network is expressed
+// as events on this queue. Ties in time are broken by insertion sequence
+// number, so a run is a pure function of (configuration, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `action` at absolute simulated time `t` (clamped to now).
+  void at(SimTime t, Action action);
+
+  // Schedules `action` `delay` nanoseconds from now.
+  void after(SimTime delay, Action action) { at(now_ + delay, std::move(action)); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Executes the next event; returns false if the queue is empty.
+  bool step();
+
+  // Runs until the queue drains or `max_events` were executed; returns the
+  // number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  // Runs events with time ≤ `deadline`; the clock ends at `deadline` even
+  // if the queue drained earlier.
+  std::size_t run_until(SimTime deadline);
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+// Convenience literals for simulated durations.
+constexpr SimTime sim_us(std::uint64_t v) { return v * 1'000; }
+constexpr SimTime sim_ms(std::uint64_t v) { return v * 1'000'000; }
+constexpr SimTime sim_sec(std::uint64_t v) { return v * 1'000'000'000; }
+
+}  // namespace blockdag

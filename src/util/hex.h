@@ -1,0 +1,20 @@
+// Hex encoding helpers for hashes and byte strings (debugging / logging).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+// Lower-case hex encoding of a byte span.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+// Parses a hex string; returns std::nullopt on odd length or non-hex chars.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace blockdag

@@ -1,0 +1,48 @@
+#include "util/histogram.h"
+
+#include <sstream>
+
+namespace blockdag {
+
+void Histogram::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  sort();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Histogram::max() const {
+  sort();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0;
+  for (double v : samples_) total += v;
+  return total / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::string Histogram::summary(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  os << "n=" << count() << ", mean=" << mean() << ", p50=" << percentile(0.5)
+     << ", p95=" << percentile(0.95) << ", max=" << max();
+  return os.str();
+}
+
+}  // namespace blockdag

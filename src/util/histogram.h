@@ -1,0 +1,43 @@
+// Streaming histogram for latency/size distributions in benches and the
+// runtime metrics (mean, percentiles over recorded samples).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blockdag {
+
+class Histogram {
+ public:
+  void record(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  // q ∈ [0, 1]; nearest-rank percentile.
+  double percentile(double q) const;
+
+  // "n=…, mean=…, p50=…, p95=…, max=…" one-liner.
+  std::string summary(int precision = 2) const;
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace blockdag

@@ -1,0 +1,71 @@
+// Canonical, deterministic binary serialization.
+//
+// Everything that is hashed, signed, or ordered by the total message order
+// <M (Section 2: "an arbitrary, but fixed, total order on messages") must
+// have a single canonical byte representation. We use little-endian
+// fixed-width integers and length-prefixed byte strings. There is exactly
+// one encoding per value, so lexicographic comparison of encodings is a
+// valid total order and hashing encodings is collision-equivalent to
+// hashing values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+// Appends values to a growing byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Bytes initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> v);
+  // Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view v);
+  // Raw bytes without a length prefix (caller guarantees framing).
+  void raw(std::span<const std::uint8_t> v);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reads values back; all accessors return std::nullopt on truncation rather
+// than throwing, so malformed wire input (e.g. from a byzantine server) is
+// an ordinary error path.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<Bytes> bytes();
+  std::optional<std::string> str();
+  // Raw read of exactly n bytes.
+  std::optional<Bytes> raw(std::size_t n);
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace blockdag

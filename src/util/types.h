@@ -1,0 +1,49 @@
+// Core identifier types shared across the block DAG framework.
+//
+// The paper (Section 2) assumes a fixed, known set of servers `Srvrs` with
+// 3f+1 servers tolerating f byzantine ones, and a set of labels `L` used to
+// distinguish parallel protocol instances (Section 1, Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace blockdag {
+
+// Dense index of a server in the fixed set Srvrs. The set is fixed and known
+// to every server (Section 2, System Model), so a small integer id suffices.
+using ServerId = std::uint32_t;
+
+inline constexpr ServerId kInvalidServer = std::numeric_limits<ServerId>::max();
+
+// Label of a protocol instance (the `ℓ ∈ L` of Figure 1). Labels are opaque
+// to the framework; users allocate them however they like.
+using Label = std::uint64_t;
+
+// Block sequence number `k ∈ N0` (Definition 3.1).
+using SeqNo = std::uint64_t;
+
+// Simulated time in nanoseconds (discrete-event simulation substrate).
+using SimTime = std::uint64_t;
+
+// Raw bytes: requests, indications and protocol message payloads are
+// protocol-defined opaque byte strings to the framework (black-box P).
+using Bytes = std::vector<std::uint8_t>;
+
+// Number of tolerated byzantine servers for a cluster of n = 3f+1.
+constexpr std::uint32_t max_faulty(std::uint32_t n_servers) {
+  return n_servers == 0 ? 0 : (n_servers - 1) / 3;
+}
+
+// Quorum sizes used by the embedded BFT protocols (Algorithm 4 uses
+// 2f+1 for echo/ready quorums and f+1 for ready amplification).
+constexpr std::uint32_t byzantine_quorum(std::uint32_t n_servers) {
+  return 2 * max_faulty(n_servers) + 1;
+}
+
+constexpr std::uint32_t plausibility_quorum(std::uint32_t n_servers) {
+  return max_faulty(n_servers) + 1;
+}
+
+}  // namespace blockdag

@@ -1,0 +1,105 @@
+#include "baseline/direct_node.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/brb.h"
+#include "protocols/pbft_lite.h"
+
+namespace blockdag {
+namespace {
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+struct DirectRig {
+  Scheduler sched;
+  IdealSignatureProvider sigs;
+  SimNetwork net;
+  std::vector<std::unique_ptr<DirectProtocolNode>> nodes;
+
+  DirectRig(const ProtocolFactory& factory, std::uint32_t n,
+            NetworkConfig net_cfg = {})
+      : sigs(n, 3), net(sched, n, net_cfg) {
+    for (ServerId s = 0; s < n; ++s) {
+      nodes.push_back(
+          std::make_unique<DirectProtocolNode>(s, sched, net, sigs, factory, n));
+    }
+  }
+};
+
+TEST(DirectBaseline, BrbDeliversEverywhere) {
+  brb::BrbFactory factory;
+  DirectRig rig(factory, 4);
+  rig.nodes[0]->request(1, brb::make_broadcast(val(42)));
+  rig.sched.run();
+  for (ServerId s = 0; s < 4; ++s) {
+    ASSERT_EQ(rig.nodes[s]->indications().size(), 1u);
+    EXPECT_EQ(brb::parse_deliver(rig.nodes[s]->indications()[0].indication), val(42));
+  }
+}
+
+TEST(DirectBaseline, EveryWireMessageIsSignedAndVerified) {
+  brb::BrbFactory factory;
+  DirectRig rig(factory, 4);
+  rig.sigs.counters().reset();
+  rig.nodes[0]->request(1, brb::make_broadcast(val(1)));
+  rig.sched.run();
+  // Per-message signing: one sign per remote message; one verify each.
+  const auto& wire = rig.net.metrics();
+  EXPECT_EQ(rig.sigs.counters().signs,
+            wire.messages[static_cast<int>(WireKind::kProtocol)]);
+  EXPECT_EQ(rig.sigs.counters().verifies,
+            wire.messages[static_cast<int>(WireKind::kProtocol)]);
+  EXPECT_GT(rig.sigs.counters().signs, 0u);
+}
+
+TEST(DirectBaseline, WireCostScalesQuadratically) {
+  // BRB over a direct network sends O(n²) messages per broadcast — the
+  // baseline the block DAG amortizes away.
+  const auto wire_messages = [](std::uint32_t n) {
+    brb::BrbFactory factory;
+    DirectRig rig(factory, n);
+    rig.nodes[0]->request(1, brb::make_broadcast(val(1)));
+    rig.sched.run();
+    return rig.net.metrics().total_messages();
+  };
+  const auto m4 = wire_messages(4);
+  const auto m8 = wire_messages(8);
+  EXPECT_GT(m8, 3 * m4);  // ≈ 4x for 2x servers
+}
+
+TEST(DirectBaseline, ForgedTrafficIgnored) {
+  brb::BrbFactory factory;
+  DirectRig rig(factory, 4);
+  // Deliver random bytes and a message with a broken signature.
+  rig.net.send(3, 0, WireKind::kProtocol, Bytes{1, 2, 3});
+  rig.sched.run();
+  EXPECT_TRUE(rig.nodes[0]->indications().empty());
+}
+
+TEST(DirectBaseline, PbftDecidesDirectly) {
+  pbft::PbftFactory factory;
+  DirectRig rig(factory, 4);
+  rig.nodes[0]->request(9, pbft::make_propose(val(5)));
+  rig.sched.run();
+  for (ServerId s = 0; s < 4; ++s) {
+    ASSERT_EQ(rig.nodes[s]->indications().size(), 1u);
+    EXPECT_EQ(pbft::parse_decide(rig.nodes[s]->indications()[0].indication), val(5));
+  }
+}
+
+TEST(DirectBaseline, SelfMessagesSkipTheWire) {
+  brb::BrbFactory factory;
+  DirectRig rig(factory, 4);
+  rig.nodes[0]->request(1, brb::make_broadcast(val(1)));
+  rig.sched.run();
+  // messages_sent counts protocol messages incl. self; wire counts exclude
+  // self-deliveries.
+  EXPECT_GT(rig.nodes[0]->messages_sent(),
+            0u);
+  EXPECT_LT(rig.net.metrics().total_messages(),
+            rig.nodes[0]->messages_sent() + rig.nodes[1]->messages_sent() +
+                rig.nodes[2]->messages_sent() + rig.nodes[3]->messages_sent());
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,49 @@
+#include "crypto/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace blockdag {
+namespace {
+
+TEST(Hash256, DefaultIsZero) {
+  Hash256 h;
+  EXPECT_TRUE(h.is_zero());
+}
+
+TEST(Hash256, OfBytesNotZero) {
+  EXPECT_FALSE(Hash256::of(Bytes{1, 2, 3}).is_zero());
+}
+
+TEST(Hash256, EqualityAndOrdering) {
+  const Hash256 a = Hash256::of(Bytes{1});
+  const Hash256 b = Hash256::of(Bytes{2});
+  const Hash256 a2 = Hash256::of(Bytes{1});
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);  // total order
+}
+
+TEST(Hash256, HexIs64Chars) {
+  const Hash256 h = Hash256::of(Bytes{42});
+  EXPECT_EQ(h.hex().size(), 64u);
+  EXPECT_EQ(h.short_hex(), h.hex().substr(0, 8));
+}
+
+TEST(Hash256, UsableInHashContainers) {
+  std::unordered_set<Hash256> set;
+  for (std::uint8_t i = 0; i < 100; ++i) set.insert(Hash256::of(Bytes{i}));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Hash256, Prefix64MatchesBytes) {
+  const Hash256 h = Hash256::of(Bytes{1, 2, 3});
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(h.bytes()[i]) << (8 * i);
+  EXPECT_EQ(h.prefix64(), v);
+}
+
+}  // namespace
+}  // namespace blockdag

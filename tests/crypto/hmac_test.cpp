@@ -1,0 +1,50 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace blockdag {
+namespace {
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(ascii("Jefe"), ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// Keys longer than the block size are hashed first (RFC 4231 case 6).
+TEST(Hmac, LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, ascii("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  const Bytes msg = ascii("message");
+  EXPECT_NE(hmac_sha256(ascii("key1"), msg), hmac_sha256(ascii("key2"), msg));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const Bytes key = ascii("key");
+  EXPECT_NE(hmac_sha256(key, ascii("a")), hmac_sha256(key, ascii("b")));
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,75 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace blockdag {
+namespace {
+
+std::string hex_digest(const Bytes& data) {
+  return to_hex(Sha256::digest(data));
+}
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(ascii("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_digest(ascii("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Padding boundary cases: lengths around the 55/56/64-byte edges.
+TEST(Sha256, PaddingBoundaries) {
+  // 55 bytes: padding fits in one block.
+  EXPECT_EQ(hex_digest(Bytes(55, 'x')),
+            hex_digest(Bytes(55, 'x')));
+  // 56 bytes: padding forces an extra block. Known answer for 56 zeros:
+  EXPECT_EQ(hex_digest(Bytes(56, 0)),
+            "d4817aa5497628e7c77e6b606107042bbba3130888c5f47a375e6179be789fbb");
+  // 64 bytes exactly one block of zeros:
+  EXPECT_EQ(hex_digest(Bytes(64, 0)),
+            "f5a5fd42d16a20302798ef6ed309979b43003d2320d9f0e8ea9831a92759fb4b");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+
+  for (const std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 300u}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, data.size() - off);
+      h.update(std::span(data.data() + off, len));
+    }
+    EXPECT_EQ(h.finalize(), Sha256::digest(data)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, SmallChangeChangesDigest) {
+  Bytes a = ascii("the quick brown fox");
+  Bytes b = a;
+  b.back() ^= 1;
+  EXPECT_NE(Sha256::digest(a), Sha256::digest(b));
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,95 @@
+#include "crypto/wots.h"
+
+#include <gtest/gtest.h>
+
+namespace blockdag {
+namespace {
+
+Bytes msg(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+Bytes seed(std::uint8_t fill) { return Bytes(32, fill); }
+
+TEST(Wots, SignVerifyRoundTrip) {
+  WotsKeychain chain(seed(7));
+  const WotsPublicKey pk = chain.public_key(0);
+  const Bytes m = msg("one-time message");
+  const Bytes sig = chain.sign(0, m);
+  EXPECT_TRUE(wots_verify(pk, m, sig));
+}
+
+TEST(Wots, WrongMessageRejected) {
+  WotsKeychain chain(seed(7));
+  const WotsPublicKey pk = chain.public_key(0);
+  const Bytes sig = chain.sign(0, msg("a"));
+  EXPECT_FALSE(wots_verify(pk, msg("b"), sig));
+}
+
+TEST(Wots, WrongIndexRejected) {
+  WotsKeychain chain(seed(7));
+  const Bytes m = msg("m");
+  // Signature under key 0 does not verify under key 1's public key.
+  EXPECT_FALSE(wots_verify(chain.public_key(1), m, chain.sign(0, m)));
+}
+
+TEST(Wots, TamperedSignatureRejected) {
+  WotsKeychain chain(seed(9));
+  const WotsPublicKey pk = chain.public_key(3);
+  const Bytes m = msg("m");
+  Bytes sig = chain.sign(3, m);
+  sig[100] ^= 0xff;
+  EXPECT_FALSE(wots_verify(pk, m, sig));
+  sig[100] ^= 0xff;
+  sig.resize(sig.size() - 1);
+  EXPECT_FALSE(wots_verify(pk, m, sig));  // wrong length
+}
+
+TEST(Wots, DifferentSeedsDisjoint) {
+  WotsKeychain a(seed(1)), b(seed(2));
+  const Bytes m = msg("m");
+  EXPECT_FALSE(wots_verify(b.public_key(0), m, a.sign(0, m)));
+}
+
+TEST(Wots, SignatureSizeIsLenTimesN) {
+  WotsKeychain chain(seed(1));
+  EXPECT_EQ(chain.sign(0, msg("m")).size(), WotsParams::kLen * WotsParams::kN);
+}
+
+TEST(WotsProvider, ProviderRoundTrip) {
+  WotsSignatureProvider sigs(4, 5);
+  const Bytes m = msg("block ref");
+  const Bytes sig = sigs.sign(1, m);
+  EXPECT_TRUE(sigs.verify(1, m, sig));
+  EXPECT_FALSE(sigs.verify(2, m, sig));
+}
+
+TEST(WotsProvider, IndicesAdvancePerSigner) {
+  WotsSignatureProvider sigs(2, 5);
+  const Bytes m1 = msg("m1");
+  const Bytes m2 = msg("m2");
+  const Bytes s1 = sigs.sign(0, m1);
+  const Bytes s2 = sigs.sign(0, m2);
+  // Both verify: each under its own one-time key.
+  EXPECT_TRUE(sigs.verify(0, m1, s1));
+  EXPECT_TRUE(sigs.verify(0, m2, s2));
+  // Cross-verification fails.
+  EXPECT_FALSE(sigs.verify(0, m2, s1));
+  EXPECT_FALSE(sigs.verify(0, m1, s2));
+}
+
+TEST(WotsProvider, MalformedSignatureRejected) {
+  WotsSignatureProvider sigs(2, 5);
+  EXPECT_FALSE(sigs.verify(0, msg("m"), Bytes{1, 2, 3}));
+  EXPECT_FALSE(sigs.verify(0, msg("m"), Bytes{}));
+}
+
+TEST(WotsProvider, CountsOps) {
+  WotsSignatureProvider sigs(2, 5);
+  const Bytes m = msg("m");
+  const Bytes s = sigs.sign(0, m);
+  (void)sigs.verify(0, m, s);
+  EXPECT_EQ(sigs.counters().signs, 1u);
+  EXPECT_EQ(sigs.counters().verifies, 1u);
+}
+
+}  // namespace
+}  // namespace blockdag

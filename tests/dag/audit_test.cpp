@@ -1,0 +1,106 @@
+#include "dag/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+
+TEST(Audit, CleanDagHasNoSuspects) {
+  BlockForge forge(4);
+  BlockDag dag;
+  std::vector<Hash256> genesis;
+  for (ServerId s = 0; s < 4; ++s) {
+    const BlockPtr b = forge.block(s, 0, {});
+    dag.insert(b);
+    genesis.push_back(b->ref());
+  }
+  for (ServerId s = 0; s < 4; ++s) {
+    std::vector<Hash256> preds{genesis[s]};
+    for (ServerId o = 0; o < 4; ++o)
+      if (o != s) preds.push_back(genesis[o]);
+    dag.insert(forge.block(s, 1, preds));
+  }
+
+  const AuditReport report = audit(dag);
+  EXPECT_TRUE(report.suspects().empty());
+  EXPECT_TRUE(report.dangling_refs.empty());
+  EXPECT_TRUE(report.equivocations.empty());
+  EXPECT_EQ(report.builders.size(), 4u);
+  for (const auto& [builder, br] : report.builders) {
+    (void)builder;
+    EXPECT_EQ(br.blocks, 2u);
+    EXPECT_EQ(br.max_seqno, 1u);
+    EXPECT_EQ(br.seqno_gaps, 0u);
+  }
+}
+
+TEST(Audit, DetectsEquivocation) {
+  BlockForge forge(4);
+  BlockDag dag;
+  dag.insert(forge.block(0, 0, {}));
+  dag.insert(forge.block(0, 0, {}, {{1, {1}}}));  // sibling at k=0
+  const AuditReport report = audit(dag);
+  EXPECT_EQ(report.suspects(), std::vector<ServerId>{0});
+  EXPECT_EQ(report.builders.at(0).equivocation_slots, 1u);
+  ASSERT_EQ(report.equivocations.size(), 1u);
+  EXPECT_EQ(report.equivocations[0].offender, 0u);
+}
+
+TEST(Audit, DetectsDuplicateReferences) {
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  dag.insert(forge.block(1, 0, {b0->ref(), b0->ref()}));
+  const AuditReport report = audit(dag);
+  EXPECT_TRUE(report.builders.at(1).duplicate_references);
+  EXPECT_EQ(report.suspects(), std::vector<ServerId>{1});
+}
+
+TEST(Audit, DetectsDoubleCountedReference) {
+  // Server 1 references b0 from two different own blocks — violating the
+  // reference-once discipline (Lemma A.6).
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  const BlockPtr b1 = forge.block(1, 0, {b0->ref()});
+  dag.insert(b1);
+  dag.insert(forge.block(1, 1, {b1->ref(), b0->ref()}));
+  const AuditReport report = audit(dag);
+  EXPECT_TRUE(report.builders.at(1).double_counted_reference);
+  EXPECT_FALSE(report.builders.at(0).double_counted_reference);
+}
+
+TEST(Audit, DetectsSeqNoGaps) {
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  dag.insert(forge.block(0, 5, {b0->ref()}));  // gap: 1..4 missing
+  const AuditReport report = audit(dag);
+  EXPECT_EQ(report.builders.at(0).seqno_gaps, 4u);
+}
+
+TEST(Audit, SummaryMentionsOffenders) {
+  BlockForge forge(4);
+  BlockDag dag;
+  dag.insert(forge.block(2, 0, {}));
+  dag.insert(forge.block(2, 0, {}, {{9, {9}}}));
+  const std::string s = audit(dag).summary();
+  EXPECT_NE(s.find("EQUIVOCATED"), std::string::npos);
+  EXPECT_NE(s.find("s2"), std::string::npos);
+}
+
+TEST(Audit, EmptyDag) {
+  const AuditReport report = audit(BlockDag{});
+  EXPECT_TRUE(report.builders.empty());
+  EXPECT_TRUE(report.suspects().empty());
+}
+
+}  // namespace
+}  // namespace blockdag

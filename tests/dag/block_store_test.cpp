@@ -1,0 +1,70 @@
+#include "dag/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+
+TEST(BlockStore, PutGetRoundTrip) {
+  BlockForge forge(4);
+  BlockStore store;
+  const BlockPtr b = forge.block(0, 0, {});
+  store.put(b);
+  EXPECT_EQ(store.get(b->ref()), b);
+  EXPECT_TRUE(store.contains(b->ref()));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(BlockStore, PutIsIdempotentByContentAddress) {
+  BlockForge forge(4);
+  BlockStore store;
+  const BlockPtr b = forge.block(0, 0, {});
+  const BlockPtr same = std::make_shared<const Block>(*b);
+  EXPECT_EQ(store.put(b), b);
+  EXPECT_EQ(store.put(same), b);  // returns the first stored pointer
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(BlockStore, MissingReturnsNull) {
+  BlockStore store;
+  EXPECT_EQ(store.get(Hash256::of(Bytes{1})), nullptr);
+  EXPECT_FALSE(store.contains(Hash256::of(Bytes{1})));
+}
+
+TEST(BlockStore, StoredBytesTracksFootprint) {
+  BlockForge forge(4);
+  BlockStore store;
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  const BlockPtr b = forge.block(0, 0, {}, {{1, Bytes(100)}});
+  store.put(b);
+  const auto after_put = store.stored_bytes();
+  EXPECT_GE(after_put, 100u);
+  store.erase(b->ref());
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(BlockStore, EraseMissingIsFalse) {
+  BlockStore store;
+  EXPECT_FALSE(store.erase(Hash256::of(Bytes{1})));
+}
+
+TEST(BlockStore, Iterable) {
+  BlockForge forge(4);
+  BlockStore store;
+  store.put(forge.block(0, 0, {}));
+  store.put(forge.block(1, 0, {}));
+  std::size_t n = 0;
+  for (const auto& [ref, block] : store) {
+    EXPECT_EQ(ref, block->ref());
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+}  // namespace
+}  // namespace blockdag

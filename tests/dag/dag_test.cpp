@@ -1,0 +1,178 @@
+#include "dag/dag.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+using testing::Figure2;
+
+TEST(BlockDag, InsertRequiresPreds) {
+  // Definition 3.4 precondition: all preds must already be present.
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b1 = forge.block(0, 0, {});
+  const BlockPtr b2 = forge.block(0, 1, {b1->ref()});
+  EXPECT_FALSE(dag.insert(b2));  // b1 missing
+  EXPECT_EQ(dag.size(), 0u);
+  EXPECT_TRUE(dag.insert(b1));
+  EXPECT_TRUE(dag.insert(b2));
+  EXPECT_EQ(dag.size(), 2u);
+  EXPECT_EQ(dag.edge_count(), 1u);
+}
+
+TEST(BlockDag, InsertIsIdempotent) {
+  // Lemma 2.2(1).
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b = forge.block(0, 0, {});
+  EXPECT_TRUE(dag.insert(b));
+  EXPECT_TRUE(dag.insert(b));
+  EXPECT_EQ(dag.size(), 1u);
+  EXPECT_EQ(dag.edge_count(), 0u);
+}
+
+TEST(BlockDag, DuplicatePredsCollapseToOneEdge) {
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b1 = forge.block(0, 0, {});
+  const BlockPtr b2 = forge.block(1, 0, {b1->ref(), b1->ref()});
+  dag.insert(b1);
+  dag.insert(b2);
+  EXPECT_EQ(dag.edge_count(), 1u);
+  EXPECT_EQ(dag.children(b1->ref()).size(), 1u);
+}
+
+TEST(BlockDag, Figure2Structure) {
+  BlockForge forge(4);
+  Figure2 fig(forge);
+  BlockDag dag = fig.dag();
+  EXPECT_EQ(dag.size(), 3u);
+  EXPECT_EQ(dag.edge_count(), 2u);
+  // parent(B3) = B1 (Example 3.5).
+  EXPECT_EQ(dag.parent_of(*fig.b3), fig.b1);
+  EXPECT_EQ(dag.parent_of(*fig.b1), nullptr);  // genesis
+  // children of B1 and B2 are both {B3}.
+  EXPECT_EQ(dag.children(fig.b1->ref()), std::vector<Hash256>{fig.b3->ref()});
+  EXPECT_EQ(dag.children(fig.b2->ref()), std::vector<Hash256>{fig.b3->ref()});
+}
+
+TEST(BlockDag, ReachabilityIsStrictTransitive) {
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b1 = forge.block(0, 0, {});
+  const BlockPtr b2 = forge.block(0, 1, {b1->ref()});
+  const BlockPtr b3 = forge.block(0, 2, {b2->ref()});
+  dag.insert(b1);
+  dag.insert(b2);
+  dag.insert(b3);
+  EXPECT_TRUE(dag.reachable(b1->ref(), b2->ref()));
+  EXPECT_TRUE(dag.reachable(b1->ref(), b3->ref()));  // transitive
+  EXPECT_FALSE(dag.reachable(b3->ref(), b1->ref())); // no cycles
+  EXPECT_FALSE(dag.reachable(b1->ref(), b1->ref())); // strict (⇀+)
+}
+
+TEST(BlockDag, AncestorsIncludeSelf) {
+  BlockForge forge(4);
+  Figure2 fig(forge);
+  BlockDag dag = fig.dag();
+  const auto anc = dag.ancestors_of(fig.b3->ref());
+  EXPECT_EQ(anc.size(), 3u);
+  EXPECT_EQ(anc.front(), fig.b3);  // BFS starts at the block itself
+}
+
+TEST(BlockDag, TopologicalOrderRespectsEdges) {
+  BlockForge forge(4);
+  Figure2 fig(forge);
+  BlockDag dag = fig.dag();
+  const auto& order = dag.topological_order();
+  std::size_t i1 = 99, i3 = 99;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == fig.b1) i1 = i;
+    if (order[i] == fig.b3) i3 = i;
+  }
+  EXPECT_LT(i1, i3);
+}
+
+TEST(BlockDag, SubgraphRelation) {
+  // G ⩽ G' (Section 2): for insert-built DAGs this is vertex containment.
+  BlockForge forge(4);
+  Figure2 fig(forge);
+  BlockDag small;
+  small.insert(fig.b1);
+  BlockDag big = fig.dag();
+  EXPECT_TRUE(small.subgraph_of(big));
+  EXPECT_FALSE(big.subgraph_of(small));
+  EXPECT_TRUE(big.subgraph_of(big));
+  EXPECT_TRUE(small.subgraph_of(small));
+}
+
+TEST(BlockDag, AbsorbMergesJointDag) {
+  // Lemma A.7 flavour: the union of two correct servers' DAGs is a DAG.
+  BlockForge forge(4);
+  const BlockPtr a0 = forge.block(0, 0, {});
+  const BlockPtr b0 = forge.block(1, 0, {});
+  const BlockPtr a1 = forge.block(0, 1, {a0->ref(), b0->ref()});
+  const BlockPtr b1 = forge.block(1, 1, {b0->ref(), a0->ref()});
+
+  BlockDag g1;  // server 0's view
+  g1.insert(a0);
+  g1.insert(b0);
+  g1.insert(a1);
+  BlockDag g2;  // server 1's view
+  g2.insert(b0);
+  g2.insert(a0);
+  g2.insert(b1);
+
+  g1.absorb(g2);
+  EXPECT_EQ(g1.size(), 4u);
+  EXPECT_TRUE(g2.subgraph_of(g1));
+}
+
+TEST(BlockDag, GetUnknownReturnsNull) {
+  BlockDag dag;
+  EXPECT_EQ(dag.get(Hash256::of(Bytes{1})), nullptr);
+  EXPECT_TRUE(dag.children(Hash256::of(Bytes{1})).empty());
+}
+
+TEST(BlockDag, PruneBelowRemovesProperAncestors) {
+  BlockForge forge(4);
+  BlockDag dag;
+  std::vector<BlockPtr> chain;
+  chain.push_back(forge.block(0, 0, {}));
+  dag.insert(chain.back());
+  for (SeqNo k = 1; k < 10; ++k) {
+    chain.push_back(forge.block(0, k, {chain.back()->ref()}));
+    dag.insert(chain.back());
+  }
+  // Checkpoint at k=7: blocks 0..6 go, 7..9 stay.
+  const std::size_t removed = dag.prune_below({chain[7]->ref()});
+  EXPECT_EQ(removed, 7u);
+  EXPECT_EQ(dag.size(), 3u);
+  for (SeqNo k = 0; k < 7; ++k) EXPECT_FALSE(dag.contains(chain[k]->ref()));
+  for (SeqNo k = 7; k < 10; ++k) EXPECT_TRUE(dag.contains(chain[k]->ref()));
+  EXPECT_EQ(dag.edge_count(), 2u);
+  // Pruning is idempotent.
+  EXPECT_EQ(dag.prune_below({chain[7]->ref()}), 0u);
+}
+
+TEST(BlockDag, PruneKeepsUnrelatedBranches) {
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr a0 = forge.block(0, 0, {});
+  const BlockPtr a1 = forge.block(0, 1, {a0->ref()});
+  const BlockPtr b0 = forge.block(1, 0, {});  // unrelated genesis
+  dag.insert(a0);
+  dag.insert(a1);
+  dag.insert(b0);
+  EXPECT_EQ(dag.prune_below({a1->ref()}), 1u);
+  EXPECT_TRUE(dag.contains(b0->ref()));
+  EXPECT_TRUE(dag.contains(a1->ref()));
+  EXPECT_FALSE(dag.contains(a0->ref()));
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,61 @@
+#include "dag/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+using testing::Figure2;
+
+TEST(Dot, Figure2Renders) {
+  BlockForge forge(4);
+  Figure2 fig(forge);
+  const std::string dot = to_dot(fig.dag());
+  EXPECT_NE(dot.find("digraph blockdag"), std::string::npos);
+  // Three nodes, two edges.
+  EXPECT_NE(dot.find("b" + fig.b1->ref().short_hex()), std::string::npos);
+  EXPECT_NE(dot.find("b" + fig.b2->ref().short_hex()), std::string::npos);
+  EXPECT_NE(dot.find("b" + fig.b1->ref().short_hex() + " -> b" +
+                     fig.b3->ref().short_hex()),
+            std::string::npos);
+  // Parent edge B1 → B3 is emphasized.
+  EXPECT_NE(dot.find("[penwidth=2]"), std::string::npos);
+  // One cluster per builder.
+  EXPECT_NE(dot.find("cluster_s0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_s1"), std::string::npos);
+}
+
+TEST(Dot, EquivocationMarkedRed) {
+  BlockForge forge(4);
+  BlockDag dag;
+  dag.insert(forge.block(0, 0, {}));
+  dag.insert(forge.block(0, 0, {}, {{1, {1}}}));
+  const std::string dot = to_dot(dag);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+
+  DotOptions plain;
+  plain.mark_equivocations = false;
+  EXPECT_EQ(to_dot(dag, plain).find("color=red"), std::string::npos);
+}
+
+TEST(Dot, RequestCountsShown) {
+  BlockForge forge(4);
+  BlockDag dag;
+  dag.insert(forge.block(0, 0, {}, {{1, {1}}, {2, {2}}}));
+  EXPECT_NE(to_dot(dag).find("rs=2"), std::string::npos);
+  DotOptions no_rs;
+  no_rs.show_request_counts = false;
+  EXPECT_EQ(to_dot(dag, no_rs).find("rs=2"), std::string::npos);
+}
+
+TEST(Dot, EmptyDagStillValid) {
+  const std::string dot = to_dot(BlockDag{});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blockdag

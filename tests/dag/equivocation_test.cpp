@@ -1,0 +1,84 @@
+#include "dag/equivocation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+
+TEST(Equivocation, Figure3Detected) {
+  // Figure 3: ˇs1 equivocates on B3 and B4 — same (n, k), different blocks.
+  BlockForge forge(4);
+  const BlockPtr b1 = forge.block(0, 0, {});
+  const BlockPtr b2 = forge.block(1, 0, {});
+  const BlockPtr b3 = forge.block(0, 1, {b1->ref(), b2->ref()});
+  const BlockPtr b4 = forge.block(0, 1, {b1->ref(), b2->ref()}, {{1, {1}}});
+
+  EquivocationDetector detector;
+  EXPECT_FALSE(detector.observe(b1).has_value());
+  EXPECT_FALSE(detector.observe(b2).has_value());
+  EXPECT_FALSE(detector.observe(b3).has_value());
+  const auto proof = detector.observe(b4);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_EQ(proof->offender, 0u);
+  EXPECT_EQ(proof->k, 1u);
+  EXPECT_TRUE(EquivocationDetector::proof_is_valid(*proof));
+  EXPECT_TRUE(detector.is_offender(0));
+  EXPECT_FALSE(detector.is_offender(1));
+}
+
+TEST(Equivocation, SameBlockTwiceIsNotEquivocation) {
+  BlockForge forge(4);
+  const BlockPtr b = forge.block(0, 0, {});
+  EquivocationDetector detector;
+  EXPECT_FALSE(detector.observe(b).has_value());
+  EXPECT_FALSE(detector.observe(b).has_value());
+  EXPECT_TRUE(detector.proofs().empty());
+}
+
+TEST(Equivocation, DistinctSlotsNoConflict) {
+  BlockForge forge(4);
+  const BlockPtr b0 = forge.block(0, 0, {});
+  const BlockPtr b1 = forge.block(0, 1, {b0->ref()});
+  EquivocationDetector detector;
+  EXPECT_FALSE(detector.observe(b0).has_value());
+  EXPECT_FALSE(detector.observe(b1).has_value());
+}
+
+TEST(Equivocation, SameSlotDifferentServersNoConflict) {
+  BlockForge forge(4);
+  EquivocationDetector detector;
+  EXPECT_FALSE(detector.observe(forge.block(0, 0, {})).has_value());
+  EXPECT_FALSE(detector.observe(forge.block(1, 0, {})).has_value());
+}
+
+TEST(Equivocation, ProofValidationRejectsMismatch) {
+  BlockForge forge(4);
+  EquivocationProof bogus;
+  bogus.offender = 0;
+  bogus.k = 0;
+  bogus.first = forge.block(0, 0, {});
+  bogus.second = bogus.first;  // same block: not a proof
+  EXPECT_FALSE(EquivocationDetector::proof_is_valid(bogus));
+
+  bogus.second = forge.block(1, 0, {});  // different builder: not a proof
+  EXPECT_FALSE(EquivocationDetector::proof_is_valid(bogus));
+}
+
+TEST(Equivocation, MultipleOffendersTracked) {
+  BlockForge forge(4);
+  EquivocationDetector detector;
+  detector.observe(forge.block(0, 0, {}));
+  detector.observe(forge.block(0, 0, {}, {{1, {1}}}));
+  detector.observe(forge.block(2, 3, {}));
+  detector.observe(forge.block(2, 3, {}, {{1, {2}}}));
+  EXPECT_EQ(detector.proofs().size(), 2u);
+  EXPECT_TRUE(detector.is_offender(0));
+  EXPECT_TRUE(detector.is_offender(2));
+}
+
+}  // namespace
+}  // namespace blockdag

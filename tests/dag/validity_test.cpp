@@ -1,0 +1,123 @@
+#include "dag/validity.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+
+struct ValidityTest : ::testing::Test {
+  BlockForge forge{4};
+  BlockDag dag;
+  Validator validator{forge.sigs()};
+};
+
+TEST_F(ValidityTest, GenesisIsValid) {
+  EXPECT_EQ(validator.check(*forge.block(0, 0, {}), dag), ValidityError::kOk);
+}
+
+TEST_F(ValidityTest, BadSignatureRejected) {
+  EXPECT_EQ(validator.check(*forge.forged(0, 0, {}), dag),
+            ValidityError::kBadSignature);
+}
+
+TEST_F(ValidityTest, SignatureFromWrongServerRejected) {
+  // Block claims n=1 but is signed by 0's key.
+  const Hash256 ref = Block::compute_ref(1, 0, {}, {});
+  Block block(1, 0, {}, {}, forge.sigs().sign(0, ref.span()));
+  EXPECT_EQ(validator.check(block, dag), ValidityError::kBadSignature);
+}
+
+TEST_F(ValidityTest, MissingPredDetected) {
+  const BlockPtr ghost = forge.block(1, 0, {});
+  const BlockPtr b = forge.block(0, 0, {ghost->ref()});
+  EXPECT_EQ(validator.check(*b, dag), ValidityError::kMissingPred);
+}
+
+TEST_F(ValidityTest, ChainWithParentIsValid) {
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  const BlockPtr b1 = forge.block(0, 1, {b0->ref()});
+  EXPECT_EQ(validator.check(*b1, dag), ValidityError::kOk);
+}
+
+TEST_F(ValidityTest, NonGenesisWithoutParentRejected) {
+  // Definition 3.3(ii)(b): a non-genesis block needs exactly one parent.
+  const BlockPtr other = forge.block(1, 0, {});
+  dag.insert(other);
+  EXPECT_EQ(validator.check(*forge.block(0, 1, {other->ref()}), dag),
+            ValidityError::kNoParent);
+  EXPECT_EQ(validator.check(*forge.block(0, 1, {}), dag), ValidityError::kNoParent);
+}
+
+TEST_F(ValidityTest, GenesisWithOwnPredRejected) {
+  // A genesis block (k=0) cannot have a parent: 0 is minimal in N0. Any
+  // pred by the same builder disqualifies it.
+  const BlockPtr b0 = forge.block(0, 5, {});  // (invalid itself, but present)
+  dag.insert(b0);
+  EXPECT_EQ(validator.check(*forge.block(0, 0, {b0->ref()}), dag),
+            ValidityError::kGenesisWithParent);
+}
+
+TEST_F(ValidityTest, TwoParentsRejected) {
+  // A byzantine server builds two k=0 blocks and then tries to 'join' the
+  // split chains — Definition 3.3(ii) forbids exactly this (Section 3:
+  // "their successors will remain split").
+  const BlockPtr a = forge.block(0, 0, {});
+  const BlockPtr b = forge.block(0, 0, {}, {{1, {1}}});  // sibling, differs
+  dag.insert(a);
+  dag.insert(b);
+  EXPECT_EQ(validator.check(*forge.block(0, 1, {a->ref(), b->ref()}), dag),
+            ValidityError::kMultipleParents);
+}
+
+TEST_F(ValidityTest, ConsecutiveSeqNoEnforced) {
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  EXPECT_EQ(validator.check(*forge.block(0, 2, {b0->ref()}), dag),
+            ValidityError::kBadParentSeqNo);
+}
+
+TEST_F(ValidityTest, IncreasingModeAllowsGaps) {
+  // §7 extension: merely increasing sequence numbers ease crash recovery.
+  Validator increasing(forge.sigs(), SeqNoMode::kIncreasing);
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  EXPECT_EQ(increasing.check(*forge.block(0, 7, {b0->ref()}), dag),
+            ValidityError::kOk);
+  // But still strictly increasing: same k is not a valid parent link.
+  const BlockPtr b7 = forge.block(0, 7, {b0->ref()});
+  dag.insert(b7);
+  EXPECT_EQ(increasing.check(*forge.block(0, 7, {b7->ref()}), dag),
+            ValidityError::kBadParentSeqNo);
+}
+
+TEST_F(ValidityTest, DuplicatePredsCountOnce) {
+  // §4: byzantine servers may reference a block multiple times; the
+  // duplicate collapses rather than invalidating the block.
+  const BlockPtr b0 = forge.block(0, 0, {});
+  dag.insert(b0);
+  EXPECT_EQ(validator.check(*forge.block(0, 1, {b0->ref(), b0->ref()}), dag),
+            ValidityError::kOk);
+}
+
+TEST_F(ValidityTest, CrossServerPredsAreFine) {
+  const BlockPtr mine = forge.block(0, 0, {});
+  const BlockPtr theirs = forge.block(1, 0, {});
+  dag.insert(mine);
+  dag.insert(theirs);
+  EXPECT_EQ(validator.check(*forge.block(0, 1, {mine->ref(), theirs->ref()}), dag),
+            ValidityError::kOk);
+}
+
+TEST_F(ValidityTest, ErrorNamesAreStable) {
+  EXPECT_STREQ(validity_error_name(ValidityError::kOk), "ok");
+  EXPECT_STREQ(validity_error_name(ValidityError::kBadSignature), "bad_signature");
+  EXPECT_STREQ(validity_error_name(ValidityError::kMissingPred), "missing_pred");
+}
+
+}  // namespace
+}  // namespace blockdag

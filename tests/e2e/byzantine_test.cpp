@@ -1,0 +1,177 @@
+// Byzantine end-to-end tests: the §4 adversary behaviours against shim(BRB),
+// plus equivocation accountability (Figure 3 at system scale).
+#include <gtest/gtest.h>
+
+#include "dag/equivocation.h"
+#include "protocols/brb.h"
+#include "runtime/checkers.h"
+#include "runtime/cluster.h"
+
+namespace blockdag {
+namespace {
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+ClusterConfig byz_config(std::uint32_t n, ByzantineKind kind, ServerId who,
+                         std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_servers = n;
+  cfg.seed = seed;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.net.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(8)};
+  cfg.byzantine[who] = kind;
+  return cfg;
+}
+
+struct ByzParam {
+  ByzantineKind kind;
+  std::uint64_t seed;
+};
+
+std::string byz_name(const ::testing::TestParamInfo<ByzParam>& info) {
+  return std::string(byzantine_kind_name(info.param.kind)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class ByzantineSweep : public ::testing::TestWithParam<ByzParam> {};
+
+TEST_P(ByzantineSweep, BrbPropertiesSurviveOneByzantineServer) {
+  const auto p = GetParam();
+  // n = 4, f = 1: server 3 is byzantine.
+  auto cfg = byz_config(4, p.kind, 3, p.seed);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  BrbChecker checker;
+  cluster.start();
+
+  for (ServerId s = 0; s < 3; ++s) {
+    const Label label = 50 + s;
+    checker.expect_broadcast(label, s, brb::make_broadcast(val(s + 1)), true);
+    cluster.request(s, label, brb::make_broadcast(val(s + 1)));
+  }
+  cluster.run_for(sim_sec(2));
+
+  for (ServerId s = 0; s < 3; ++s) {
+    for (const UserIndication& ind : cluster.shim(s).indications()) {
+      const auto v = brb::parse_deliver(ind.indication);
+      ASSERT_TRUE(v.has_value());
+      checker.record_delivery(s, ind.label, brb::make_broadcast(*v));
+    }
+  }
+  const auto violations =
+      checker.violations(cluster.correct_servers(), /*run_completed=*/true);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ByzantineSweep,
+    ::testing::Values(ByzParam{ByzantineKind::kSilent, 1},
+                      ByzParam{ByzantineKind::kSilent, 2},
+                      ByzParam{ByzantineKind::kEquivocator, 1},
+                      ByzParam{ByzantineKind::kEquivocator, 2},
+                      ByzParam{ByzantineKind::kDuplicateReferencer, 1},
+                      ByzParam{ByzantineKind::kFlooder, 1},
+                      ByzParam{ByzantineKind::kBadSigner, 1},
+                      ByzParam{ByzantineKind::kGarbageSpammer, 1}),
+    byz_name);
+
+TEST(Byzantine, EquivocatorSplitsStateButCorrectServersAgree) {
+  auto cfg = byz_config(4, ByzantineKind::kEquivocator, 3, 9);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(0, 1, brb::make_broadcast(val(42)));
+  cluster.run_for(sim_sec(2));
+
+  // All correct servers delivered.
+  EXPECT_EQ(cluster.indicated_count(1), 3u);
+
+  // Scan server 0's DAG for equivocation proofs: the equivocator's two
+  // chains must be visible (both halves' blocks mingle via references).
+  EquivocationDetector detector;
+  std::optional<EquivocationProof> proof;
+  for (const BlockPtr& b : cluster.shim(0).dag().topological_order()) {
+    if (auto p = detector.observe(b)) proof = p;
+  }
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_EQ(proof->offender, 3u);
+  EXPECT_TRUE(EquivocationDetector::proof_is_valid(*proof));
+  EXPECT_TRUE(detector.is_offender(3));
+  for (ServerId s = 0; s < 3; ++s) EXPECT_FALSE(detector.is_offender(s));
+}
+
+TEST(Byzantine, BadSignerBlocksNeverEnterTheDag) {
+  auto cfg = byz_config(4, ByzantineKind::kBadSigner, 2, 3);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.run_for(sim_sec(1));
+
+  for (ServerId s : cluster.correct_servers()) {
+    for (const BlockPtr& b : cluster.shim(s).dag().topological_order()) {
+      EXPECT_NE(b->n(), 2u);  // no block by the bad signer was accepted
+    }
+    EXPECT_GT(cluster.shim(s).gossip().stats().blocks_rejected, 0u);
+  }
+}
+
+TEST(Byzantine, FlooderCannotDuplicateDeliveries) {
+  auto cfg = byz_config(4, ByzantineKind::kFlooder, 1, 4);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(0, 7, brb::make_broadcast(val(7)));
+  cluster.run_for(sim_sec(1));
+
+  for (ServerId s : cluster.correct_servers()) {
+    std::size_t for_label = 0;
+    for (const UserIndication& ind : cluster.shim(s).indications()) {
+      if (ind.label == 7) ++for_label;
+    }
+    EXPECT_EQ(for_label, 1u) << "server " << s;
+  }
+}
+
+TEST(Byzantine, TwoByzantineOfSevenTolerated) {
+  // n = 7 tolerates f = 2.
+  ClusterConfig cfg;
+  cfg.n_servers = 7;
+  cfg.seed = 21;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.byzantine[5] = ByzantineKind::kEquivocator;
+  cfg.byzantine[6] = ByzantineKind::kSilent;
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  BrbChecker checker;
+  cluster.start();
+  checker.expect_broadcast(1, 0, brb::make_broadcast(val(99)), true);
+  cluster.request(0, 1, brb::make_broadcast(val(99)));
+  cluster.run_for(sim_sec(2));
+
+  for (ServerId s : cluster.correct_servers()) {
+    for (const UserIndication& ind : cluster.shim(s).indications()) {
+      const auto v = brb::parse_deliver(ind.indication);
+      checker.record_delivery(s, ind.label, brb::make_broadcast(*v));
+    }
+  }
+  const auto violations = checker.violations(cluster.correct_servers(), true);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_EQ(cluster.indicated_count(1), 5u);
+}
+
+TEST(Byzantine, GarbageSpammerWastesNobody) {
+  auto cfg = byz_config(4, ByzantineKind::kGarbageSpammer, 0, 5);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(1, 2, brb::make_broadcast(val(1)));
+  cluster.run_for(sim_sec(1));
+  EXPECT_EQ(cluster.indicated_count(2), 3u);
+  // Garbage never became a pending block (it does not even decode).
+  for (ServerId s : cluster.correct_servers()) {
+    EXPECT_EQ(cluster.shim(s).gossip().pending_blocks(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace blockdag

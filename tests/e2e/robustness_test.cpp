@@ -1,0 +1,173 @@
+// Robustness and extension features end-to-end: partitions, heavy loss,
+// WOTS signatures, non-consecutive sequence numbers, checkpoint pruning.
+#include <gtest/gtest.h>
+
+#include "protocols/brb.h"
+#include "runtime/cluster.h"
+
+namespace blockdag {
+namespace {
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+TEST(Robustness, PartitionHealsAndTotalityHolds) {
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 41;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.net.latency = {LatencyModel::Kind::kFixed, sim_ms(2), 0};
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+
+  // Split {0,1} from {2,3} for half a second.
+  cluster.network().partition({0, 1}, {2, 3}, sim_ms(500));
+  cluster.request(0, 1, brb::make_broadcast(val(8)));
+  cluster.run_for(sim_ms(400));
+  // 2f+1 = 3 quorums cannot form across the cut: {0,1} alone can't deliver.
+  EXPECT_EQ(cluster.indicated_count(1), 0u);
+
+  cluster.run_for(sim_sec(2));
+  cluster.quiesce();
+  EXPECT_EQ(cluster.indicated_count(1), 4u);
+  EXPECT_TRUE(cluster.dags_converged());
+}
+
+TEST(Robustness, SurvivesHeavyTransientLoss) {
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 43;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.net.drop_probability = 0.5;
+  cfg.net.max_drops_per_pair = 40;
+  cfg.gossip.fwd_retry_delay = sim_ms(15);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(3, 2, brb::make_broadcast(val(5)));
+  cluster.run_for(sim_sec(5));
+  EXPECT_EQ(cluster.indicated_count(2), 4u);
+  EXPECT_GT(cluster.network().metrics().dropped, 0u);
+}
+
+TEST(Robustness, WotsSignaturesEndToEnd) {
+  // The real hash-based signature scheme drops in for the ideal one.
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 47;
+  cfg.use_wots = true;
+  cfg.pacing.interval = sim_ms(20);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(0, 1, brb::make_broadcast(val(3)));
+  cluster.run_for(sim_ms(400));
+  EXPECT_EQ(cluster.indicated_count(1), 4u);
+  EXPECT_GT(cluster.signatures().counters().signs, 0u);
+}
+
+TEST(Robustness, IncreasingSeqNoModeWorks) {
+  // §7 extension: merely increasing sequence numbers. Honest servers still
+  // use consecutive ones, so everything interoperates; the validator just
+  // accepts more.
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 53;
+  cfg.seq_mode = SeqNoMode::kIncreasing;
+  cfg.pacing.interval = sim_ms(10);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(1, 4, brb::make_broadcast(val(6)));
+  cluster.run_for(sim_ms(400));
+  EXPECT_EQ(cluster.indicated_count(4), 4u);
+}
+
+TEST(Robustness, PruningKeepsInterpretingNewBlocks) {
+  // §7 bounded-memory extension: after delivery, prune everything below
+  // each server's latest block; gossip + interpretation continue on top.
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 59;
+  cfg.pacing.interval = sim_ms(10);
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(0, 1, brb::make_broadcast(val(1)));
+  cluster.run_for(sim_sec(1));
+  ASSERT_EQ(cluster.indicated_count(1), 4u);
+
+  // NOTE: pruning is exercised on a *copy* of a server's DAG — the live
+  // gossip DAG is append-only by design (the paper's limitation §7 is that
+  // safe pruning needs a protocol-level "no longer needed" signal, which
+  // BRB does not emit; the primitive itself is tested here and in
+  // dag_test.cpp).
+  BlockDag copy;
+  copy.absorb(cluster.shim(0).dag());
+  const std::size_t before = copy.size();
+  // Checkpoints: each server's highest block.
+  std::map<ServerId, BlockPtr> tips;
+  for (const BlockPtr& b : copy.topological_order()) {
+    auto& tip = tips[b->n()];
+    if (!tip || b->k() > tip->k()) tip = b;
+  }
+  std::vector<Hash256> checkpoints;
+  for (const auto& [n, b] : tips) {
+    (void)n;
+    checkpoints.push_back(b->ref());
+  }
+  const std::size_t removed = copy.prune_below(checkpoints);
+  EXPECT_GT(removed, before / 2);
+  EXPECT_EQ(copy.size(), before - removed);
+}
+
+TEST(Robustness, LongRunManyInstancesStaysConsistent) {
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 61;
+  cfg.pacing.interval = sim_ms(5);
+  cfg.net.latency = {LatencyModel::Kind::kHeavyTail, sim_ms(1), sim_ms(4)};
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  for (Label l = 1; l <= 64; ++l) {
+    cluster.request(l % 4, l, brb::make_broadcast(val(static_cast<std::uint8_t>(l))));
+  }
+  cluster.run_for(sim_sec(4));
+  cluster.quiesce();
+  for (Label l = 1; l <= 64; ++l) {
+    EXPECT_EQ(cluster.indicated_count(l), 4u) << "label " << l;
+  }
+  EXPECT_TRUE(cluster.dags_converged());
+}
+
+TEST(Robustness, DeterministicReplayOfWholeCluster) {
+  // Two identically-seeded clusters produce byte-identical DAGs and
+  // indication logs — the simulation substrate is fully deterministic.
+  const auto run = [] {
+    ClusterConfig cfg;
+    cfg.n_servers = 4;
+    cfg.seed = 67;
+    cfg.pacing.interval = sim_ms(10);
+    cfg.net.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(9)};
+    brb::BrbFactory factory;
+    Cluster cluster(factory, cfg);
+    cluster.start();
+    cluster.request(0, 1, brb::make_broadcast(val(1)));
+    cluster.request(2, 2, brb::make_broadcast(val(2)));
+    cluster.run_for(sim_sec(1));
+    std::vector<Hash256> order;
+    for (const BlockPtr& b : cluster.shim(0).dag().topological_order()) {
+      order.push_back(b->ref());
+    }
+    std::vector<std::pair<Label, SimTime>> inds;
+    for (const auto& i : cluster.shim(3).indications()) {
+      inds.emplace_back(i.label, i.at);
+    }
+    return std::make_pair(order, inds);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace blockdag

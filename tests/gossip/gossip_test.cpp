@@ -1,0 +1,255 @@
+#include "gossip/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/signature.h"
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+// A rig of n honest gossip servers over one simulated network.
+struct GossipRig {
+  Scheduler sched;
+  IdealSignatureProvider sigs;
+  SimNetwork net;
+  std::vector<std::unique_ptr<RequestBuffer>> rqsts;
+  std::vector<std::unique_ptr<GossipServer>> servers;
+
+  explicit GossipRig(std::uint32_t n, NetworkConfig net_cfg = {},
+                     GossipConfig gossip_cfg = {})
+      : sigs(n, 1), net(sched, n, net_cfg) {
+    for (ServerId s = 0; s < n; ++s) {
+      rqsts.push_back(std::make_unique<RequestBuffer>());
+      servers.push_back(std::make_unique<GossipServer>(s, sched, net, sigs,
+                                                       *rqsts[s], gossip_cfg));
+      GossipServer* gs = servers.back().get();
+      net.attach(s, [gs](ServerId from, const Bytes& wire) {
+        gs->on_network(from, wire);
+      });
+    }
+  }
+
+  // Every server disseminates once, then the network quiesces.
+  void round() {
+    for (auto& s : servers) s->disseminate();
+    sched.run();
+  }
+
+  bool converged() const {
+    for (std::size_t i = 1; i < servers.size(); ++i) {
+      const BlockDag& a = servers[0]->dag();
+      const BlockDag& b = servers[i]->dag();
+      if (a.size() != b.size() || !a.subgraph_of(b)) return false;
+    }
+    return true;
+  }
+};
+
+TEST(Gossip, FirstDisseminationIsGenesis) {
+  GossipRig rig(4);
+  rig.servers[0]->disseminate();
+  EXPECT_EQ(rig.servers[0]->dag().size(), 1u);
+  const BlockPtr genesis = rig.servers[0]->dag().topological_order()[0];
+  EXPECT_TRUE(genesis->is_genesis());
+  EXPECT_EQ(genesis->n(), 0u);
+  EXPECT_TRUE(genesis->preds().empty());
+}
+
+TEST(Gossip, RequestsAreStampedIntoBlocks) {
+  GossipRig rig(4);
+  rig.rqsts[0]->put(7, Bytes{1, 2, 3});
+  rig.rqsts[0]->put(8, Bytes{4});
+  rig.servers[0]->disseminate();
+  const BlockPtr b = rig.servers[0]->dag().topological_order()[0];
+  ASSERT_EQ(b->rs().size(), 2u);
+  EXPECT_EQ(b->rs()[0].label, 7u);
+  EXPECT_EQ(b->rs()[0].request, (Bytes{1, 2, 3}));
+  EXPECT_EQ(b->rs()[1].label, 8u);
+  EXPECT_TRUE(rig.rqsts[0]->empty());  // get() consumed them
+}
+
+TEST(Gossip, BlocksReachEveryServer) {
+  GossipRig rig(4);
+  rig.round();
+  EXPECT_TRUE(rig.converged());
+  EXPECT_EQ(rig.servers[0]->dag().size(), 4u);  // one genesis per server
+}
+
+TEST(Gossip, ChainsLinkViaParents) {
+  GossipRig rig(4);
+  rig.round();
+  rig.round();
+  for (auto& s : rig.servers) {
+    EXPECT_EQ(s->dag().size(), 8u);
+    // Each server's second block has its first as parent.
+    std::map<ServerId, std::vector<BlockPtr>> by_builder;
+    for (const BlockPtr& b : s->dag().topological_order()) {
+      by_builder[b->n()].push_back(b);
+    }
+    for (auto& [builder, blocks] : by_builder) {
+      (void)builder;
+      ASSERT_EQ(blocks.size(), 2u);
+      const BlockPtr second = blocks[0]->k() == 1 ? blocks[0] : blocks[1];
+      EXPECT_EQ(s->dag().parent_of(*second),
+                blocks[0]->k() == 1 ? blocks[1] : blocks[0]);
+    }
+  }
+}
+
+TEST(Gossip, EveryValidBlockReferencedExactlyOnce) {
+  // Lemma A.6: a correct server inserts ref(B) at most once across all of
+  // its own blocks.
+  GossipRig rig(4);
+  for (int r = 0; r < 5; ++r) rig.round();
+
+  for (ServerId owner = 0; owner < 4; ++owner) {
+    std::map<Hash256, int> ref_count;
+    for (const BlockPtr& b : rig.servers[owner]->dag().topological_order()) {
+      if (b->n() != owner) continue;
+      for (const Hash256& p : b->preds()) ++ref_count[p];
+    }
+    for (const auto& [ref, count] : ref_count) {
+      (void)ref;
+      EXPECT_EQ(count, 1) << "server " << owner << " referenced a block twice";
+    }
+  }
+}
+
+TEST(Gossip, ConvergesUnderRandomLatency) {
+  // Lemma 3.7: correct servers eventually share a joint block DAG.
+  NetworkConfig net_cfg;
+  net_cfg.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(30)};
+  net_cfg.seed = 99;
+  GossipRig rig(7, net_cfg);
+  for (int r = 0; r < 10; ++r) rig.round();
+  EXPECT_TRUE(rig.converged());
+  EXPECT_EQ(rig.servers[0]->dag().size(), 70u);
+}
+
+TEST(Gossip, FwdRecoversDroppedBlocks) {
+  // Drops break direct dissemination; references in later blocks trigger
+  // FWD requests that fetch the missing predecessors (lines 10–13).
+  NetworkConfig net_cfg;
+  net_cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(1), 0};
+  net_cfg.drop_probability = 0.4;
+  net_cfg.max_drops_per_pair = 10;  // transient: Assumption 1 must hold
+  net_cfg.seed = 7;
+  GossipConfig gossip_cfg;
+  gossip_cfg.fwd_retry_delay = sim_ms(5);
+  GossipRig rig(4, net_cfg, gossip_cfg);
+  for (int r = 0; r < 8; ++r) {
+    for (auto& s : rig.servers) s->disseminate();
+    rig.sched.run_until(rig.sched.now() + sim_ms(200));
+  }
+  // A block dropped on its *last* dissemination is only recovered once
+  // someone references it — convergence (Lemma 3.7) is a property of
+  // continued gossip. Keep gossiping beats until the transient drop budget
+  // exhausts and references propagate.
+  for (int extra = 0; extra < 25 && !rig.converged(); ++extra) {
+    for (auto& s : rig.servers) s->disseminate();
+    rig.sched.run_until(rig.sched.now() + sim_ms(200));
+  }
+  rig.sched.run();
+  EXPECT_TRUE(rig.converged());
+  EXPECT_GE(rig.servers[0]->dag().size(), 32u);
+  // The recovery path was actually exercised.
+  std::uint64_t fwd = 0;
+  for (auto& s : rig.servers) fwd += s->stats().fwd_requests_sent;
+  EXPECT_GT(fwd, 0u);
+}
+
+TEST(Gossip, BadSignatureBlocksRejected) {
+  GossipRig rig(4);
+  testing::BlockForge forge(4, /*different seed=*/77);
+  const BlockPtr bogus = forge.block(1, 0, {});  // signed under alien keys
+  rig.servers[0]->on_network(1, encode_block_envelope(*bogus, WireTag::kBlock));
+  rig.sched.run();
+  EXPECT_EQ(rig.servers[0]->dag().size(), 0u);
+  EXPECT_EQ(rig.servers[0]->stats().blocks_rejected, 1u);
+}
+
+TEST(Gossip, MalformedWireIgnored) {
+  GossipRig rig(4);
+  rig.servers[0]->on_network(1, Bytes{0xde, 0xad});
+  rig.servers[0]->on_network(1, Bytes{});
+  rig.sched.run();
+  EXPECT_EQ(rig.servers[0]->dag().size(), 0u);
+  EXPECT_EQ(rig.servers[0]->stats().blocks_rejected, 0u);
+}
+
+TEST(Gossip, PendingBufferHoldsOrphansUntilParentsArrive) {
+  GossipRig rig(2);
+  // Server 1 builds two blocks locally; deliver only the second to 0.
+  rig.rqsts[1]->put(1, Bytes{1});
+  rig.servers[1]->disseminate();
+  rig.sched.run();  // both have block (1,0)
+  // Build (1,1) but intercept: craft it via another rig... simpler: let 1
+  // disseminate again but with the network dropping everything to 0 first.
+  const BlockPtr b0 = rig.servers[1]->dag().topological_order()[0];
+  testing::BlockForge same_keys(2, 1);  // same seed as rig → same keys
+  const BlockPtr b1 = same_keys.block(1, 1, {b0->ref()});
+  const BlockPtr b2 = same_keys.block(1, 2, {b1->ref()});
+  // Deliver the grandchild first: it must wait in the pending buffer.
+  rig.servers[0]->on_network(1, encode_block_envelope(*b2, WireTag::kBlock));
+  EXPECT_EQ(rig.servers[0]->pending_blocks(), 1u);
+  EXPECT_FALSE(rig.servers[0]->dag().contains(b2->ref()));
+  // Now the middle block arrives; both insert in order.
+  rig.servers[0]->on_network(1, encode_block_envelope(*b1, WireTag::kBlock));
+  EXPECT_EQ(rig.servers[0]->pending_blocks(), 0u);
+  EXPECT_TRUE(rig.servers[0]->dag().contains(b1->ref()));
+  EXPECT_TRUE(rig.servers[0]->dag().contains(b2->ref()));
+}
+
+TEST(Gossip, SkipEmptyDissemination) {
+  GossipRig rig(2);
+  rig.servers[0]->disseminate(/*even_if_empty=*/false);  // genesis: nothing
+  EXPECT_EQ(rig.servers[0]->dag().size(), 0u);
+  rig.rqsts[0]->put(1, Bytes{1});
+  rig.servers[0]->disseminate(/*even_if_empty=*/false);
+  EXPECT_EQ(rig.servers[0]->dag().size(), 1u);
+  // After the first block, an empty beat with no new refs is skipped...
+  rig.servers[0]->disseminate(/*even_if_empty=*/false);
+  EXPECT_EQ(rig.servers[0]->dag().size(), 1u);
+  // ...but new references make it worth speaking again.
+  rig.sched.run();  // deliver block to server 1 (not used further)
+  rig.rqsts[1]->put(2, Bytes{2});
+  rig.servers[1]->disseminate(false);
+  rig.sched.run();
+  rig.servers[0]->disseminate(false);
+  EXPECT_EQ(rig.servers[0]->dag().size(), 3u);
+}
+
+TEST(Gossip, StatsAreCoherent) {
+  GossipRig rig(3);
+  for (int r = 0; r < 3; ++r) rig.round();
+  for (auto& s : rig.servers) {
+    EXPECT_EQ(s->stats().blocks_built, 3u);
+    EXPECT_EQ(s->stats().blocks_inserted, 9u);
+    // Per round each server receives 3 block messages (one self-delivery,
+    // which short-circuits on the already-in-G check, plus 2 peers).
+    EXPECT_EQ(s->stats().blocks_received, 9u);
+  }
+}
+
+TEST(Gossip, JointDagAfterPartialExchange) {
+  // Lemma A.7 flavour at the gossip layer: servers that saw different
+  // subsets converge to the union after another round.
+  NetworkConfig net_cfg;
+  net_cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(1), 0};
+  GossipRig rig(4, net_cfg);
+  // Round where only half the servers speak.
+  rig.servers[0]->disseminate();
+  rig.servers[1]->disseminate();
+  rig.sched.run();
+  rig.servers[2]->disseminate();
+  rig.servers[3]->disseminate();
+  rig.sched.run();
+  EXPECT_TRUE(rig.converged());
+  EXPECT_EQ(rig.servers[0]->dag().size(), 4u);
+}
+
+}  // namespace
+}  // namespace blockdag

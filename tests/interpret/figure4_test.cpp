@@ -1,0 +1,164 @@
+// Exact reproduction of Figure 4: the message buffers for protocol
+// instance ℓ1 of a block DAG with (ℓ1, broadcast(42)) ∈ B1.rs.
+//
+// DAG shape (4 servers s0..s3, BRB = Algorithm 4, f = 1, quorum = 3):
+//
+//   level 0: B1 = (s0, k0, [],  rs = [(ℓ1, broadcast(42))])
+//   level 1: B2 = (s1, k0, [B1]), B3 = (s2, k0, [B1]), B4 = (s3, k0, [B1])
+//   level 2: B5 = (s0, k1, [B1,B2,B3,B4]),
+//            B6 = (s1, k1, [B2,B3,B4]),
+//            B7 = (s2, k1, [B3,B2,B4]),
+//            B8 = (s3, k1, [B4,B2,B3])
+//   level 3: B9 = (s0, k2, [B5,B6,B7,B8])
+//
+// Expected buffers, as in the figure:
+//   B1: in = ∅,                        out = ECHO 42 to {s0,s1,s2,s3}
+//   B2..B4: in = ECHO 42 from {s0},    out = ECHO 42 to {s0,s1,s2,s3}
+//   B6..B8: in = ECHO 42 from {s1,s2,s3}, out = READY 42 to {s0,...,s3}
+//   B5: in = ECHO 42 from all four,    out = READY 42 to {s0,...,s3}
+//   B9: in = READY 42 from all four → deliver(42) on behalf of s0.
+//
+// None of these ECHO/READY messages ever touches a wire.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interpret/interpreter.h"
+#include "protocols/brb.h"
+#include "testing/builders.h"
+
+namespace blockdag {
+namespace {
+
+using testing::BlockForge;
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+struct Figure4 : ::testing::Test {
+  BlockForge forge{4};
+  BlockDag dag;
+  brb::BrbFactory factory;
+  BlockPtr b1, b2, b3, b4, b5, b6, b7, b8, b9;
+
+  void SetUp() override {
+    b1 = forge.block(0, 0, {}, {{1, brb::make_broadcast(val(42))}});
+    b2 = forge.block(1, 0, {b1->ref()});
+    b3 = forge.block(2, 0, {b1->ref()});
+    b4 = forge.block(3, 0, {b1->ref()});
+    b5 = forge.block(0, 1, {b1->ref(), b2->ref(), b3->ref(), b4->ref()});
+    b6 = forge.block(1, 1, {b2->ref(), b3->ref(), b4->ref()});
+    b7 = forge.block(2, 1, {b3->ref(), b2->ref(), b4->ref()});
+    b8 = forge.block(3, 1, {b4->ref(), b2->ref(), b3->ref()});
+    b9 = forge.block(0, 2, {b5->ref(), b6->ref(), b7->ref(), b8->ref()});
+    for (const auto& b : {b1, b2, b3, b4, b5, b6, b7, b8, b9}) {
+      ASSERT_TRUE(dag.insert(b));
+    }
+  }
+
+  // Asserts out = `type` 42 to every server.
+  void expect_out_to_all(const BlockPtr& b, brb::MsgType type) {
+    const auto* st = interp_->state_of(b->ref());
+    ASSERT_NE(st, nullptr);
+    const auto& out = st->ms_out.at(1);
+    ASSERT_EQ(out.size(), 4u);
+    std::set<ServerId> receivers;
+    for (const Message& m : out) {
+      EXPECT_EQ(m.sender, b->n());
+      receivers.insert(m.receiver);
+      const auto parsed = brb::parse_message(m.payload);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->type, type);
+      EXPECT_EQ(parsed->value, val(42));
+    }
+    EXPECT_EQ(receivers, (std::set<ServerId>{0, 1, 2, 3}));
+  }
+
+  // Asserts in = `type` 42 from exactly `senders`.
+  void expect_in_from(const BlockPtr& b, brb::MsgType type,
+                      const std::set<ServerId>& senders) {
+    const auto* st = interp_->state_of(b->ref());
+    ASSERT_NE(st, nullptr);
+    const auto& in = st->ms_in.at(1);
+    std::set<ServerId> got;
+    for (const Message& m : in) {
+      EXPECT_EQ(m.receiver, b->n());
+      const auto parsed = brb::parse_message(m.payload);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->type, type);
+      got.insert(m.sender);
+    }
+    EXPECT_EQ(got, senders);
+  }
+
+  std::unique_ptr<Interpreter> interp_;
+};
+
+TEST_F(Figure4, BufferContentsMatchThePaper) {
+  interp_ = std::make_unique<Interpreter>(dag, factory, 4);
+  std::vector<std::pair<Label, ServerId>> delivered;
+  interp_->set_indication_handler(
+      [&](Label l, const Bytes& ind, ServerId on_behalf) {
+        EXPECT_EQ(brb::parse_deliver(ind), val(42));
+        delivered.emplace_back(l, on_behalf);
+      });
+  EXPECT_EQ(interp_->run(), 9u);
+
+  // B1: in = ∅, out = ECHO 42 to everyone.
+  EXPECT_TRUE(interp_->state_of(b1->ref())->ms_in.empty());
+  expect_out_to_all(b1, brb::MsgType::kEcho);
+
+  // B2, B3, B4: in = ECHO 42 from {s0}; out = ECHO 42 to everyone.
+  for (const auto& b : {b2, b3, b4}) {
+    expect_in_from(b, brb::MsgType::kEcho, {0});
+    expect_out_to_all(b, brb::MsgType::kEcho);
+  }
+
+  // B5 (s0's second block): echoes from all four → READY.
+  expect_in_from(b5, brb::MsgType::kEcho, {0, 1, 2, 3});
+  expect_out_to_all(b5, brb::MsgType::kReady);
+
+  // B6..B8: echoes from {s1, s2, s3} (own + two peers) → READY.
+  for (const auto& b : {b6, b7, b8}) {
+    expect_in_from(b, brb::MsgType::kEcho, {1, 2, 3});
+    expect_out_to_all(b, brb::MsgType::kReady);
+  }
+
+  // B9: READY 42 from all four → deliver(42) on behalf of s0.
+  expect_in_from(b9, brb::MsgType::kReady, {0, 1, 2, 3});
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], (std::pair<Label, ServerId>{1, 0}));
+}
+
+TEST_F(Figure4, SecondInterpreterAgreesBitForBit) {
+  // "Every server interpreting this block DAG can use interpret to replay
+  // ... and get the same picture."
+  interp_ = std::make_unique<Interpreter>(dag, factory, 4);
+  interp_->run();
+  Interpreter other(dag, factory, 4);
+  other.run();
+  for (const auto& b : {b1, b2, b3, b4, b5, b6, b7, b8, b9}) {
+    EXPECT_EQ(interp_->digest_of(b->ref()), other.digest_of(b->ref()));
+  }
+}
+
+TEST_F(Figure4, ParallelInstanceMaterializesInTheSameBlocks) {
+  // "B1.rs may hold more requests such as broadcast(21) for ℓ2, and all
+  // the messages of all these requests could be materialized in the same
+  // manner — without any messages, or even additional blocks, sent."
+  BlockDag dag2;
+  const BlockPtr c1 = forge.block(0, 0, {},
+                                  {{1, brb::make_broadcast(val(42))},
+                                   {2, brb::make_broadcast(val(21))}});
+  const BlockPtr c2 = forge.block(1, 0, {c1->ref()});
+  dag2.insert(c1);
+  dag2.insert(c2);
+  Interpreter interp(dag2, factory, 4);
+  interp.run();
+  const auto* st = interp.state_of(c2->ref());
+  ASSERT_EQ(st->ms_in.at(1).size(), 1u);
+  ASSERT_EQ(st->ms_in.at(2).size(), 1u);
+  EXPECT_EQ(brb::parse_message(st->ms_in.at(2)[0].payload)->value, val(21));
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,99 @@
+#include "protocol/message.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace blockdag {
+namespace {
+
+Message msg(ServerId s, ServerId r, Bytes payload) {
+  return Message{s, r, std::move(payload)};
+}
+
+TEST(MessageOrder, IsStrictAndTotal) {
+  const MessageOrder less;
+  const Message a = msg(0, 1, {1});
+  const Message b = msg(0, 1, {2});
+  EXPECT_TRUE(less(a, b) != less(b, a));  // antisymmetric for distinct
+  EXPECT_FALSE(less(a, a));               // irreflexive
+}
+
+TEST(MessageOrder, MatchesCanonicalEncodingOrder) {
+  // <M is defined as lexicographic order over canonical encodings; the
+  // field-wise comparator must agree.
+  Rng rng(7);
+  std::vector<Message> msgs;
+  for (int i = 0; i < 200; ++i) {
+    Bytes payload(rng.below(6));
+    for (auto& x : payload) x = static_cast<std::uint8_t>(rng.below(3));
+    msgs.push_back(msg(static_cast<ServerId>(rng.below(3)),
+                       static_cast<ServerId>(rng.below(3)), payload));
+  }
+  const MessageOrder less;
+  for (const auto& a : msgs) {
+    for (const auto& b : msgs) {
+      const Bytes ca = a.canonical();
+      const Bytes cb = b.canonical();
+      const bool canon_less =
+          std::lexicographical_compare(ca.begin(), ca.end(), cb.begin(), cb.end());
+      EXPECT_EQ(less(a, b), canon_less);
+    }
+  }
+}
+
+TEST(MessageOrder, CanonicalIsInjective) {
+  Rng rng(9);
+  std::set<Bytes> encodings;
+  std::set<std::tuple<ServerId, ServerId, Bytes>> values;
+  for (int i = 0; i < 500; ++i) {
+    Bytes payload(rng.below(8));
+    for (auto& x : payload) x = static_cast<std::uint8_t>(rng.below(4));
+    const Message m = msg(static_cast<ServerId>(rng.below(4)),
+                          static_cast<ServerId>(rng.below(4)), payload);
+    values.insert({m.sender, m.receiver, m.payload});
+    encodings.insert(m.canonical());
+  }
+  EXPECT_EQ(values.size(), encodings.size());
+}
+
+TEST(MessageOrder, SenderDominates) {
+  const MessageOrder less;
+  EXPECT_TRUE(less(msg(0, 9, Bytes(100, 0xff)), msg(1, 0, {})));
+}
+
+TEST(MessageOrder, TransitiveOnSample) {
+  Rng rng(11);
+  std::vector<Message> ms;
+  for (int i = 0; i < 30; ++i) {
+    Bytes p(rng.below(4));
+    for (auto& x : p) x = static_cast<std::uint8_t>(rng.below(4));
+    ms.push_back(msg(static_cast<ServerId>(rng.below(2)),
+                     static_cast<ServerId>(rng.below(2)), p));
+  }
+  const MessageOrder less;
+  for (const auto& a : ms)
+    for (const auto& b : ms)
+      for (const auto& c : ms)
+        if (less(a, b) && less(b, c)) EXPECT_TRUE(less(a, c));
+}
+
+TEST(Message, EqualityIsFieldWise) {
+  EXPECT_EQ(msg(1, 2, {3}), msg(1, 2, {3}));
+  EXPECT_NE(msg(1, 2, {3}), msg(1, 2, {4}));
+  EXPECT_NE(msg(1, 2, {3}), msg(2, 1, {3}));
+}
+
+TEST(Message, DescribeIsHumane) {
+  const std::string d = describe(msg(1, 2, {0xab}));
+  EXPECT_NE(d.find("1"), std::string::npos);
+  EXPECT_NE(d.find("2"), std::string::npos);
+  EXPECT_NE(d.find("ab"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blockdag

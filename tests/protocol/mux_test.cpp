@@ -1,0 +1,71 @@
+#include "protocol/mux.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/brb.h"
+#include "protocols/pbft_lite.h"
+#include "testing/local_net.h"
+
+namespace blockdag {
+namespace {
+
+TEST(ProtocolMux, RoutesByLabelRange) {
+  brb::BrbFactory brb_factory;
+  pbft::PbftFactory pbft_factory;
+  ProtocolMux mux;
+  mux.mount(1, 99, brb_factory);
+  mux.mount(100, 199, pbft_factory);
+
+  EXPECT_EQ(mux.route(1), &brb_factory);
+  EXPECT_EQ(mux.route(99), &brb_factory);
+  EXPECT_EQ(mux.route(100), &pbft_factory);
+  EXPECT_EQ(mux.route(0), nullptr);
+  EXPECT_EQ(mux.route(200), nullptr);
+}
+
+TEST(ProtocolMux, RejectsOverlap) {
+  brb::BrbFactory a;
+  pbft::PbftFactory b;
+  ProtocolMux mux;
+  mux.mount(1, 10, a);
+  EXPECT_THROW(mux.mount(10, 20, b), std::invalid_argument);
+  EXPECT_THROW(mux.mount(0, 1, b), std::invalid_argument);
+  EXPECT_THROW(mux.mount(5, 4, b), std::invalid_argument);  // empty range
+  mux.mount(11, 20, b);  // adjacent is fine
+}
+
+TEST(ProtocolMux, CreatesCorrectProcessType) {
+  brb::BrbFactory brb_factory;
+  ProtocolMux mux;
+  mux.mount(1, 10, brb_factory);
+
+  // Routed label behaves like BRB.
+  testing::LocalNet net(mux, 4, /*label=*/5);
+  net.request(0, brb::make_broadcast(Bytes{1}));
+  net.deliver_all();
+  EXPECT_TRUE(net.has_indications(0));
+}
+
+TEST(ProtocolMux, UnroutedLabelIsInert) {
+  brb::BrbFactory brb_factory;
+  ProtocolMux mux;
+  mux.mount(1, 10, brb_factory);
+
+  testing::LocalNet net(mux, 4, /*label=*/999);
+  net.request(0, brb::make_broadcast(Bytes{1}));
+  net.deliver_all();
+  EXPECT_EQ(net.messages_routed(), 0u);
+  EXPECT_FALSE(net.has_indications(0));
+}
+
+TEST(ProtocolMux, InertProcessIsStable) {
+  InertProcess inert(2);
+  EXPECT_EQ(inert.self(), 2u);
+  EXPECT_TRUE(inert.on_request(Bytes{1}).messages.empty());
+  EXPECT_TRUE(inert.on_message(Message{0, 2, {1}}).indications.empty());
+  EXPECT_EQ(inert.state_digest(), Bytes{});
+  EXPECT_EQ(inert.clone()->self(), 2u);
+}
+
+}  // namespace
+}  // namespace blockdag

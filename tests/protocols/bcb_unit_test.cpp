@@ -1,0 +1,115 @@
+#include "protocols/bcb.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/local_net.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+namespace {
+
+using testing::LocalNet;
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+Bytes echo_of(std::uint8_t v) {
+  Writer w;
+  w.u8(2);  // kMsgEcho
+  w.bytes(Bytes{v});
+  return std::move(w).take();
+}
+
+TEST(BcbUnit, AllCorrectDeliver) {
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  net.request(1, bcb::make_send(val(33)));
+  net.deliver_all();
+  for (ServerId s = 0; s < 4; ++s) {
+    ASSERT_TRUE(net.has_indications(s)) << "server " << s;
+    EXPECT_EQ(bcb::parse_deliver(net.indications(s)[0]), val(33));
+  }
+}
+
+TEST(BcbUnit, EchoesAtMostOnce) {
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  // Byzantine broadcaster sends SEND twice with different values; each
+  // correct server echoes only the first.
+  Writer w1;
+  w1.u8(1);
+  w1.bytes(val(1));
+  Writer w2;
+  w2.u8(1);
+  w2.bytes(val(2));
+  net.inject(Message{0, 1, std::move(w1).take()});
+  net.deliver_all();
+  const std::size_t after_first = net.messages_routed();
+  net.inject(Message{0, 1, std::move(w2).take()});
+  net.deliver_all();
+  EXPECT_EQ(net.messages_routed(), after_first);  // no second echo burst
+}
+
+TEST(BcbUnit, ConsistencyUnderConflictingEchoes) {
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  // Byzantine server 0 echoes conflicting values directly.
+  net.inject(Message{0, 1, echo_of(1)});
+  net.inject(Message{0, 2, echo_of(2)});
+  net.deliver_all();
+  // No quorum (needs 3 echo senders per value) → nobody delivers.
+  for (ServerId s = 0; s < 4; ++s) EXPECT_FALSE(net.has_indications(s));
+}
+
+TEST(BcbUnit, NoTotalityByDesign) {
+  // If the broadcaster crashes mid-send, some servers may deliver and
+  // others not — BCB provides consistency, not totality. Simulate: echoes
+  // reach server 1 from 3 distinct senders, but server 2 sees only 2.
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  net.inject(Message{0, 1, echo_of(5)});
+  net.inject(Message{2, 1, echo_of(5)});
+  net.inject(Message{3, 1, echo_of(5)});
+  net.inject(Message{0, 2, echo_of(5)});
+  net.deliver_all();
+  EXPECT_TRUE(net.has_indications(1));
+  EXPECT_FALSE(net.has_indications(2));
+}
+
+TEST(BcbUnit, DeliversAtMostOnce) {
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  for (ServerId s = 0; s < 4; ++s) net.inject(Message{s, 1, echo_of(9)});
+  net.deliver_all();
+  ASSERT_TRUE(net.has_indications(1));
+  EXPECT_EQ(net.indications(1).size(), 1u);
+}
+
+TEST(BcbUnit, SecondSendRequestIgnored) {
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  net.request(0, bcb::make_send(val(1)));
+  net.request(0, bcb::make_send(val(2)));
+  net.deliver_all();
+  for (ServerId s = 0; s < 4; ++s) {
+    ASSERT_TRUE(net.has_indications(s));
+    EXPECT_EQ(bcb::parse_deliver(net.indications(s)[0]), val(1));
+  }
+}
+
+TEST(BcbUnit, MalformedInputIgnored) {
+  bcb::BcbFactory factory;
+  LocalNet net(factory, 4);
+  net.request(0, Bytes{0xff});
+  net.inject(Message{0, 1, Bytes{1, 2}});
+  net.deliver_all();
+  EXPECT_EQ(net.messages_routed(), 0u);
+}
+
+TEST(BcbUnit, CloneDigestStable) {
+  bcb::BcbProcess p(0, 4);
+  (void)p.on_request(bcb::make_send(val(1)));
+  EXPECT_EQ(p.state_digest(), p.clone()->state_digest());
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,89 @@
+#include "protocols/coin_beacon.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/local_net.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+namespace {
+
+using testing::LocalNet;
+
+TEST(BeaconUnit, EmitsAfterFPlusOneContributions) {
+  beacon::BeaconFactory factory;
+  LocalNet net(factory, 4);  // f = 1 → threshold 2
+  net.request(0, beacon::make_contribute(0xAAAA));
+  net.deliver_all();
+  EXPECT_FALSE(net.has_indications(0));  // one contribution: not enough
+  net.request(1, beacon::make_contribute(0x5555));
+  net.deliver_all();
+  for (ServerId s = 0; s < 4; ++s) {
+    ASSERT_TRUE(net.has_indications(s)) << "server " << s;
+    EXPECT_EQ(beacon::parse_beacon(net.indications(s)[0]), 0xAAAA ^ 0x5555);
+  }
+}
+
+TEST(BeaconUnit, AllServersAgreeOnValue) {
+  beacon::BeaconFactory factory;
+  LocalNet net(factory, 7);  // f = 2 → threshold 3
+  net.request(3, beacon::make_contribute(1));
+  net.request(5, beacon::make_contribute(2));
+  net.request(1, beacon::make_contribute(4));
+  net.deliver_all();
+  std::optional<std::uint64_t> agreed;
+  for (ServerId s = 0; s < 7; ++s) {
+    ASSERT_TRUE(net.has_indications(s));
+    const auto v = beacon::parse_beacon(net.indications(s)[0]);
+    ASSERT_TRUE(v.has_value());
+    if (!agreed) agreed = v;
+    EXPECT_EQ(v, agreed);
+  }
+}
+
+TEST(BeaconUnit, EmitsAtMostOnce) {
+  beacon::BeaconFactory factory;
+  LocalNet net(factory, 4);
+  for (ServerId s = 0; s < 4; ++s) net.request(s, beacon::make_contribute(s + 1));
+  net.deliver_all();
+  for (ServerId s = 0; s < 4; ++s) {
+    EXPECT_EQ(net.indications(s).size(), 1u) << "server " << s;
+  }
+}
+
+TEST(BeaconUnit, SecondContributionIgnored) {
+  beacon::BeaconProcess p(0, 4);
+  const auto first = p.on_request(beacon::make_contribute(7));
+  EXPECT_EQ(first.messages.size(), 4u);
+  const auto second = p.on_request(beacon::make_contribute(9));
+  EXPECT_TRUE(second.messages.empty());
+}
+
+TEST(BeaconUnit, DuplicateSharesFromSameSenderCountOnce) {
+  beacon::BeaconProcess p(0, 4);  // threshold 2
+  Writer w;
+  w.u8(1);
+  w.u64(42);
+  const Bytes share = std::move(w).take();
+  auto r1 = p.on_message(Message{1, 0, share});
+  auto r2 = p.on_message(Message{1, 0, share});  // duplicate: still 1 sender
+  EXPECT_TRUE(r1.indications.empty());
+  EXPECT_TRUE(r2.indications.empty());
+  auto r3 = p.on_message(Message{2, 0, share});
+  ASSERT_EQ(r3.indications.size(), 1u);
+}
+
+TEST(BeaconUnit, MalformedInputIgnored) {
+  beacon::BeaconProcess p(0, 4);
+  EXPECT_TRUE(p.on_request(Bytes{1, 2}).messages.empty());
+  EXPECT_TRUE(p.on_message(Message{1, 0, Bytes{0xff}}).messages.empty());
+}
+
+TEST(BeaconUnit, DigestDeterministic) {
+  beacon::BeaconProcess p(0, 4);
+  (void)p.on_request(beacon::make_contribute(3));
+  EXPECT_EQ(p.state_digest(), p.clone()->state_digest());
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,129 @@
+#include "protocols/fifo_brb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/local_net.h"
+#include "util/serialize.h"
+
+namespace blockdag {
+namespace {
+
+using testing::LocalNet;
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+TEST(FifoUnit, SingleStreamDeliversInOrder) {
+  fifo::FifoBrbFactory factory;
+  LocalNet net(factory, 4);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    net.request(0, fifo::make_broadcast(val(i)));
+  }
+  net.deliver_all();
+  for (ServerId s = 0; s < 4; ++s) {
+    ASSERT_EQ(net.indications(s).size(), 5u) << "server " << s;
+    for (std::uint8_t i = 0; i < 5; ++i) {
+      const auto d = fifo::parse_deliver(net.indications(s)[i]);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->origin, 0u);
+      EXPECT_EQ(d->seq, i);
+      EXPECT_EQ(d->value, val(i));
+    }
+  }
+}
+
+TEST(FifoUnit, InterleavedOriginsKeepPerOriginOrder) {
+  fifo::FifoBrbFactory factory;
+  LocalNet net(factory, 4);
+  net.request(0, fifo::make_broadcast(val(10)));
+  net.request(1, fifo::make_broadcast(val(20)));
+  net.request(0, fifo::make_broadcast(val(11)));
+  net.request(1, fifo::make_broadcast(val(21)));
+  net.deliver_all();
+
+  for (ServerId s = 0; s < 4; ++s) {
+    std::map<ServerId, std::vector<std::uint64_t>> seqs;
+    for (const Bytes& ind : net.indications(s)) {
+      const auto d = fifo::parse_deliver(ind);
+      ASSERT_TRUE(d.has_value());
+      seqs[d->origin].push_back(d->seq);
+    }
+    EXPECT_EQ(seqs[0], (std::vector<std::uint64_t>{0, 1}));
+    EXPECT_EQ(seqs[1], (std::vector<std::uint64_t>{0, 1}));
+  }
+}
+
+TEST(FifoUnit, HoldbackUntilGapFilled) {
+  // Deliver slot 1's quorum before slot 0's: the indication for seq 1 must
+  // wait for seq 0.
+  fifo::FifoBrbFactory factory;
+  LocalNet net(factory, 4);
+
+  const auto ready = [](ServerId origin, std::uint64_t seq, std::uint8_t v) {
+    Writer w;
+    w.u8(2);  // kMsgReady
+    w.u32(origin);
+    w.u64(seq);
+    w.bytes(Bytes{v});
+    return std::move(w).take();
+  };
+  // Server 3 receives 3 READYs for (origin 0, seq 1): slot delivers, FIFO
+  // holds it back.
+  for (ServerId s = 0; s < 3; ++s) net.inject(Message{s, 3, ready(0, 1, 9)});
+  net.deliver_all();
+  EXPECT_FALSE(net.has_indications(3));
+  // Now seq 0 completes: both 0 and 1 deliver, in order.
+  for (ServerId s = 0; s < 3; ++s) net.inject(Message{s, 3, ready(0, 0, 8)});
+  net.deliver_all();
+  ASSERT_EQ(net.indications(3).size(), 2u);
+  EXPECT_EQ(fifo::parse_deliver(net.indications(3)[0])->seq, 0u);
+  EXPECT_EQ(fifo::parse_deliver(net.indications(3)[1])->seq, 1u);
+}
+
+TEST(FifoUnit, RejectsOutOfRangeOrigin) {
+  fifo::FifoBrbFactory factory;
+  LocalNet net(factory, 4);
+  Writer w;
+  w.u8(1);
+  w.u32(99);  // no such server
+  w.u64(0);
+  w.bytes(val(1));
+  net.inject(Message{0, 1, std::move(w).take()});
+  net.deliver_all();
+  EXPECT_EQ(net.messages_routed(), 0u);
+}
+
+TEST(FifoUnit, ToleratesSilentServer) {
+  fifo::FifoBrbFactory factory;
+  LocalNet net(factory, 4);
+  net.mute(3);
+  net.request(0, fifo::make_broadcast(val(1)));
+  net.request(0, fifo::make_broadcast(val(2)));
+  net.deliver_all();
+  for (ServerId s = 0; s < 3; ++s) {
+    ASSERT_EQ(net.indications(s).size(), 2u) << "server " << s;
+  }
+}
+
+TEST(FifoUnit, EncodingRoundTrip) {
+  const fifo::Delivery d{2, 7, val(42)};
+  const auto parsed = fifo::parse_deliver(fifo::make_deliver(d));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->origin, 2u);
+  EXPECT_EQ(parsed->seq, 7u);
+  EXPECT_EQ(parsed->value, val(42));
+  EXPECT_FALSE(fifo::parse_deliver(Bytes{1}).has_value());
+}
+
+TEST(FifoUnit, CloneDeepCopiesHoldback) {
+  fifo::FifoBrbProcess p(0, 4);
+  (void)p.on_request(fifo::make_broadcast(val(1)));
+  const auto clone = p.clone();
+  EXPECT_EQ(p.state_digest(), clone->state_digest());
+  (void)clone->on_request(fifo::make_broadcast(val(2)));
+  EXPECT_NE(p.state_digest(), clone->state_digest());
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,168 @@
+// Runtime harness unit tests: request buffer, table printer, property
+// checkers (including that they *do* flag violations), byzantine names,
+// cluster plumbing.
+#include <gtest/gtest.h>
+
+#include "gossip/request_buffer.h"
+#include "protocols/brb.h"
+#include "runtime/checkers.h"
+#include "runtime/cluster.h"
+#include "runtime/table.h"
+
+namespace blockdag {
+namespace {
+
+TEST(RequestBuffer, FifoAndBatching) {
+  RequestBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  for (std::uint8_t i = 0; i < 5; ++i) buf.put(i, Bytes{i});
+  EXPECT_EQ(buf.size(), 5u);
+  const auto first = buf.get(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].label, 0u);
+  EXPECT_EQ(first[1].label, 1u);
+  const auto rest = buf.get(100);
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[2].label, 4u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.get(10).empty());
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a  long header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  // Short rows are padded to the header width.
+  Table t2({"x", "y"});
+  t2.add_row({"only"});
+  EXPECT_NE(t2.render().find("only"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(static_cast<std::uint64_t>(42)), "42");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(BrbCheckerSelfTest, FlagsConsistencyViolation) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, Bytes{1}, true);
+  checker.record_delivery(0, 1, Bytes{1});
+  checker.record_delivery(1, 1, Bytes{2});  // different value!
+  const auto v = checker.violations({0, 1, 2}, false);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("consistency"), std::string::npos);
+}
+
+TEST(BrbCheckerSelfTest, FlagsDuplication) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, Bytes{1}, true);
+  checker.record_delivery(0, 1, Bytes{1});
+  checker.record_delivery(0, 1, Bytes{1});  // twice!
+  const auto v = checker.violations({0}, false);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("no-duplication"), std::string::npos);
+}
+
+TEST(BrbCheckerSelfTest, FlagsIntegrityViolation) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, Bytes{1}, true);
+  checker.record_delivery(0, 1, Bytes{9});  // never broadcast
+  const auto v = checker.violations({0}, false);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("integrity"), std::string::npos);
+}
+
+TEST(BrbCheckerSelfTest, FlagsTotalityAndValidityWhenComplete) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, Bytes{1}, true);
+  checker.record_delivery(0, 1, Bytes{1});
+  // Server 1 never delivered. Incomplete run: fine.
+  EXPECT_TRUE(checker.violations({0, 1}, false).empty());
+  // Completed run: totality + validity violated for server 1.
+  const auto v = checker.violations({0, 1}, true);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(BrbCheckerSelfTest, ByzantineBroadcasterExemptFromIntegrity) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 3, Bytes{1}, /*broadcaster_correct=*/false);
+  checker.record_delivery(0, 1, Bytes{7});
+  checker.record_delivery(1, 1, Bytes{7});
+  EXPECT_TRUE(checker.violations({0, 1}, false).empty());
+}
+
+TEST(BrbCheckerSelfTest, CleanRunPasses) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, Bytes{5}, true);
+  for (ServerId s = 0; s < 4; ++s) checker.record_delivery(s, 1, Bytes{5});
+  EXPECT_TRUE(checker.violations({0, 1, 2, 3}, true).empty());
+  EXPECT_EQ(checker.total_deliveries(), 4u);
+}
+
+TEST(ConsensusCheckerSelfTest, FlagsDisagreement) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, Bytes{1});
+  checker.expect_proposal(1, 1, Bytes{2});
+  checker.record_decision(0, 1, Bytes{1});
+  checker.record_decision(1, 1, Bytes{2});
+  const auto v = checker.violations({0, 1}, false);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("agreement"), std::string::npos);
+}
+
+TEST(ConsensusCheckerSelfTest, FlagsInventedValue) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, Bytes{1});
+  checker.record_decision(0, 1, Bytes{9});
+  const auto v = checker.violations({0}, false);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("validity"), std::string::npos);
+}
+
+TEST(ConsensusCheckerSelfTest, FlagsNonTermination) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, Bytes{1});
+  const auto v = checker.violations({0}, /*expect_termination=*/true);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("termination"), std::string::npos);
+}
+
+TEST(ByzantineKinds, NamesAreStable) {
+  EXPECT_STREQ(byzantine_kind_name(ByzantineKind::kSilent), "silent");
+  EXPECT_STREQ(byzantine_kind_name(ByzantineKind::kEquivocator), "equivocator");
+  EXPECT_STREQ(byzantine_kind_name(ByzantineKind::kFlooder), "flooder");
+}
+
+TEST(Cluster, CorrectServerBookkeeping) {
+  ClusterConfig cfg;
+  cfg.n_servers = 5;
+  cfg.byzantine[1] = ByzantineKind::kSilent;
+  cfg.byzantine[4] = ByzantineKind::kEquivocator;
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  EXPECT_EQ(cluster.correct_servers(), (std::vector<ServerId>{0, 2, 3}));
+  EXPECT_EQ(cluster.n_correct(), 3u);
+  EXPECT_TRUE(cluster.is_correct(0));
+  EXPECT_FALSE(cluster.is_correct(1));
+}
+
+TEST(Cluster, StartIsIdempotent) {
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.pacing.interval = sim_ms(10);
+  cfg.net.latency = {LatencyModel::Kind::kFixed, sim_ms(1), 0};
+  brb::BrbFactory factory;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.start();  // no double beats
+  cluster.run_for(sim_ms(35));
+  // 3 beats × 4 servers = 12 blocks, not 24.
+  EXPECT_EQ(cluster.shim(0).dag().size(), 12u);
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,178 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace blockdag {
+namespace {
+
+struct Rig {
+  Scheduler sched;
+  SimNetwork net;
+  // per-server received (from, payload, time)
+  struct Rx {
+    ServerId from;
+    Bytes payload;
+    SimTime at;
+  };
+  std::map<ServerId, std::vector<Rx>> received;
+
+  explicit Rig(std::uint32_t n, NetworkConfig cfg = {}) : net(sched, n, cfg) {
+    for (ServerId s = 0; s < n; ++s) {
+      net.attach(s, [this, s](ServerId from, const Bytes& payload) {
+        received[s].push_back(Rx{from, payload, sched.now()});
+      });
+    }
+  }
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  NetworkConfig cfg;
+  cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(7), 0};
+  Rig rig(2, cfg);
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{42});
+  rig.sched.run();
+  ASSERT_EQ(rig.received[1].size(), 1u);
+  EXPECT_EQ(rig.received[1][0].from, 0u);
+  EXPECT_EQ(rig.received[1][0].payload, Bytes{42});
+  EXPECT_EQ(rig.received[1][0].at, sim_ms(7));
+}
+
+TEST(SimNetwork, SelfDeliveryIsImmediateAndFree) {
+  Rig rig(2);
+  rig.net.send(0, 0, WireKind::kBlock, Bytes{1});
+  rig.sched.run();
+  ASSERT_EQ(rig.received[0].size(), 1u);
+  EXPECT_EQ(rig.received[0][0].at, 0u);
+  EXPECT_EQ(rig.net.metrics().total_messages(), 0u);  // no wire traffic
+}
+
+TEST(SimNetwork, BroadcastReachesEveryone) {
+  Rig rig(5);
+  rig.net.broadcast(2, WireKind::kBlock, Bytes{9});
+  rig.sched.run();
+  for (ServerId s = 0; s < 5; ++s) {
+    ASSERT_EQ(rig.received[s].size(), 1u) << "server " << s;
+  }
+  // 4 wire messages (self-delivery is local).
+  EXPECT_EQ(rig.net.metrics().messages[static_cast<int>(WireKind::kBlock)], 4u);
+}
+
+TEST(SimNetwork, MetricsCountBytesPerKind) {
+  Rig rig(2);
+  rig.net.send(0, 1, WireKind::kBlock, Bytes(100));
+  rig.net.send(0, 1, WireKind::kFwdRequest, Bytes(10));
+  rig.sched.run();
+  const auto& m = rig.net.metrics();
+  EXPECT_EQ(m.bytes[static_cast<int>(WireKind::kBlock)], 100u);
+  EXPECT_EQ(m.bytes[static_cast<int>(WireKind::kFwdRequest)], 10u);
+  EXPECT_EQ(m.total_bytes(), 110u);
+  EXPECT_EQ(m.total_messages(), 2u);
+}
+
+TEST(SimNetwork, DropsAreTransientWithCap) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;  // drop everything...
+  cfg.max_drops_per_pair = 3;  // ...but only the first 3 per ordered pair
+  Rig rig(2, cfg);
+  for (int i = 0; i < 5; ++i) rig.net.send(0, 1, WireKind::kBlock, Bytes{1});
+  rig.sched.run();
+  EXPECT_EQ(rig.received[1].size(), 2u);
+  EXPECT_EQ(rig.net.metrics().dropped, 3u);
+}
+
+TEST(SimNetwork, UniformLatencyWithinBounds) {
+  NetworkConfig cfg;
+  cfg.latency = {LatencyModel::Kind::kUniform, sim_ms(5), sim_ms(10)};
+  Rig rig(2, cfg);
+  for (int i = 0; i < 100; ++i) rig.net.send(0, 1, WireKind::kBlock, Bytes{1});
+  rig.sched.run();
+  ASSERT_EQ(rig.received[1].size(), 100u);
+  for (const auto& rx : rig.received[1]) {
+    EXPECT_GE(rx.at, sim_ms(5));
+    EXPECT_LE(rx.at, sim_ms(15));
+  }
+}
+
+TEST(SimNetwork, HeavyTailLatencyAtLeastBase) {
+  NetworkConfig cfg;
+  cfg.latency = {LatencyModel::Kind::kHeavyTail, sim_ms(2), sim_ms(4)};
+  Rig rig(2, cfg);
+  for (int i = 0; i < 200; ++i) rig.net.send(0, 1, WireKind::kBlock, Bytes{1});
+  rig.sched.run();
+  ASSERT_EQ(rig.received[1].size(), 200u);
+  for (const auto& rx : rig.received[1]) EXPECT_GE(rx.at, sim_ms(2));
+}
+
+TEST(SimNetwork, PartitionHoldsTrafficUntilHeal) {
+  NetworkConfig cfg;
+  cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(1), 0};
+  Rig rig(4, cfg);
+  rig.net.partition({0, 1}, {2, 3}, /*heal_at=*/sim_ms(100));
+
+  rig.net.send(0, 2, WireKind::kBlock, Bytes{1});  // cross-cut: held
+  rig.net.send(0, 1, WireKind::kBlock, Bytes{2});  // same side: normal
+
+  rig.sched.run_until(sim_ms(50));
+  EXPECT_TRUE(rig.received[2].empty());
+  ASSERT_EQ(rig.received[1].size(), 1u);
+
+  rig.sched.run_until(sim_ms(200));
+  ASSERT_EQ(rig.received[2].size(), 1u);
+  EXPECT_GE(rig.received[2][0].at, sim_ms(100));  // delayed, not destroyed
+}
+
+TEST(SimNetwork, PartitionExpiresForNewTraffic) {
+  NetworkConfig cfg;
+  cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(1), 0};
+  Rig rig(2, cfg);
+  rig.net.partition({0}, {1}, sim_ms(10));
+  rig.sched.run_until(sim_ms(20));
+  rig.net.send(0, 1, WireKind::kBlock, Bytes{1});
+  rig.sched.run();
+  ASSERT_EQ(rig.received[1].size(), 1u);
+  EXPECT_EQ(rig.received[1][0].at, sim_ms(21));
+}
+
+TEST(SimNetwork, GstSwitchesLatencyModels) {
+  // Partial synchrony (§7): before GST the chaotic model applies; from
+  // GST on, newly sent messages obey the bounded model.
+  NetworkConfig cfg;
+  cfg.gst = sim_ms(100);
+  cfg.pre_gst_latency = {LatencyModel::Kind::kFixed, sim_ms(500), 0};
+  cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(2), 0};
+  Rig rig(2, cfg);
+
+  rig.net.send(0, 1, WireKind::kBlock, Bytes{1});  // sent at t=0: chaotic
+  rig.sched.run_until(sim_ms(150));                // now past GST
+  rig.net.send(0, 1, WireKind::kBlock, Bytes{2});  // sent post-GST: bounded
+  rig.sched.run();
+
+  ASSERT_EQ(rig.received[1].size(), 2u);
+  // Post-GST message overtakes the pre-GST one.
+  EXPECT_EQ(rig.received[1][0].payload, Bytes{2});
+  EXPECT_EQ(rig.received[1][0].at, sim_ms(152));
+  EXPECT_EQ(rig.received[1][1].payload, Bytes{1});
+  EXPECT_EQ(rig.received[1][1].at, sim_ms(500));
+}
+
+TEST(SimNetwork, DeterministicGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    NetworkConfig cfg;
+    cfg.latency = {LatencyModel::Kind::kUniform, sim_ms(1), sim_ms(20)};
+    cfg.seed = seed;
+    Rig rig(2, cfg);
+    for (int i = 0; i < 50; ++i) rig.net.send(0, 1, WireKind::kBlock, Bytes{1});
+    rig.sched.run();
+    std::vector<SimTime> times;
+    for (const auto& rx : rig.received[1]) times.push_back(rx.at);
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,104 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace blockdag {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(sim_ms(30), [&] { order.push_back(3); });
+  sched.at(sim_ms(10), [&] { order.push_back(1); });
+  sched.at(sim_ms(20), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), sim_ms(30));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.at(sim_ms(5), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler sched;
+  SimTime fired = 0;
+  sched.at(sim_ms(10), [&] {
+    sched.after(sim_ms(5), [&] { fired = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired, sim_ms(15));
+}
+
+TEST(Scheduler, PastEventsClampToNow) {
+  Scheduler sched;
+  SimTime fired = 0;
+  sched.at(sim_ms(10), [&] {
+    sched.at(sim_ms(1), [&] { fired = sched.now(); });  // in the past
+  });
+  sched.run();
+  EXPECT_EQ(fired, sim_ms(10));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sched.at(sim_ms(i * 10), [&] { ++count; });
+  }
+  sched.run_until(sim_ms(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sched.now(), sim_ms(35));
+  sched.run_until(sim_ms(100));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockOnEmptyQueue) {
+  Scheduler sched;
+  sched.run_until(sim_sec(5));
+  EXPECT_EQ(sched.now(), sim_sec(5));
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.step());
+  sched.at(0, [] {});
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(Scheduler, RunRespectsMaxEvents) {
+  Scheduler sched;
+  int count = 0;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] {
+    ++count;
+    sched.after(1, loop);
+  };
+  sched.after(1, loop);
+  EXPECT_EQ(sched.run(100), 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sched.events_executed(), 100u);
+}
+
+TEST(Scheduler, EventsCanScheduleAtSameTime) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(sim_ms(1), [&] {
+    order.push_back(1);
+    sched.at(sim_ms(1), [&] { order.push_back(2); });
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace blockdag

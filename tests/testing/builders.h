@@ -1,0 +1,60 @@
+// Test helpers: compact construction of signed blocks and small DAGs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "dag/block.h"
+#include "dag/dag.h"
+
+namespace blockdag::testing {
+
+// Builds properly signed blocks for a fixed server set.
+class BlockForge {
+ public:
+  explicit BlockForge(std::uint32_t n_servers, std::uint64_t seed = 1)
+      : sigs_(n_servers, seed) {}
+
+  SignatureProvider& sigs() { return sigs_; }
+
+  BlockPtr block(ServerId n, SeqNo k, std::vector<Hash256> preds,
+                 std::vector<LabeledRequest> rs = {}) {
+    const Hash256 ref = Block::compute_ref(n, k, preds, rs);
+    Bytes sigma = sigs_.sign(n, ref.span());
+    return std::make_shared<const Block>(n, k, std::move(preds), std::move(rs),
+                                         std::move(sigma));
+  }
+
+  // A block with a deliberately bogus signature.
+  BlockPtr forged(ServerId n, SeqNo k, std::vector<Hash256> preds,
+                  std::vector<LabeledRequest> rs = {}) {
+    return std::make_shared<const Block>(n, k, std::move(preds), std::move(rs),
+                                         Bytes(32, 0xEE));
+  }
+
+ private:
+  IdealSignatureProvider sigs_;
+};
+
+// The Figure 2 DAG: B1 = (s1, 0, []), B2 = (s2, 0, []),
+// B3 = (s1, 1, [B1, B2]).
+struct Figure2 {
+  BlockPtr b1, b2, b3;
+
+  explicit Figure2(BlockForge& forge) {
+    b1 = forge.block(0, 0, {});
+    b2 = forge.block(1, 0, {});
+    b3 = forge.block(0, 1, {b1->ref(), b2->ref()});
+  }
+
+  BlockDag dag() const {
+    BlockDag g;
+    g.insert(b1);
+    g.insert(b2);
+    g.insert(b3);
+    return g;
+  }
+};
+
+}  // namespace blockdag::testing

@@ -1,0 +1,79 @@
+// LocalNet: drives n process instances of a protocol over an in-memory
+// perfect point-to-point link — the abstraction of Lemma 4.3, materialized
+// trivially. Used by protocol unit tests to check P's behaviour before it
+// is embedded in a DAG, and by equivalence tests (Theorem 5.1: shim(P)
+// behaves like P over a reliable link).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "protocol/protocol.h"
+
+namespace blockdag::testing {
+
+class LocalNet {
+ public:
+  LocalNet(const ProtocolFactory& factory, std::uint32_t n, Label label = 1) {
+    for (ServerId s = 0; s < n; ++s) {
+      procs_.push_back(factory.create(label, s, n));
+    }
+  }
+
+  Process& process(ServerId s) { return *procs_[s]; }
+
+  // Makes `server` byzantine-silent: its outgoing messages are discarded.
+  void mute(ServerId server) { muted_.insert(server); }
+
+  // Drops every message on the (from → to) link.
+  void cut(ServerId from, ServerId to) { cuts_.insert({from, to}); }
+
+  void request(ServerId server, const Bytes& request) {
+    absorb(server, procs_[server]->on_request(request));
+  }
+
+  // Injects a raw message, as a byzantine server could.
+  void inject(const Message& m) { queue_.push_back(m); }
+
+  // Delivers queued messages FIFO until quiescence.
+  void deliver_all() {
+    while (!queue_.empty()) {
+      const Message m = queue_.front();
+      queue_.pop_front();
+      absorb(m.receiver, procs_[m.receiver]->on_message(m));
+    }
+  }
+
+  const std::vector<Bytes>& indications(ServerId server) const {
+    static const std::vector<Bytes> kEmpty;
+    const auto it = indications_.find(server);
+    return it == indications_.end() ? kEmpty : it->second;
+  }
+  bool has_indications(ServerId server) const {
+    return indications_.count(server) && !indications_.at(server).empty();
+  }
+
+  std::size_t messages_routed() const { return routed_; }
+
+ private:
+  void absorb(ServerId at, StepResult&& result) {
+    for (auto& ind : result.indications) indications_[at].push_back(std::move(ind));
+    for (auto& m : result.messages) {
+      if (muted_.count(at) || cuts_.count({m.sender, m.receiver})) continue;
+      ++routed_;
+      queue_.push_back(std::move(m));
+    }
+  }
+
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::deque<Message> queue_;
+  std::map<ServerId, std::vector<Bytes>> indications_;
+  std::set<ServerId> muted_;
+  std::set<std::pair<ServerId, ServerId>> cuts_;
+  std::size_t routed_ = 0;
+};
+
+}  // namespace blockdag::testing

@@ -1,0 +1,32 @@
+#include "util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace blockdag {
+namespace {
+
+TEST(Hex, Encode) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_hex(Bytes{0x00, 0xff, 0x0a}), "00ff0a");
+}
+
+TEST(Hex, DecodeValid) {
+  EXPECT_EQ(from_hex(""), Bytes{});
+  EXPECT_EQ(from_hex("00ff0a"), (Bytes{0x00, 0xff, 0x0a}));
+  EXPECT_EQ(from_hex("ABCD"), (Bytes{0xab, 0xcd}));  // upper-case accepted
+}
+
+TEST(Hex, DecodeInvalid) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // non-hex
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+}  // namespace
+}  // namespace blockdag

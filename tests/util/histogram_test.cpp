@@ -1,0 +1,61 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace blockdag {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+}
+
+TEST(Histogram, UnsortedInputHandled) {
+  Histogram h;
+  for (double v : {9.0, 1.0, 5.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  h.record(0.5);  // recording after a sort invalidates the cache
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+}
+
+TEST(Histogram, PercentileClamped) {
+  Histogram h;
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 7.0);
+}
+
+TEST(Histogram, SummaryFormat) {
+  Histogram h;
+  h.record(1.0);
+  h.record(3.0);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("mean=2.00"), std::string::npos);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(1.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,0 +1,89 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace blockdag {
+namespace {
+
+TEST(Serialize, RoundTripIntegers) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, RoundTripBytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});  // empty
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x44);
+  EXPECT_EQ(w.data()[3], 0x11);
+}
+
+TEST(Serialize, TruncationReturnsNullopt) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  EXPECT_TRUE(r.u16().has_value());
+  EXPECT_FALSE(r.u8().has_value());
+  EXPECT_FALSE(r.u64().has_value());
+}
+
+TEST(Serialize, TruncatedLengthPrefix) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  Reader r(w.data());
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(Serialize, RawWithoutPrefix) {
+  Writer w;
+  w.raw(Bytes{9, 8, 7});
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), (Bytes{9, 8, 7}));
+  EXPECT_FALSE(r.raw(1).has_value());
+}
+
+TEST(Serialize, CanonicalDeterminism) {
+  const auto encode = [] {
+    Writer w;
+    w.u64(42);
+    w.str("x");
+    return std::move(w).take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  Writer w;
+  w.u64(1);
+  w.u64(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace blockdag
