@@ -24,6 +24,31 @@ TEST(BlockDag, InsertRequiresPreds) {
   EXPECT_EQ(dag.edge_count(), 1u);
 }
 
+TEST(BlockDag, RejectedInsertLeavesDagUnchanged) {
+  // A rejected insert must not leave any partial state behind: not the
+  // vertex, not edges to the preds that *are* present, not the topo order.
+  BlockForge forge(4);
+  Figure2 fig(forge);
+  BlockDag dag = fig.dag();
+  const std::vector<BlockPtr> order_before = dag.topological_order();
+
+  // b4 depends on b3 (present) and on a block the DAG has never seen.
+  const BlockPtr missing = forge.block(2, 0, {});
+  const BlockPtr b4 = forge.block(1, 1, {fig.b3->ref(), missing->ref()});
+  EXPECT_FALSE(dag.insert(b4));
+  EXPECT_EQ(dag.size(), 3u);
+  EXPECT_EQ(dag.edge_count(), 2u);
+  EXPECT_FALSE(dag.contains(b4->ref()));
+  EXPECT_TRUE(dag.children(fig.b3->ref()).empty());
+  EXPECT_EQ(dag.topological_order(), order_before);
+
+  // Once the missing pred arrives the same block inserts cleanly.
+  EXPECT_TRUE(dag.insert(missing));
+  EXPECT_TRUE(dag.insert(b4));
+  EXPECT_EQ(dag.size(), 5u);
+  EXPECT_EQ(dag.edge_count(), 4u);
+}
+
 TEST(BlockDag, InsertIsIdempotent) {
   // Lemma 2.2(1).
   BlockForge forge(4);
@@ -35,6 +60,22 @@ TEST(BlockDag, InsertIsIdempotent) {
   EXPECT_EQ(dag.edge_count(), 0u);
 }
 
+TEST(BlockDag, DuplicateInsertDoesNotDuplicateStructure) {
+  // Lemma 2.2(1) again, for a block with edges: re-inserting must not grow
+  // the topo order, the children lists, or the edge count.
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b1 = forge.block(0, 0, {});
+  const BlockPtr b2 = forge.block(0, 1, {b1->ref()});
+  EXPECT_TRUE(dag.insert(b1));
+  EXPECT_TRUE(dag.insert(b2));
+  EXPECT_TRUE(dag.insert(b2));
+  EXPECT_EQ(dag.size(), 2u);
+  EXPECT_EQ(dag.edge_count(), 1u);
+  EXPECT_EQ(dag.topological_order().size(), 2u);
+  EXPECT_EQ(dag.children(b1->ref()), std::vector<Hash256>{b2->ref()});
+}
+
 TEST(BlockDag, DuplicatePredsCollapseToOneEdge) {
   BlockForge forge(4);
   BlockDag dag;
@@ -44,6 +85,26 @@ TEST(BlockDag, DuplicatePredsCollapseToOneEdge) {
   dag.insert(b2);
   EXPECT_EQ(dag.edge_count(), 1u);
   EXPECT_EQ(dag.children(b1->ref()).size(), 1u);
+}
+
+TEST(BlockDag, DuplicatePredsMixedWithDistinctOnes) {
+  // A byzantine builder repeating one ref many times alongside a distinct
+  // one gets exactly one edge per distinct pred (Algorithm 2 line 9 union
+  // semantics), and reachability is unaffected.
+  BlockForge forge(4);
+  BlockDag dag;
+  const BlockPtr b1 = forge.block(0, 0, {});
+  const BlockPtr b2 = forge.block(1, 0, {});
+  const BlockPtr b3 = forge.block(
+      2, 0, {b1->ref(), b1->ref(), b2->ref(), b1->ref(), b2->ref()});
+  dag.insert(b1);
+  dag.insert(b2);
+  EXPECT_TRUE(dag.insert(b3));
+  EXPECT_EQ(dag.edge_count(), 2u);
+  EXPECT_EQ(dag.children(b1->ref()), std::vector<Hash256>{b3->ref()});
+  EXPECT_EQ(dag.children(b2->ref()), std::vector<Hash256>{b3->ref()});
+  EXPECT_TRUE(dag.reachable(b1->ref(), b3->ref()));
+  EXPECT_TRUE(dag.reachable(b2->ref(), b3->ref()));
 }
 
 TEST(BlockDag, Figure2Structure) {

@@ -121,7 +121,9 @@ TEST_P(WotsSweep, RandomMessagesRoundTripAndCrossFail) {
   const WotsPublicKey pk = chain.public_key(idx);
   const Bytes sig = chain.sign(idx, m1);
   EXPECT_TRUE(wots_verify(pk, m1, sig));
-  if (m1 != m2) EXPECT_FALSE(wots_verify(pk, m2, sig));
+  if (m1 != m2) {
+    EXPECT_FALSE(wots_verify(pk, m2, sig));
+  }
   EXPECT_FALSE(wots_verify(chain.public_key(idx + 1), m1, sig));
 }
 

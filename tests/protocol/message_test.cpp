@@ -79,7 +79,9 @@ TEST(MessageOrder, TransitiveOnSample) {
   for (const auto& a : ms)
     for (const auto& b : ms)
       for (const auto& c : ms)
-        if (less(a, b) && less(b, c)) EXPECT_TRUE(less(a, c));
+        if (less(a, b) && less(b, c)) {
+          EXPECT_TRUE(less(a, c));
+        }
 }
 
 TEST(Message, EqualityIsFieldWise) {

@@ -28,6 +28,37 @@ TEST(Scheduler, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(Scheduler, TiesBreakByInsertionOrderWhenInterleaved) {
+  // The tie-break guarantee must hold by insertion sequence, not by heap
+  // layout: events at the same SimTime fire in the order they were inserted
+  // even when insertions of other times are interleaved between them.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(sim_ms(5), [&] { order.push_back(0); });
+  sched.at(sim_ms(1), [&] { order.push_back(100); });
+  sched.at(sim_ms(5), [&] { order.push_back(1); });
+  sched.at(sim_ms(9), [&] { order.push_back(200); });
+  sched.at(sim_ms(5), [&] { order.push_back(2); });
+  sched.at(sim_ms(5), [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{100, 0, 1, 2, 3, 200}));
+}
+
+TEST(Scheduler, TiesFromRunningEventFireAfterExistingTies) {
+  // An event scheduled at now() from within a running event is a later
+  // insertion, so it fires after every already-queued event at that time.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(sim_ms(5), [&] {
+    order.push_back(0);
+    sched.at(sim_ms(5), [&] { order.push_back(9); });
+  });
+  sched.at(sim_ms(5), [&] { order.push_back(1); });
+  sched.at(sim_ms(5), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
 TEST(Scheduler, AfterIsRelative) {
   Scheduler sched;
   SimTime fired = 0;
@@ -65,6 +96,36 @@ TEST(Scheduler, RunUntilAdvancesClockOnEmptyQueue) {
   Scheduler sched;
   sched.run_until(sim_sec(5));
   EXPECT_EQ(sched.now(), sim_sec(5));
+}
+
+TEST(Scheduler, RunUntilEndsAtDeadlineWhenQueueDrainsEarly) {
+  // The clock must land exactly on the deadline even if the last event fires
+  // well before it — callers rely on now() to compute the next round's times.
+  Scheduler sched;
+  int count = 0;
+  sched.at(sim_ms(3), [&] { ++count; });
+  sched.at(sim_ms(7), [&] { ++count; });
+  EXPECT_EQ(sched.run_until(sim_ms(50)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.now(), sim_ms(50));
+}
+
+TEST(Scheduler, RunUntilDeadlineIsInclusive) {
+  // An event exactly at the deadline fires (time ≤ deadline).
+  Scheduler sched;
+  int count = 0;
+  sched.at(sim_ms(10), [&] { ++count; });
+  sched.run_until(sim_ms(10));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sched.now(), sim_ms(10));
+}
+
+TEST(Scheduler, RunUntilPastDeadlineDoesNotRewindClock) {
+  Scheduler sched;
+  sched.run_until(sim_ms(20));
+  sched.run_until(sim_ms(10));  // already past: a no-op
+  EXPECT_EQ(sched.now(), sim_ms(20));
 }
 
 TEST(Scheduler, StepReturnsFalseWhenEmpty) {

@@ -1,0 +1,8 @@
+// Shared test entry point. Compiles identically against the vendored
+// minigtest shim and a real system GoogleTest (BLOCKDAG_SYSTEM_GTEST=ON).
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,5 @@
+// Maps `#include <gtest/gtest.h>` onto the vendored minigtest shim. The
+// `gtest` interface target in CMakeLists.txt puts this directory on the
+// include path when BLOCKDAG_SYSTEM_GTEST is OFF (the offline default).
+#pragma once
+#include "../../minigtest.h"

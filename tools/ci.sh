@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# CI entry point: the tier-1 verify command on a Release build, then an
+# Asan build running the tier1 ctest label. Mirrors .github/workflows/ci.yml;
+# see BUILDING.md for the full command reference.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> Release build + full suite (tier-1 verify)"
+cmake -B build-ci -S .
+cmake --build build-ci -j "$jobs"
+# `cd` instead of `ctest --test-dir` keeps the script working on CMake < 3.20.
+(cd build-ci && ctest --output-on-failure -j "$jobs")
+
+echo "==> Asan build + tier1 label"
+cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Asan \
+      -DBLOCKDAG_BUILD_BENCHES=OFF -DBLOCKDAG_BUILD_EXAMPLES=OFF \
+      -DBLOCKDAG_BUILD_TOOLS=OFF
+cmake --build build-ci-asan -j "$jobs"
+(cd build-ci-asan && ctest --output-on-failure -j "$jobs" -L tier1)
+
+echo "==> CI OK"
