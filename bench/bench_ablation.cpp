@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "protocols/brb.h"
+#include "runtime/bench_report.h"
 #include "runtime/cluster.h"
 #include "runtime/table.h"
 #include "util/histogram.h"
@@ -60,7 +61,7 @@ AblationResult run_pacing(PacingConfig pacing, SeqNoMode mode = SeqNoMode::kCons
                         cluster.shim(0).dag().size()};
 }
 
-void ablation_pacing() {
+void ablation_pacing(BenchReport& report) {
   std::printf("A1: dissemination pacing policies (16 staggered broadcasts, n=4)\n\n");
   Table table({"policy", "mean latency ms", "wire msgs", "wire KB", "blocks"});
 
@@ -83,17 +84,21 @@ void ablation_pacing() {
   };
   row("timer 20ms", timer);
   row("timer 20ms + eager", eager);
-  row("timer 20ms + skip-empty", lazy);
-  row("timer 100ms", slow);
-  row("timer 100ms + eager", slow_eager);
-  table.print();
-  std::printf("\n");
+  if (!report.smoke()) {
+    row("timer 20ms + skip-empty", lazy);
+    row("timer 100ms", slow);
+    row("timer 100ms + eager", slow_eager);
+  }
+  report.add("pacing", table);
 }
 
-void ablation_fwd() {
+void ablation_fwd(BenchReport& report) {
   std::printf("A2: FWD retry delay under 30%% transient loss (n=4)\n\n");
   Table table({"fwd delay ms", "mean latency ms", "FWD requests", "wire msgs"});
-  for (SimTime delay : {sim_ms(5), sim_ms(20), sim_ms(80), sim_ms(320)}) {
+  const std::vector<SimTime> delays =
+      report.smoke() ? std::vector<SimTime>{sim_ms(20)}
+                     : std::vector<SimTime>{sim_ms(5), sim_ms(20), sim_ms(80), sim_ms(320)};
+  for (SimTime delay : delays) {
     ClusterConfig cfg;
     cfg.n_servers = 4;
     cfg.seed = 13;
@@ -125,11 +130,10 @@ void ablation_fwd() {
                    Table::num(latency.mean(), 1), Table::num(fwd),
                    Table::num(cluster.network().metrics().total_messages())});
   }
-  table.print();
-  std::printf("\n");
+  report.add("fwd_retry", table);
 }
 
-void ablation_seqno() {
+void ablation_seqno(BenchReport& report) {
   std::printf("A3: sequence-number validity mode (honest run, n=4)\n\n");
   Table table({"mode", "mean latency ms", "wire msgs", "blocks"});
   PacingConfig pacing;
@@ -140,17 +144,18 @@ void ablation_seqno() {
                  Table::num(strict.wire_messages), Table::num(strict.blocks)});
   table.add_row({"increasing (§7 ext.)", Table::num(loose.mean_latency_ms, 1),
                  Table::num(loose.wire_messages), Table::num(loose.blocks)});
-  table.print();
-  std::printf("\nExpected: identical — honest servers emit consecutive numbers\n"
+  report.add("seqno_mode", table);
+  std::printf("Expected: identical — honest servers emit consecutive numbers\n"
               "either way; the relaxed rule only widens what recovery may accept.\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_ablation", argc, argv);
   std::printf("ABLATIONS: implementation knobs the paper delegates (DESIGN.md §5)\n\n");
-  ablation_pacing();
-  ablation_fwd();
-  ablation_seqno();
-  return 0;
+  ablation_pacing(report);
+  ablation_fwd(report);
+  if (!report.smoke()) ablation_seqno(report);
+  return report.finish();
 }

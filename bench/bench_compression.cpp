@@ -15,6 +15,7 @@
 
 #include "baseline/direct_node.h"
 #include "protocols/brb.h"
+#include "runtime/bench_report.h"
 #include "runtime/cluster.h"
 #include "runtime/table.h"
 
@@ -97,14 +98,20 @@ RunResult run_direct(std::uint32_t n, std::uint32_t k_instances, std::size_t pay
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_compression", argc, argv);
   std::printf("CLAIM-COMPRESS: wire traffic, shim(BRB) vs direct BRB\n");
   std::printf("(every server broadcasts on K parallel instances; payload 32B)\n\n");
 
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4} : std::vector<std::uint32_t>{4, 7, 10, 16};
+  const std::vector<std::uint32_t> ks = report.smoke()
+                                            ? std::vector<std::uint32_t>{1, 16}
+                                            : std::vector<std::uint32_t>{1, 16, 64, 256};
   Table table({"n", "K", "direct msgs", "shim msgs", "direct MB", "shim MB",
                "msg ratio", "shim B/instance", "materialized"});
-  for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
-    for (std::uint32_t k : {1u, 16u, 64u, 256u}) {
+  for (std::uint32_t n : ns) {
+    for (std::uint32_t k : ks) {
       const RunResult direct = run_direct(n, k, 32);
       const RunResult shim = run_shim(n, k, 32);
       table.add_row(
@@ -119,11 +126,11 @@ int main() {
            Table::num(shim.materialized)});
     }
   }
-  table.print();
+  report.add("wire_traffic", table);
   std::printf(
-      "\nExpected shape (paper §4/§5): direct messages grow ~K·n²; shim wire\n"
+      "Expected shape (paper §4/§5): direct messages grow ~K·n²; shim wire\n"
       "messages are K-independent blocks, so 'msg ratio' grows with K while\n"
       "'materialized' shows the protocol messages still being computed — the\n"
       "compression is real, no message content crossed the wire.\n");
-  return 0;
+  return report.finish();
 }

@@ -9,6 +9,7 @@
 
 #include "crypto/signature.h"
 #include "gossip/gossip.h"
+#include "runtime/bench_report.h"
 #include "runtime/table.h"
 
 namespace {
@@ -24,7 +25,7 @@ struct PropResult {
   std::size_t blocks;
 };
 
-PropResult run(std::uint32_t n, double drop, std::uint64_t seed) {
+PropResult run(std::uint32_t n, double drop, std::uint64_t seed, int rounds) {
   Scheduler sched;
   IdealSignatureProvider sigs(n, seed);
   NetworkConfig net_cfg;
@@ -57,10 +58,9 @@ PropResult run(std::uint32_t n, double drop, std::uint64_t seed) {
     });
   }
 
-  // 50 paced rounds plus trailing empty beats so the final blocks get
+  // `rounds` paced rounds plus trailing empty beats so the final blocks get
   // referenced (references are what drive FWD recovery).
-  constexpr int kRounds = 50;
-  for (int r = 0; r < kRounds + 10; ++r) {
+  for (int r = 0; r < rounds + 10; ++r) {
     for (auto& s : servers) s->disseminate();
     sched.run_until(sched.now() + sim_ms(10));
   }
@@ -83,15 +83,22 @@ PropResult run(std::uint32_t n, double drop, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_gossip", argc, argv);
+  const int rounds = report.smoke() ? 10 : 50;
   std::printf("GOSSIP-CONV: block propagation to all servers (Lemma 3.7)\n");
-  std::printf("(50 rounds @10ms pacing; uniform 1-10ms links; persistent drop rate,\n");
+  std::printf("(%d rounds @10ms pacing; uniform 1-10ms links; persistent drop rate,\n",
+              rounds);
   std::printf(" recovery purely via FWD re-requests)\n\n");
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4} : std::vector<std::uint32_t>{4, 7, 10, 16};
+  const std::vector<double> drops =
+      report.smoke() ? std::vector<double>{0.0, 0.3} : std::vector<double>{0.0, 0.1, 0.3};
   Table table({"n", "drop %", "mean ms", "p95 ms", "max ms", "FWD reqs",
                "dropped", "blocks measured"});
-  for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
-    for (double drop : {0.0, 0.1, 0.3}) {
-      const PropResult r = run(n, drop, 42 + n);
+  for (std::uint32_t n : ns) {
+    for (double drop : drops) {
+      const PropResult r = run(n, drop, 42 + n, rounds);
       table.add_row({Table::num(static_cast<std::uint64_t>(n)),
                      Table::num(drop * 100, 0), Table::num(r.mean_ms, 1),
                      Table::num(r.p95_ms, 1), Table::num(r.max_ms, 1),
@@ -99,10 +106,10 @@ int main() {
                      Table::num(static_cast<std::uint64_t>(r.blocks))});
     }
   }
-  table.print();
+  report.add("propagation", table);
   std::printf(
-      "\nExpected shape: with no drops propagation ≈ one network latency;\n"
+      "Expected shape: with no drops propagation ≈ one network latency;\n"
       "drops shift the tail by multiples of the FWD retry delay but every\n"
       "measured block still reaches all servers (Assumption 1 + forwarding).\n");
-  return 0;
+  return report.finish();
 }

@@ -9,6 +9,7 @@
 
 #include "baseline/direct_node.h"
 #include "protocols/brb.h"
+#include "runtime/bench_report.h"
 #include "runtime/cluster.h"
 #include "runtime/table.h"
 
@@ -81,24 +82,30 @@ double direct_latency_ms(std::uint32_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_latency", argc, argv);
   std::printf("E2E-LAT: BRB request→deliver latency through shim(P)\n");
   std::printf("(network: uniform 2–10ms one-way)\n\n");
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4} : std::vector<std::uint32_t>{4, 7, 10};
+  const std::vector<SimTime> intervals =
+      report.smoke() ? std::vector<SimTime>{sim_ms(5), sim_ms(100)}
+                     : std::vector<SimTime>{sim_ms(5), sim_ms(20), sim_ms(100), sim_ms(500)};
   Table table({"n", "disseminate interval ms", "shim latency ms", "direct latency ms"});
-  for (std::uint32_t n : {4u, 7u, 10u}) {
+  for (std::uint32_t n : ns) {
     const double direct = direct_latency_ms(n, 5);
-    for (SimTime interval : {sim_ms(5), sim_ms(20), sim_ms(100), sim_ms(500)}) {
+    for (SimTime interval : intervals) {
       table.add_row({Table::num(static_cast<std::uint64_t>(n)),
                      Table::num(static_cast<double>(interval) / 1e6, 0),
                      Table::num(shim_latency_ms(n, interval, 5), 1),
                      Table::num(direct, 1)});
     }
   }
-  table.print();
+  report.add("latency", table);
   std::printf(
-      "\nExpected shape: shim latency ≈ (#protocol rounds) × (interval +\n"
+      "Expected shape: shim latency ≈ (#protocol rounds) × (interval +\n"
       "network), scaling linearly with the disseminate interval — the\n"
       "throughput/latency trade the paper attributes to batching; the\n"
       "direct baseline pays only network RTTs.\n");
-  return 0;
+  return report.finish();
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "protocols/brb.h"
+#include "runtime/bench_report.h"
 #include "runtime/cluster.h"
 #include "runtime/table.h"
 
@@ -63,11 +64,15 @@ ParResult run(std::uint32_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_parallel_instances", argc, argv);
   std::printf("CLAIM-PAR: marginal cost of parallel instances (n=4, BRB)\n\n");
+  const std::vector<std::uint32_t> sweep =
+      report.smoke() ? std::vector<std::uint32_t>{1, 16, 64}
+                     : std::vector<std::uint32_t>{1, 4, 16, 64, 256, 1024, 4096};
   Table table({"K", "blocks", "wire KB", "KB/instance", "materialized msgs",
                "wall ms", "all delivered"});
-  for (std::uint32_t k : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+  for (std::uint32_t k : sweep) {
     const ParResult r = run(k);
     table.add_row({Table::num(static_cast<std::uint64_t>(k)), Table::num(r.blocks),
                    Table::num(static_cast<double>(r.wire_bytes) / 1e3, 1),
@@ -75,11 +80,11 @@ int main() {
                    Table::num(r.materialized), Table::num(r.wall_ms, 1),
                    r.all_delivered ? "yes" : "NO"});
   }
-  table.print();
+  report.add("marginal_cost", table);
   std::printf(
-      "\nExpected shape (paper §1/§4): block count stays ~flat in K (instances\n"
+      "Expected shape (paper §1/§4): block count stays ~flat in K (instances\n"
       "ride existing blocks), KB/instance falls toward the bare request size,\n"
       "materialized messages grow ~linearly in K — parallel instances are\n"
       "'for free' on the wire, paid only in local interpretation.\n");
-  return 0;
+  return report.finish();
 }

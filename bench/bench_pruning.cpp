@@ -6,6 +6,7 @@
 
 #include "interpret/interpreter.h"
 #include "protocols/brb.h"
+#include "runtime/bench_report.h"
 #include "runtime/cluster.h"
 #include "runtime/table.h"
 
@@ -68,11 +69,15 @@ PruneRow run(std::uint32_t rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_pruning", argc, argv);
   std::printf("ABL-PRUNE: DAG memory growth vs checkpoint pruning (§7)\n\n");
+  const std::vector<std::uint32_t> sweep =
+      report.smoke() ? std::vector<std::uint32_t>{25, 50}
+                     : std::vector<std::uint32_t>{25, 50, 100, 200, 400};
   Table table({"rounds", "blocks (full)", "KB (full)", "blocks (pruned)",
                "KB (pruned)", "reduction"});
-  for (std::uint32_t rounds : {25u, 50u, 100u, 200u, 400u}) {
+  for (std::uint32_t rounds : sweep) {
     const PruneRow r = run(rounds);
     table.add_row(
         {Table::num(static_cast<std::uint64_t>(rounds)),
@@ -83,10 +88,10 @@ int main() {
          Table::num(100.0 * (1.0 - static_cast<double>(r.bytes_after) /
                                        static_cast<double>(r.bytes_before)), 1) + "%"});
   }
-  table.print();
+  report.add("pruning", table);
   std::printf(
-      "\nExpected shape: unpruned storage grows linearly with rounds forever\n"
+      "Expected shape: unpruned storage grows linearly with rounds forever\n"
       "(the paper's limitation); checkpoint pruning keeps the retained state\n"
       "at ~one round of blocks per server.\n");
-  return 0;
+  return report.finish();
 }

@@ -13,6 +13,7 @@
 #include "baseline/direct_node.h"
 #include "crypto/wots.h"
 #include "protocols/brb.h"
+#include "runtime/bench_report.h"
 #include "runtime/cluster.h"
 #include "runtime/table.h"
 
@@ -75,12 +76,17 @@ SigResult run_direct(std::uint32_t n, std::uint32_t k, bool wots) {
   return SigResult{sigs->counters().signs, sigs->counters().verifies, deliveries};
 }
 
-void sweep(bool wots) {
+void sweep(BenchReport& report, bool wots) {
   std::printf("\n-- provider: %s --\n", wots ? "WOTS (real hash-based)" : "ideal (HMAC)");
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4} : std::vector<std::uint32_t>{4, 7};
+  const std::vector<std::uint32_t> ks = report.smoke()
+                                            ? std::vector<std::uint32_t>{1, 16}
+                                            : std::vector<std::uint32_t>{1, 16, 64};
   Table table({"n", "K", "direct signs", "shim signs", "direct verifies",
                "shim verifies", "signs/delivery direct", "signs/delivery shim"});
-  for (std::uint32_t n : {4u, 7u}) {
-    for (std::uint32_t k : {1u, 16u, 64u}) {
+  for (std::uint32_t n : ns) {
+    for (std::uint32_t k : ks) {
       const SigResult d = run_direct(n, k, wots);
       const SigResult s = run_shim(n, k, wots);
       table.add_row({Table::num(static_cast<std::uint64_t>(n)),
@@ -93,18 +99,19 @@ void sweep(bool wots) {
                                     static_cast<double>(s.deliveries ? s.deliveries : 1), 2)});
     }
   }
-  table.print();
+  report.add(wots ? "wots" : "ideal", table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("bench_signatures", argc, argv);
   std::printf("CLAIM-SIG: signature operations, shim(BRB) vs direct BRB\n");
-  sweep(/*wots=*/false);
-  sweep(/*wots=*/true);
+  sweep(report, /*wots=*/false);
+  sweep(report, /*wots=*/true);
   std::printf(
-      "\nExpected shape (paper §4/§5): direct signs grow with K (every ECHO/\n"
+      "Expected shape (paper §4/§5): direct signs grow with K (every ECHO/\n"
       "READY individually signed); shim signs count blocks only and are\n"
       "K-independent — signs-per-delivery falls toward 0 as K grows.\n");
-  return 0;
+  return report.finish();
 }

@@ -5,45 +5,81 @@
 
 namespace blockdag {
 
-namespace {
-const std::vector<Hash256> kNoChildren;
-}  // namespace
-
 bool BlockDag::insert(BlockPtr block) {
   const Hash256& ref = block->ref();
   if (index_.count(ref)) return true;  // Lemma 2.2(1): idempotent
 
+  // Resolve preds to dense indices up front; a missing pred aborts before
+  // any mutation (Definition 3.4 precondition). Duplicates collapse — the
+  // edge set is a set.
+  std::vector<BlockIdx> preds;
+  preds.reserve(block->preds().size());
   for (const Hash256& p : block->preds()) {
-    if (!index_.count(p)) return false;  // Definition 3.4 precondition
-  }
-
-  // Edges are determined by preds; deduplicate so the edge set is a set.
-  std::unordered_set<Hash256> seen;
-  for (const Hash256& p : block->preds()) {
-    if (seen.insert(p).second) {
-      index_[p].children.push_back(ref);
-      ++edge_count_;
+    const auto it = index_.find(p);
+    if (it == index_.end()) return false;
+    if (std::find(preds.begin(), preds.end(), it->second) == preds.end()) {
+      preds.push_back(it->second);
     }
   }
 
-  Node& node = index_[ref];
+  // Resolve the Definition 3.1 parent once: first pred with the same
+  // builder and a smaller sequence number.
+  BlockIdx parent = kNoBlockIdx;
+  if (!block->is_genesis()) {
+    for (BlockIdx p : preds) {
+      const BlockPtr& cand = nodes_[p].block;
+      if (cand->n() == block->n() && cand->k() < block->k()) {
+        parent = p;
+        break;
+      }
+    }
+  }
+
+  const BlockIdx idx = static_cast<BlockIdx>(nodes_.size());
+  for (BlockIdx p : preds) {
+    nodes_[p].children.push_back(idx);
+    ++edge_count_;
+  }
+  Node node;
   node.block = block;
+  node.preds = std::move(preds);
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  index_.emplace(ref, idx);
   order_.push_back(std::move(block));
   return true;
 }
 
 BlockPtr BlockDag::get(const Hash256& ref) const {
   const auto it = index_.find(ref);
-  return it == index_.end() ? nullptr : it->second.block;
+  return it == index_.end() ? nullptr : nodes_[it->second].block;
 }
 
-const std::vector<Hash256>& BlockDag::children(const Hash256& ref) const {
+BlockIdx BlockDag::index_of(const Hash256& ref) const {
   const auto it = index_.find(ref);
-  return it == index_.end() ? kNoChildren : it->second.children;
+  return it == index_.end() ? kNoBlockIdx : it->second;
+}
+
+std::vector<Hash256> BlockDag::children(const Hash256& ref) const {
+  std::vector<Hash256> out;
+  const BlockIdx i = index_of(ref);
+  if (i == kNoBlockIdx) return out;
+  out.reserve(nodes_[i].children.size());
+  for (BlockIdx c : nodes_[i].children) {
+    if (alive(c)) out.push_back(nodes_[c].block->ref());
+  }
+  return out;
 }
 
 BlockPtr BlockDag::parent_of(const Block& block) const {
   if (block.is_genesis()) return nullptr;
+  const BlockIdx i = index_of(block.ref());
+  if (i != kNoBlockIdx) {
+    const BlockIdx p = nodes_[i].parent;
+    return p != kNoBlockIdx && alive(p) ? nodes_[p].block : nullptr;
+  }
+  // The block itself is not (or no longer) in this DAG: fall back to
+  // scanning its pred hashes, as callers may hold foreign blocks.
   for (const Hash256& p : block.preds()) {
     const BlockPtr cand = get(p);
     if (cand && cand->n() == block.n() && cand->k() < block.k()) return cand;
@@ -59,18 +95,23 @@ bool BlockDag::subgraph_of(const BlockDag& other) const {
 }
 
 bool BlockDag::reachable(const Hash256& ancestor, const Hash256& descendant) const {
-  if (ancestor == descendant) return false;  // strict ⇀+
-  // Walk backwards from descendant over preds.
-  std::deque<Hash256> frontier{descendant};
-  std::unordered_set<Hash256> visited;
+  const BlockIdx anc = index_of(ancestor);
+  const BlockIdx desc = index_of(descendant);
+  if (anc == kNoBlockIdx || desc == kNoBlockIdx) return false;
+  if (anc == desc) return false;  // strict ⇀+
+  // Walk backwards from descendant over preds with an index bitvector.
+  std::vector<char> visited(nodes_.size(), 0);
+  std::deque<BlockIdx> frontier{desc};
+  visited[desc] = 1;
   while (!frontier.empty()) {
-    const Hash256 cur = frontier.front();
+    const BlockIdx cur = frontier.front();
     frontier.pop_front();
-    const BlockPtr b = get(cur);
-    if (!b) continue;
-    for (const Hash256& p : b->preds()) {
-      if (p == ancestor) return true;
-      if (visited.insert(p).second) frontier.push_back(p);
+    for (BlockIdx p : nodes_[cur].preds) {
+      if (p == anc) return true;
+      if (!visited[p]) {
+        visited[p] = 1;
+        if (alive(p)) frontier.push_back(p);
+      }
     }
   }
   return false;
@@ -78,16 +119,21 @@ bool BlockDag::reachable(const Hash256& ancestor, const Hash256& descendant) con
 
 std::vector<BlockPtr> BlockDag::ancestors_of(const Hash256& ref) const {
   std::vector<BlockPtr> out;
-  std::deque<Hash256> frontier{ref};
-  std::unordered_set<Hash256> visited{ref};
+  const BlockIdx start = index_of(ref);
+  if (start == kNoBlockIdx) return out;
+  std::vector<char> visited(nodes_.size(), 0);
+  std::deque<BlockIdx> frontier{start};
+  visited[start] = 1;
   while (!frontier.empty()) {
-    const Hash256 cur = frontier.front();
+    const BlockIdx cur = frontier.front();
     frontier.pop_front();
-    const BlockPtr b = get(cur);
-    if (!b) continue;
-    out.push_back(b);
-    for (const Hash256& p : b->preds()) {
-      if (visited.insert(p).second) frontier.push_back(p);
+    if (!alive(cur)) continue;  // pruned-away ancestor
+    out.push_back(nodes_[cur].block);
+    for (BlockIdx p : nodes_[cur].preds) {
+      if (!visited[p]) {
+        visited[p] = 1;
+        frontier.push_back(p);
+      }
     }
   }
   return out;
@@ -102,42 +148,53 @@ void BlockDag::absorb(const BlockDag& other) {
 }
 
 std::size_t BlockDag::prune_below(const std::vector<Hash256>& checkpoints) {
-  // Collect proper ancestors of all checkpoints.
-  std::unordered_set<Hash256> doomed;
-  std::deque<Hash256> frontier;
-  const auto mark = [&](const Hash256& p) {
-    // Only blocks still present count; earlier prunes may have left refs
-    // dangling (which is fine — pruned history is gone by design).
-    if (contains(p) && doomed.insert(p).second) frontier.push_back(p);
+  // Collect proper ancestors of all checkpoints with an index bitvector.
+  std::vector<char> doomed(nodes_.size(), 0);
+  std::deque<BlockIdx> frontier;
+  const auto mark = [&](BlockIdx p) {
+    // Only live blocks count; earlier prunes may have left tombstones
+    // (which is fine — pruned history is gone by design).
+    if (alive(p) && !doomed[p]) {
+      doomed[p] = 1;
+      frontier.push_back(p);
+    }
   };
   for (const Hash256& c : checkpoints) {
-    const BlockPtr b = get(c);
-    if (!b) continue;
-    for (const Hash256& p : b->preds()) mark(p);
+    const BlockIdx ci = index_of(c);
+    if (ci == kNoBlockIdx || !alive(ci)) continue;
+    for (BlockIdx p : nodes_[ci].preds) mark(p);
   }
   while (!frontier.empty()) {
-    const Hash256 cur = frontier.front();
+    const BlockIdx cur = frontier.front();
     frontier.pop_front();
-    const BlockPtr b = get(cur);
-    if (!b) continue;
-    for (const Hash256& p : b->preds()) mark(p);
+    for (BlockIdx p : nodes_[cur].preds) mark(p);
   }
-  if (doomed.empty()) return 0;
 
-  // The doomed set is ancestor-closed, so every pred of a doomed block is
-  // itself doomed. Hence every edge incident to a doomed block is an
-  // *out*-edge of some doomed block (doomed → doomed or doomed → survivor),
-  // and no surviving child list references a doomed block.
-  for (const Hash256& d : doomed) {
-    const auto it = index_.find(d);
-    if (it == index_.end()) continue;
-    edge_count_ -= it->second.children.size();
-    index_.erase(it);
-  }
+  // Tombstone the doomed slots. The doomed set is ancestor-closed, so every
+  // pred of a doomed block is itself doomed. Hence every edge incident to a
+  // doomed block is an *out*-edge of some doomed block (doomed → doomed or
+  // doomed → survivor), and no surviving child list references a doomed
+  // block. Survivors' pred lists may keep tombstone indices — consumers
+  // check alive().
+  std::size_t removed = 0;
   order_.erase(std::remove_if(order_.begin(), order_.end(),
-                              [&](const BlockPtr& b) { return doomed.count(b->ref()) > 0; }),
+                              [&](const BlockPtr& b) {
+                                const BlockIdx i = index_of(b->ref());
+                                return i != kNoBlockIdx && doomed[i];
+                              }),
                order_.end());
-  return doomed.size();
+  for (BlockIdx i = 0; i < nodes_.size(); ++i) {
+    if (!doomed[i]) continue;
+    Node& node = nodes_[i];
+    edge_count_ -= node.children.size();
+    index_.erase(node.block->ref());
+    node.block.reset();
+    node.preds = {};
+    node.children = {};
+    node.parent = kNoBlockIdx;
+    ++removed;
+  }
+  return removed;
 }
 
 }  // namespace blockdag

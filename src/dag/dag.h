@@ -8,10 +8,23 @@
 // graph stays acyclic by construction. The precondition of Definition 3.4
 // (all preds present, block valid for the owner) is asserted by the caller
 // (gossip) via the Validator; the DAG itself enforces the structural part.
+//
+// Representation: every inserted block gets a dense BlockIdx (assigned in
+// insertion = topological order), and all graph structure — pred lists,
+// child lists, the parent link of Definition 3.1 — is resolved to indices
+// once, at insert time. Consumers on the hot path (the interpreter, graph
+// walks) work purely on indices over contiguous arrays; the Hash256-keyed
+// methods remain as a thin lookup shell for everything else. Pruning
+// (§7 extension) tombstones slots instead of compacting, so indices stay
+// stable across prune_below — the interpreter's per-index state never needs
+// remapping. A tombstone keeps only the empty Node shell (~48 bytes); the
+// block payload and interpretation state are freed, which is what the §7
+// memory bound is about.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -20,6 +33,13 @@
 #include "dag/block_store.h"
 
 namespace blockdag {
+
+// Dense index of a block in its BlockDag, assigned at insert in
+// topological order. Stable for the lifetime of the DAG (pruning
+// tombstones, it does not compact).
+using BlockIdx = std::uint32_t;
+
+inline constexpr BlockIdx kNoBlockIdx = std::numeric_limits<BlockIdx>::max();
 
 class BlockDag {
  public:
@@ -34,6 +54,28 @@ class BlockDag {
   bool contains(const Hash256& ref) const { return index_.count(ref) > 0; }
   BlockPtr get(const Hash256& ref) const;
 
+  // Dense index of `ref`, kNoBlockIdx if absent (never inserted or pruned).
+  BlockIdx index_of(const Hash256& ref) const;
+
+  // ------------------------------------------------------------------
+  // Index-based hot-path API. Valid indices are [0, node_count()); a slot
+  // may be a pruned tombstone — check alive() before dereferencing.
+  // ------------------------------------------------------------------
+  std::size_t node_count() const { return nodes_.size(); }  // incl. tombstones
+  bool alive(BlockIdx i) const {
+    return i < nodes_.size() && nodes_[i].block != nullptr;
+  }
+  const BlockPtr& block_at(BlockIdx i) const { return nodes_[i].block; }
+  // Pred indices, deduplicated, in block-order of first occurrence. Entries
+  // may be tombstones after pruning.
+  const std::vector<BlockIdx>& preds_of(BlockIdx i) const { return nodes_[i].preds; }
+  const std::vector<BlockIdx>& children_of(BlockIdx i) const {
+    return nodes_[i].children;
+  }
+  // The parent of Definition 3.1 (unique pred with the same builder),
+  // resolved once at insert; kNoBlockIdx for genesis blocks or when absent.
+  BlockIdx parent_of(BlockIdx i) const { return nodes_[i].parent; }
+
   std::size_t size() const { return order_.size(); }
   std::size_t edge_count() const { return edge_count_; }
 
@@ -42,7 +84,7 @@ class BlockDag {
   const std::vector<BlockPtr>& topological_order() const { return order_; }
 
   // Direct successors of `ref`: blocks B' with ref ∈ B'.preds.
-  const std::vector<Hash256>& children(const Hash256& ref) const;
+  std::vector<Hash256> children(const Hash256& ref) const;
 
   // The parent of `block` — the unique pred with the same builder
   // (Definition 3.1); nullptr for genesis blocks or when absent.
@@ -53,7 +95,8 @@ class BlockDag {
   // determined by preds lists), so this reduces to vertex containment.
   bool subgraph_of(const BlockDag& other) const;
 
-  // True if `ancestor ⇀+ descendant` (strict reachability).
+  // True if `ancestor ⇀+ descendant` (strict reachability). Both blocks
+  // must currently be in the DAG.
   bool reachable(const Hash256& ancestor, const Hash256& descendant) const;
 
   // All blocks B' with B' ⇀* B (ancestors including B itself).
@@ -65,17 +108,21 @@ class BlockDag {
 
   // Removes all blocks strictly below the given checkpoint refs (their
   // proper ancestors) — the §7 bounded-memory extension. Returns the number
-  // of blocks removed.
+  // of blocks removed. Slots are tombstoned; indices of survivors are
+  // unchanged.
   std::size_t prune_below(const std::vector<Hash256>& checkpoints);
 
  private:
   struct Node {
-    BlockPtr block;
-    std::vector<Hash256> children;
+    BlockPtr block;  // nullptr ⇒ pruned tombstone
+    std::vector<BlockIdx> preds;
+    std::vector<BlockIdx> children;
+    BlockIdx parent = kNoBlockIdx;
   };
 
-  std::unordered_map<Hash256, Node> index_;
-  std::vector<BlockPtr> order_;
+  std::unordered_map<Hash256, BlockIdx> index_;
+  std::vector<Node> nodes_;       // indexed by BlockIdx
+  std::vector<BlockPtr> order_;   // live blocks only, insertion order
   std::size_t edge_count_ = 0;
 };
 

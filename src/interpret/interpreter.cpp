@@ -1,7 +1,7 @@
 #include "interpret/interpreter.h"
 
 #include <cassert>
-#include <set>
+#include <utility>
 
 #include "crypto/sha256.h"
 #include "util/serialize.h"
@@ -13,36 +13,44 @@ Interpreter::Interpreter(const BlockDag& dag, const ProtocolFactory& factory,
     : dag_(dag), factory_(factory), n_servers_(n_servers) {}
 
 bool Interpreter::is_interpreted(const Hash256& ref) const {
-  const auto it = states_.find(ref);
-  return it != states_.end() && it->second.interpreted;
+  return interpreted_at(dag_.index_of(ref));
 }
 
-bool Interpreter::eligible(const Hash256& ref) const {
+bool Interpreter::eligible_at(BlockIdx idx) const {
   // eligible(B): B ∈ G, I[B] = false, and I[Bi] for every Bi ∈ B.preds.
-  const BlockPtr block = dag_.get(ref);
-  if (!block || is_interpreted(ref)) return false;
-  for (const Hash256& p : block->preds()) {
-    if (!is_interpreted(p)) return false;
+  // A pruned-then-forgotten pred reads as uninterpreted, exactly like the
+  // hash-keyed representation did.
+  if (!dag_.alive(idx) || interpreted_at(idx)) return false;
+  for (BlockIdx p : dag_.preds_of(idx)) {
+    if (!interpreted_at(p)) return false;
   }
   return true;
 }
 
+bool Interpreter::eligible(const Hash256& ref) const {
+  const BlockIdx idx = dag_.index_of(ref);
+  return idx != kNoBlockIdx && eligible_at(idx);
+}
+
+const BlockInterpretation* Interpreter::state_at(BlockIdx idx) const {
+  return interpreted_at(idx) ? &states_[idx] : nullptr;
+}
+
 const BlockInterpretation* Interpreter::state_of(const Hash256& ref) const {
-  const auto it = states_.find(ref);
-  return it == states_.end() ? nullptr : &it->second;
+  return state_at(dag_.index_of(ref));
 }
 
 std::size_t Interpreter::run() {
-  const auto& order = dag_.topological_order();
+  sync_states();
+  const std::size_t n = dag_.node_count();
   std::size_t done = 0;
-  while (cursor_ < order.size()) {
-    const BlockPtr& block = order[cursor_];
-    if (is_interpreted(block->ref())) {
+  while (cursor_ < n) {
+    if (!dag_.alive(cursor_) || states_[cursor_].interpreted) {
       ++cursor_;
       continue;
     }
-    if (!eligible(block->ref())) break;  // can only happen after pruning
-    interpret_block(block);
+    if (!eligible_at(cursor_)) break;  // can only happen after pruning
+    interpret_block(cursor_);
     ++cursor_;
     ++done;
   }
@@ -50,54 +58,94 @@ std::size_t Interpreter::run() {
 }
 
 bool Interpreter::interpret_one(const Hash256& ref) {
-  if (!eligible(ref)) return false;
-  interpret_block(dag_.get(ref));
+  sync_states();
+  const BlockIdx idx = dag_.index_of(ref);
+  if (idx == kNoBlockIdx || !eligible_at(idx)) return false;
+  interpret_block(idx);
   return true;
 }
 
-std::shared_ptr<const Process> Interpreter::instance_for(BlockInterpretation& st,
-                                                         Label label,
-                                                         ServerId owner) const {
-  const auto it = st.pis.find(label);
-  if (it != st.pis.end()) return it->second;
-  // Lazy start of P(ℓ, B.n): the paper initializes instances at genesis
-  // blocks; an implementation starts them on first use (Section 4).
-  std::shared_ptr<const Process> fresh = factory_.create(label, owner, n_servers_);
-  st.pis.emplace(label, fresh);
-  return fresh;
-}
-
-void Interpreter::interpret_block(const BlockPtr& block) {
-  const ServerId owner = block->n();
+void Interpreter::interpret_block(BlockIdx idx) {
+  const Block& block = *dag_.block_at(idx);
+  const ServerId owner = block.n();
+  const std::vector<BlockIdx>& preds = dag_.preds_of(idx);  // deduplicated
   BlockInterpretation st;
 
   // Line 4: copy the parent's process-instance states (copy-on-write: we
   // copy shared handles; instances clone only when they process an event).
-  if (const BlockPtr parent = dag_.parent_of(*block)) {
-    const auto pit = states_.find(parent->ref());
-    assert(pit != states_.end() && pit->second.interpreted);
-    st.pis = pit->second.pis;
+  const BlockIdx parent = dag_.parent_of(idx);
+  if (parent != kNoBlockIdx && dag_.alive(parent)) {
+    assert(states_[parent].interpreted);
+    st.pis = states_[parent].pis;
   }
+
   // Active labels flow down from *all* predecessors (the line 7 set ranges
-  // over requests anywhere in B's strict ancestry).
-  for (const Hash256& p : block->preds()) {
-    const auto pit = states_.find(p);
-    if (pit == states_.end()) continue;  // pruned-away ancestor
-    st.active_labels.insert(pit->second.active_labels.begin(),
-                            pit->second.active_labels.end());
+  // over requests anywhere in B's strict ancestry) plus this block's own
+  // inscriptions. The set only grows, so when no pred contributes a label
+  // outside the largest pred set and neither do the inscriptions, this
+  // block shares that set's storage instead of building its own.
+  std::vector<Label> own_labels;
+  own_labels.reserve(block.rs().size());
+  for (const LabeledRequest& lr : block.rs()) own_labels.push_back(lr.label);
+  std::sort(own_labels.begin(), own_labels.end());
+  own_labels.erase(std::unique(own_labels.begin(), own_labels.end()),
+                   own_labels.end());
+
+  const ActiveLabelSet* base = nullptr;
+  for (BlockIdx p : preds) {
+    if (!interpreted_at(p)) continue;  // pruned-away ancestor
+    const ActiveLabelSet& s = states_[p].active_labels;
+    if (!s.empty() && (!base || s.size() > base->size())) base = &s;
+  }
+  if (base != nullptr) {
+    bool can_share =
+        std::includes(base->begin(), base->end(), own_labels.begin(), own_labels.end());
+    for (BlockIdx p : preds) {
+      if (!can_share) break;
+      if (!interpreted_at(p)) continue;
+      const ActiveLabelSet& s = states_[p].active_labels;
+      if (s.empty() || s.handle() == base->handle()) continue;
+      can_share = std::includes(base->begin(), base->end(), s.begin(), s.end());
+    }
+    if (can_share) {
+      st.active_labels = *base;
+    } else {
+      std::vector<Label> merged = own_labels;
+      for (BlockIdx p : preds) {
+        if (!interpreted_at(p)) continue;
+        const ActiveLabelSet& s = states_[p].active_labels;
+        merged.insert(merged.end(), s.begin(), s.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      st.active_labels = ActiveLabelSet(
+          std::make_shared<const std::vector<Label>>(std::move(merged)));
+    }
+  } else if (!own_labels.empty()) {
+    st.active_labels = ActiveLabelSet(
+        std::make_shared<const std::vector<Label>>(std::move(own_labels)));
   }
 
   std::vector<std::pair<Label, Bytes>> raised;  // indications to emit last
 
   // Tracks per-label mutable working copies so multiple events to the same
-  // label within this block clone at most once.
-  std::map<Label, std::unique_ptr<Process>> working;
+  // label within this block clone at most once. A label with no inherited
+  // instance starts fresh directly as the working copy (lazy start of
+  // P(ℓ, B.n), Section 4) — no immutable placeholder + clone double
+  // allocation, and fresh creates are not counted as clones.
+  FlatMap<Label, std::unique_ptr<Process>> working;
   const auto working_for = [&](Label label) -> Process& {
     auto wit = working.find(label);
     if (wit == working.end()) {
-      std::shared_ptr<const Process> base = instance_for(st, label, owner);
-      ++stats_.instance_clones;
-      wit = working.emplace(label, base->clone()).first;
+      std::unique_ptr<Process> instance;
+      const auto pit = st.pis.find(label);
+      if (pit != st.pis.end()) {
+        ++stats_.instance_clones;
+        instance = pit->second->clone();
+      } else {
+        instance = factory_.create(label, owner, n_servers_);
+      }
+      wit = working.emplace(label, std::move(instance)).first;
     }
     return *wit->second;
   };
@@ -114,37 +162,38 @@ void Interpreter::interpret_block(const BlockPtr& block) {
 
   // Lines 5–6: feed the literal requests carried by this block, in the
   // order they were inscribed.
-  for (const LabeledRequest& lr : block->rs()) {
-    st.active_labels.insert(lr.label);
+  for (const LabeledRequest& lr : block.rs()) {
     ++stats_.requests_processed;
     absorb(lr.label, working_for(lr.label).on_request(lr.request));
   }
 
   // Lines 7–9: collect in-messages addressed to B.n from the out-buffers
-  // of direct predecessors. Ms[in, ℓ] has set semantics (∪), realized by an
-  // <M-ordered set — which also provides the line 10 iteration order.
-  std::map<Label, std::set<Message, MessageOrder>> inbox;
-  std::set<Hash256> seen_preds;  // duplicate refs collapse (set of edges)
-  for (const Hash256& p : block->preds()) {
-    if (!seen_preds.insert(p).second) continue;
-    const auto pit = states_.find(p);
-    if (pit == states_.end()) continue;  // pruned-away ancestor
-    for (const auto& [label, msgs] : pit->second.ms_out) {
+  // of direct predecessors. Ms[in, ℓ] has set semantics (∪), realized by
+  // sorting each flat per-label buffer in <M order and dropping duplicates
+  // — which also provides the line 10 iteration order.
+  FlatMap<Label, std::vector<Message>> inbox;
+  for (BlockIdx p : preds) {
+    if (!interpreted_at(p)) continue;  // pruned-away ancestor
+    for (const auto& [label, msgs] : states_[p].ms_out) {
       for (const Message& m : msgs) {
-        if (m.receiver == owner) inbox[label].insert(m);
+        if (m.receiver == owner) inbox[label].push_back(m);
       }
     }
   }
-
-  // Lines 10–11: feed each in-message in <M order.
   for (auto& [label, msgs] : inbox) {
-    auto& in_rec = st.ms_in[label];
+    std::sort(msgs.begin(), msgs.end(), MessageOrder{});
+    msgs.erase(std::unique(msgs.begin(), msgs.end()), msgs.end());
+  }
+
+  // Lines 10–11: feed each in-message in <M order; the fed buffers are
+  // exactly B.Ms[in].
+  for (const auto& [label, msgs] : inbox) {
     for (const Message& m : msgs) {
-      in_rec.push_back(m);
       ++stats_.messages_delivered;
       absorb(label, working_for(label).on_message(m));
     }
   }
+  st.ms_in = std::move(inbox);
 
   // Commit the advanced instances into B.PIs.
   for (auto& [label, proc] : working) {
@@ -154,7 +203,7 @@ void Interpreter::interpret_block(const BlockPtr& block) {
   // Line 12: I[B] = true.
   st.interpreted = true;
   ++stats_.blocks_interpreted;
-  states_[block->ref()] = std::move(st);
+  states_[idx] = std::move(st);
 
   // Lines 13–14: surface indications as (ℓ, i, B.n).
   for (auto& [label, indication] : raised) {
@@ -173,7 +222,7 @@ Bytes Interpreter::digest_of(const Hash256& ref) const {
       w.u64(label);
       w.bytes(proc->state_digest());
     }
-    const auto put_buffers = [&w](const std::map<Label, std::vector<Message>>& ms) {
+    const auto put_buffers = [&w](const FlatMap<Label, std::vector<Message>>& ms) {
       w.u32(static_cast<std::uint32_t>(ms.size()));
       for (const auto& [label, msgs] : ms) {
         w.u64(label);
@@ -189,15 +238,18 @@ Bytes Interpreter::digest_of(const Hash256& ref) const {
 }
 
 void Interpreter::forget_pruned() {
-  for (auto it = states_.begin(); it != states_.end();) {
-    if (!dag_.contains(it->first)) {
-      it = states_.erase(it);
-    } else {
-      ++it;
-    }
+  sync_states();
+  const std::size_t n = dag_.node_count();
+  for (BlockIdx i = 0; i < n; ++i) {
+    if (!dag_.alive(i)) states_[i] = BlockInterpretation{};
   }
-  // Reset the cursor: the topological order vector was rebuilt by pruning.
-  cursor_ = 0;
+  // Dense indices are stable across pruning, so the cursor's invariant
+  // (every slot below it is interpreted or tombstoned) still holds — no
+  // rescan from zero. Just skip ahead over now-dead slots so resume_index()
+  // points at the first live uninterpreted block.
+  while (cursor_ < n && (!dag_.alive(cursor_) || states_[cursor_].interpreted)) {
+    ++cursor_;
+  }
 }
 
 }  // namespace blockdag

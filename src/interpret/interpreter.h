@@ -22,19 +22,59 @@
 //
 // Messages materialized here are never sent on any wire: this is the
 // paper's message compression (Section 4 discussion).
+//
+// Layout: interpretation state is a contiguous std::vector indexed by the
+// DAG's dense BlockIdx, and per-block buffers are sorted flat vectors
+// (FlatMap) rather than node-based maps/sets — one allocation per buffer
+// instead of one per entry, and ordered iteration identical to std::map,
+// which keeps digest_of() byte-stable across the representation change.
 #pragma once
 
+#include <algorithm>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "dag/dag.h"
 #include "protocol/protocol.h"
+#include "util/flat_map.h"
 
 namespace blockdag {
+
+// Sorted, immutable, structurally-shared label set. The line-7 active-label
+// set only ever grows down the DAG, and most blocks introduce no new label,
+// so child blocks share the parent generation's vector copy-on-write
+// instead of re-unioning per block.
+class ActiveLabelSet {
+ public:
+  using Handle = std::shared_ptr<const std::vector<Label>>;
+
+  ActiveLabelSet() = default;
+  // `labels` must be sorted and duplicate-free.
+  explicit ActiveLabelSet(Handle labels) : labels_(std::move(labels)) {}
+
+  bool contains(Label l) const {
+    return labels_ && std::binary_search(labels_->begin(), labels_->end(), l);
+  }
+  std::size_t count(Label l) const { return contains(l) ? 1 : 0; }
+  bool empty() const { return !labels_ || labels_->empty(); }
+  std::size_t size() const { return labels_ ? labels_->size() : 0; }
+
+  std::vector<Label>::const_iterator begin() const { return values().begin(); }
+  std::vector<Label>::const_iterator end() const { return values().end(); }
+
+  // Identity of the underlying storage — equal handles ⇒ equal sets, used
+  // for the copy-on-write sharing fast path.
+  const Handle& handle() const { return labels_; }
+
+ private:
+  const std::vector<Label>& values() const {
+    static const std::vector<Label> kEmpty;
+    return labels_ ? *labels_ : kEmpty;
+  }
+
+  Handle labels_;
+};
 
 // Interpretation state attached to a block (the paper's B.PIs / B.Ms /
 // I[B]). Exposed read-only so tests can check Figure 4 buffer contents.
@@ -43,15 +83,15 @@ struct BlockInterpretation {
 
   // B.PIs[ℓ]: state of instance ℓ of server B.n after interpreting B.
   // Shared pointers implement copy-on-write along parent chains.
-  std::map<Label, std::shared_ptr<const Process>> pis;
+  FlatMap<Label, std::shared_ptr<const Process>> pis;
 
   // B.Ms[in, ℓ] / B.Ms[out, ℓ].
-  std::map<Label, std::vector<Message>> ms_in;
-  std::map<Label, std::vector<Message>> ms_out;
+  FlatMap<Label, std::vector<Message>> ms_in;
+  FlatMap<Label, std::vector<Message>> ms_out;
 
   // Labels with a request at some ancestor (incl. B itself): the set that
-  // line 7 quantifies over. Propagated down the DAG.
-  std::set<Label> active_labels;
+  // line 7 quantifies over. Shared copy-on-write down the DAG.
+  ActiveLabelSet active_labels;
 };
 
 struct InterpreterStats {
@@ -61,6 +101,7 @@ struct InterpreterStats {
   std::uint64_t messages_materialized = 0; // appended to some Ms[out]
   std::uint64_t indications = 0;
   std::uint64_t instance_clones = 0;       // copy-on-write clones performed
+                                           // (fresh creates are not clones)
 };
 
 class Interpreter {
@@ -91,6 +132,7 @@ class Interpreter {
 
   // Read access to B's interpretation state (nullptr if never touched).
   const BlockInterpretation* state_of(const Hash256& ref) const;
+  const BlockInterpretation* state_at(BlockIdx idx) const;
 
   // Deterministic digest over a block's post-interpretation state — used
   // by tests asserting Lemma 4.2 across different servers/DAG prefixes.
@@ -99,19 +141,29 @@ class Interpreter {
   const InterpreterStats& stats() const { return stats_; }
 
   // Drops interpretation state of blocks no longer in the DAG (pruning
-  // extension §7; pairs with BlockDag::prune_below).
+  // extension §7; pairs with BlockDag::prune_below). BlockIdx slots are
+  // stable across pruning, so the run() cursor keeps its position instead
+  // of rescanning the order from the start.
   void forget_pruned();
 
+  // Where the next run() resumes in the dense index order (diagnostics /
+  // tests of the incremental cursor).
+  BlockIdx resume_index() const { return cursor_; }
+
  private:
-  void interpret_block(const BlockPtr& block);
-  std::shared_ptr<const Process> instance_for(BlockInterpretation& st, Label label,
-                                              ServerId owner) const;
+  bool interpreted_at(BlockIdx idx) const {
+    return idx < states_.size() && states_[idx].interpreted;
+  }
+  bool eligible_at(BlockIdx idx) const;
+  void interpret_block(BlockIdx idx);
+  // Grows states_ to cover every DAG slot (call before index-based access).
+  void sync_states() { states_.resize(dag_.node_count()); }
 
   const BlockDag& dag_;
   const ProtocolFactory& factory_;
   std::uint32_t n_servers_;
-  std::unordered_map<Hash256, BlockInterpretation> states_;
-  std::size_t cursor_ = 0;  // index into dag_.topological_order()
+  std::vector<BlockInterpretation> states_;  // indexed by BlockIdx
+  BlockIdx cursor_ = 0;  // index into the DAG's dense slot array
   IndicationHandler on_indication_;
   InterpreterStats stats_;
 };

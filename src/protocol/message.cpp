@@ -15,11 +15,28 @@ Bytes Message::canonical() const {
   return std::move(w).take();
 }
 
+Bytes Message::order_key() const {
+  // Big-endian fixed-width fields, then a big-endian length prefix, then
+  // the payload: lexicographic comparison of these bytes is exactly the
+  // field-wise comparison MessageOrder performs (message_test.cpp asserts
+  // the equivalence, including payload-prefix and byte-boundary cases).
+  Bytes out;
+  out.reserve(12 + payload.size());
+  const auto be32 = [&out](std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  be32(sender);
+  be32(receiver);
+  be32(static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
 bool MessageOrder::operator()(const Message& a, const Message& b) const {
-  // Compare without materializing encodings: field-lexicographic order over
-  // (sender, receiver, payload) coincides with encoding order because the
-  // encoding is fixed-width for the leading fields and length-prefixed for
-  // the payload... length prefix first means shorter payloads sort first.
+  // <M without materializing any encoding: (sender, receiver, |payload|,
+  // payload) field-lexicographically. Shorter payloads sort first because
+  // the length is compared before the content — payload-prefix pairs are
+  // ordered by the length field, mirroring order_key()'s length prefix.
   if (a.sender != b.sender) return a.sender < b.sender;
   if (a.receiver != b.receiver) return a.receiver < b.receiver;
   if (a.payload.size() != b.payload.size()) return a.payload.size() < b.payload.size();

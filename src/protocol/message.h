@@ -3,9 +3,19 @@
 // Every message m ∈ M_P has m.sender and m.receiver (Section 2). The paper
 // assumes "an arbitrary, but fixed, total order on messages: <M", used in
 // Algorithm 2 line 10 so that every server interpreting the DAG feeds
-// in-messages to the simulated instances in exactly the same order. We
-// realize <M as the lexicographic order over canonical encodings — a total
-// order because canonical encodings are injective.
+// in-messages to the simulated instances in exactly the same order.
+//
+// We realize <M as the allocation-free field-wise order over
+// (sender, receiver, payload.size(), payload). This is exactly the
+// lexicographic order over order_key() — a big-endian, length-prefixed
+// encoding built only to witness that the comparator is a total order
+// (big-endian fixed-width integers sort lexicographically like numbers,
+// and the length prefix resolves payload-prefix cases before content).
+// It is *not* the lexicographic order over canonical() — the canonical
+// wire/hash encoding is little-endian, whose byte order disagrees with
+// numeric order once a field crosses a byte boundary (e.g. sender 256
+// encodes as 00 01 00 00, sorting below sender 1's 01 00 00 00).
+// protocol/message_test.cpp pins both facts.
 #pragma once
 
 #include <compare>
@@ -22,13 +32,20 @@ struct Message {
   ServerId receiver = kInvalidServer;
   Bytes payload;
 
-  // Canonical encoding: injective, so lexicographic comparison is <M.
+  // Canonical encoding (little-endian, length-prefixed): injective, used
+  // for hashing and wire framing.
   Bytes canonical() const;
+
+  // Ordering witness encoding (big-endian, length-prefixed): injective,
+  // and its lexicographic order equals MessageOrder. Only used by tests
+  // and documentation of <M; the hot path never materializes it.
+  Bytes order_key() const;
 
   bool operator==(const Message&) const = default;
 };
 
-// Strict weak ordering implementing <M.
+// Strict weak (in fact total) ordering implementing <M, allocation-free:
+// compares fields directly instead of materializing encodings.
 struct MessageOrder {
   bool operator()(const Message& a, const Message& b) const;
 };

@@ -1,0 +1,103 @@
+#include "runtime/bench_report.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace blockdag {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name, int argc, char** argv)
+    : name_(std::move(bench_name)) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path_ = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      json_path_ = argv[++i];
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke_ = true;
+    } else {
+      std::fprintf(stderr, "%s: ignoring unrecognized argument %s\n", name_.c_str(),
+                   arg);
+    }
+  }
+}
+
+void BenchReport::add(const std::string& section, const Table& table) {
+  if (!section.empty()) std::printf("[%s]\n", section.c_str());
+  table.print();
+  std::printf("\n");
+  tables_.emplace_back(section, table);
+}
+
+void BenchReport::note(const std::string& key, const std::string& value) {
+  notes_.emplace_back(key, value);
+}
+
+int BenchReport::finish() {
+  if (json_path_.empty()) return 0;
+  std::FILE* f = std::fopen(json_path_.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", name_.c_str(),
+                 json_path_.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"smoke\": %s,\n",
+               json_escape(name_).c_str(), smoke_ ? "true" : "false");
+  std::fprintf(f, "  \"tables\": [\n");
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& [section, table] = tables_[t];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n      \"headers\": [",
+                 json_escape(section).c_str());
+    const auto& headers = table.headers();
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      std::fprintf(f, "%s\"%s\"", c ? ", " : "", json_escape(headers[c]).c_str());
+    }
+    std::fprintf(f, "],\n      \"rows\": [\n");
+    const auto& rows = table.rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::fprintf(f, "        [");
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        std::fprintf(f, "%s\"%s\"", c ? ", " : "", json_escape(rows[r][c]).c_str());
+      }
+      std::fprintf(f, "]%s\n", r + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", t + 1 < tables_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"notes\": {");
+  for (std::size_t n = 0; n < notes_.size(); ++n) {
+    std::fprintf(f, "%s\n    \"%s\": \"%s\"", n ? "," : "",
+                 json_escape(notes_[n].first).c_str(),
+                 json_escape(notes_[n].second).c_str());
+  }
+  std::fprintf(f, "%s}\n}\n", notes_.empty() ? "" : "\n  ");
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace blockdag

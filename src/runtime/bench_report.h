@@ -1,0 +1,63 @@
+// Machine-readable reporting for the plain (non-google-benchmark) benches.
+//
+// Every bench in bench/ prints human-readable Tables; BenchReport
+// additionally captures each table and, when the bench is invoked with
+// `--json <file>` (or `--json=<file>`), writes them as one JSON document:
+//
+//   {
+//     "bench": "<name>",            // e.g. "bench_ablation"
+//     "schema": 1,                  // bump on layout changes
+//     "smoke": false,               // true when --smoke shrank the workload
+//     "tables": [
+//       {"name": "<section>", "headers": [...], "rows": [[...], ...]},
+//       ...
+//     ],
+//     "notes": {"key": "value", ...}
+//   }
+//
+// All cells are reported as strings exactly as printed — the tables are the
+// artifact of record (EXPERIMENTS.md); JSON is a faithful transcription, not
+// a reinterpretation. tools/bench_all.sh drives every bench through this to
+// produce the BENCH_<name>.json perf trajectory.
+//
+// `--smoke` asks the bench for a seconds-scale run (CI smoke-tests the
+// harness, not the numbers): each bench shrinks its sweep, and the flag is
+// recorded in the JSON so a smoke artifact can never be mistaken for a real
+// measurement.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/table.h"
+
+namespace blockdag {
+
+class BenchReport {
+ public:
+  // Parses --json/--smoke out of argv; everything else is left alone.
+  BenchReport(std::string bench_name, int argc, char** argv);
+
+  // True when the caller passed --smoke: run a shrunk, seconds-scale sweep.
+  bool smoke() const { return smoke_; }
+
+  // Prints a section heading + the table to stdout and records it.
+  void add(const std::string& section, const Table& table);
+
+  // Free-form metadata recorded under "notes".
+  void note(const std::string& key, const std::string& value);
+
+  // Writes the JSON file if --json was given. Returns the process exit
+  // code (non-zero if the output file could not be written).
+  int finish();
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  std::vector<std::pair<std::string, Table>> tables_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+}  // namespace blockdag

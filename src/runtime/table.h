@@ -24,6 +24,10 @@ class Table {
   std::string render() const;
   void print() const;  // render() to stdout
 
+  // Structured access for machine-readable reporters (bench_report.h).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

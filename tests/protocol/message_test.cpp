@@ -23,9 +23,11 @@ TEST(MessageOrder, IsStrictAndTotal) {
   EXPECT_FALSE(less(a, a));               // irreflexive
 }
 
-TEST(MessageOrder, MatchesCanonicalEncodingOrder) {
-  // <M is defined as lexicographic order over canonical encodings; the
-  // field-wise comparator must agree.
+TEST(MessageOrder, MatchesCanonicalEncodingOrderForSingleByteFields) {
+  // On values that fit in one byte (ids < 256, |payload| < 256) the
+  // little-endian canonical() encoding degenerates to the big-endian one,
+  // so lexicographic canonical order coincides with <M on this sample.
+  // The general equivalence witness is order_key() — see the tests below.
   Rng rng(7);
   std::vector<Message> msgs;
   for (int i = 0; i < 200; ++i) {
@@ -59,6 +61,82 @@ TEST(MessageOrder, CanonicalIsInjective) {
     encodings.insert(m.canonical());
   }
   EXPECT_EQ(values.size(), encodings.size());
+}
+
+// Samples that cross byte boundaries and exercise payload-prefix pairs —
+// exactly where a naive "compare canonical() bytes" order and the
+// field-wise <M would disagree.
+std::vector<Message> boundary_sample() {
+  std::vector<Message> msgs;
+  const std::vector<ServerId> ids = {0, 1, 2, 255, 256, 257, 65535, 65536, kInvalidServer};
+  const std::vector<Bytes> payloads = {
+      {},                      // empty
+      {1},                     // single byte
+      {1, 2},                  // extension of {1} — payload-prefix pair
+      {1, 2, 3},               // deeper extension
+      {2},                     // sibling of {1}
+      {0xff},                  // high byte
+      Bytes(255, 7),           // length 255 (one-byte length)
+      Bytes(256, 7),           // length 256 (crosses the length-byte boundary)
+      Bytes(257, 7),
+  };
+  for (ServerId s : ids) {
+    for (ServerId r : {ids[0], ids[4]}) {
+      for (const Bytes& p : payloads) msgs.push_back(msg(s, r, p));
+    }
+  }
+  return msgs;
+}
+
+TEST(MessageOrder, EquivalentToLexicographicOrderKey) {
+  // The allocation-free field-wise comparator IS the lexicographic order
+  // over the big-endian order_key() encoding, including payload-prefix
+  // cases and fields that cross byte boundaries (where canonical()'s
+  // little-endian bytes would give a different order).
+  const MessageOrder less;
+  const std::vector<Message> msgs = boundary_sample();
+  for (const auto& a : msgs) {
+    for (const auto& b : msgs) {
+      const Bytes ka = a.order_key();
+      const Bytes kb = b.order_key();
+      const bool key_less =
+          std::lexicographical_compare(ka.begin(), ka.end(), kb.begin(), kb.end());
+      EXPECT_EQ(less(a, b), key_less)
+          << describe(a) << " vs " << describe(b);
+    }
+  }
+}
+
+TEST(MessageOrder, PayloadPrefixSortsBeforeExtension) {
+  const MessageOrder less;
+  const Message shorter = msg(1, 2, {1});
+  const Message longer = msg(1, 2, {1, 2});
+  EXPECT_TRUE(less(shorter, longer));
+  EXPECT_FALSE(less(longer, shorter));
+  // A prefix sorts before any same-length-or-longer non-prefix sibling by
+  // length first: {2} (len 1) < {1, 2} (len 2) even though 2 > 1 bytewise.
+  EXPECT_TRUE(less(msg(1, 2, {2}), longer));
+}
+
+TEST(MessageOrder, EquivalenceClassesAreEquality) {
+  // <M is total: incomparability implies equality. The interpreter's
+  // sort+unique inbox dedup relies on this (set-of-messages semantics,
+  // Algorithm 2 line 9).
+  const MessageOrder less;
+  const std::vector<Message> msgs = boundary_sample();
+  for (const auto& a : msgs) {
+    for (const auto& b : msgs) {
+      const bool equivalent = !less(a, b) && !less(b, a);
+      EXPECT_EQ(equivalent, a == b);
+    }
+  }
+}
+
+TEST(MessageOrder, OrderKeyIsInjectiveOnBoundarySample) {
+  std::set<Bytes> keys;
+  const std::vector<Message> msgs = boundary_sample();
+  for (const auto& m : msgs) keys.insert(m.order_key());
+  EXPECT_EQ(keys.size(), msgs.size());
 }
 
 TEST(MessageOrder, SenderDominates) {

@@ -1,0 +1,637 @@
+// minibenchmark — a vendored, single-header, google-benchmark-compatible
+// shim, in the spirit of minigtest.h next door.
+//
+// Why it exists: the microbenches (bench_crypto, bench_dag, bench_interpret)
+// are written against the google-benchmark API, but this tree must build
+// and run with zero network access and no system benchmark package. The
+// CMake option BLOCKDAG_SYSTEM_BENCHMARK=ON swaps in the real library
+// (find_package); this header is the offline default and implements the
+// subset of the API those benches use:
+//
+//   * BENCHMARK(fn) with ->Arg/->Args/->Range/->RangeMultiplier/->Unit/
+//     ->Iterations/->MinTime chaining
+//   * benchmark::State: for (auto _ : state), range(i), iterations(),
+//     counters[...] (incl. Counter::kIsRate), SetBytesProcessed,
+//     SetItemsProcessed, PauseTiming/ResumeTiming, SkipWithError
+//   * benchmark::DoNotOptimize / ClobberMemory
+//   * BENCHMARK_MAIN(), Initialize, RunSpecifiedBenchmarks, Shutdown
+//   * flags: --benchmark_filter=<regex>, --benchmark_min_time=<t>[s|x],
+//     --benchmark_format=console|json, --benchmark_out=<file>,
+//     --benchmark_out_format=console|json, --benchmark_list_tests
+//     (--benchmark_repetitions is accepted and ignored; repetitions = 1)
+//
+// The JSON it emits follows the google-benchmark layout ({"context": ...,
+// "benchmarks": [...]}), with user counters flattened into each benchmark
+// object, so downstream tooling (tools/bench_all.sh, EXPERIMENTS.md
+// scripts) need not care which implementation produced a BENCH_*.json.
+//
+// Methodology: per (benchmark, args) pair the runner re-runs the measured
+// loop with a growing iteration count until total measured real time
+// reaches min_time (default 0.5s), then reports per-iteration real/CPU
+// time from the final run only — the same adaptive scheme google-benchmark
+// uses, minus statistical repetitions.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>  // clock_gettime for CPU time
+#endif
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+inline const char* time_unit_string(TimeUnit u) {
+  switch (u) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+inline double time_unit_multiplier(TimeUnit u) {
+  switch (u) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+class Counter {
+ public:
+  enum Flags : std::uint32_t {
+    kDefaults = 0,
+    kIsRate = 1u << 0,             // final value = value / elapsed real time
+    kAvgIterations = 1u << 1,      // final value = value / iterations
+    kIsIterationInvariant = 1u << 2,
+  };
+
+  double value = 0.0;
+  Flags flags = kDefaults;
+
+  Counter() = default;
+  Counter(double v, Flags f = kDefaults) : value(v), flags(f) {}  // NOLINT
+  operator double() const { return value; }                       // NOLINT
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+// Keeps `value` observable to the optimizer without emitting any code.
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+inline __attribute__((always_inline)) void ClobberMemory() {
+  asm volatile("" : : : "memory");
+}
+
+namespace internal {
+
+inline double cpu_now_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+struct Options {
+  double min_time = 0.5;  // seconds of measured loop time per benchmark
+  std::string filter;
+  std::string format = "console";      // stdout report
+  std::string out_path;                // optional file report
+  std::string out_format = "json";     // format of out_path
+  bool list_tests = false;
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+}  // namespace internal
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::uint64_t max_iterations)
+      : max_iterations_(max_iterations), args_(std::move(args)) {}
+
+  // Range-for protocol: `for (auto _ : state) { ... }` runs the hot loop
+  // exactly max_iterations times with the timer running.
+  struct StateIterator {
+    struct Value {
+      // Non-trivial ctor + dtor: silences -Wunused-variable and
+      // -Wunused-but-set-variable on the conventional `for (auto _ : state)`.
+      Value() {}
+      ~Value() {}
+    };
+    State* parent = nullptr;
+    std::uint64_t remaining = 0;
+
+    Value operator*() const { return Value(); }
+    StateIterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    bool operator!=(const StateIterator&) {
+      if (remaining > 0) return true;
+      parent->FinishKeepRunning();
+      return false;
+    }
+  };
+
+  StateIterator begin() {
+    StartKeepRunning();
+    return StateIterator{this, max_iterations_};
+  }
+  StateIterator end() { return StateIterator{nullptr, 0}; }
+
+  std::int64_t range(std::size_t i = 0) const { return args_.at(i); }
+  std::uint64_t iterations() const { return max_iterations_; }
+
+  void SetBytesProcessed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  std::int64_t bytes_processed() const { return bytes_processed_; }
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  std::int64_t items_processed() const { return items_processed_; }
+
+  void PauseTiming() {
+    real_elapsed_ += std::chrono::duration<double>(Clock::now() - real_start_).count();
+    cpu_elapsed_ += internal::cpu_now_seconds() - cpu_start_;
+  }
+  void ResumeTiming() {
+    real_start_ = Clock::now();
+    cpu_start_ = internal::cpu_now_seconds();
+  }
+
+  void SkipWithError(const char* message) {
+    skipped_ = true;
+    error_ = message ? message : "";
+  }
+  bool skipped() const { return skipped_; }
+  const std::string& error_message() const { return error_; }
+
+  UserCounters counters;
+
+  // Shim internals (public so the runner can read results; benches should
+  // not touch these).
+  double measured_real_seconds() const { return real_elapsed_; }
+  double measured_cpu_seconds() const { return cpu_elapsed_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void StartKeepRunning() {
+    real_elapsed_ = 0.0;
+    cpu_elapsed_ = 0.0;
+    ResumeTiming();
+  }
+  void FinishKeepRunning() { PauseTiming(); }
+
+  std::uint64_t max_iterations_ = 1;
+  std::vector<std::int64_t> args_;
+  std::int64_t bytes_processed_ = 0;
+  std::int64_t items_processed_ = 0;
+  double real_elapsed_ = 0.0;
+  double cpu_elapsed_ = 0.0;
+  Clock::time_point real_start_{};
+  double cpu_start_ = 0.0;
+  bool skipped_ = false;
+  std::string error_;
+};
+
+namespace internal {
+
+class Benchmark {
+ public:
+  Benchmark(const char* name, void (*fn)(State&)) : name_(name), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t a) {
+    arg_sets_.push_back({a});
+    return this;
+  }
+  Benchmark* Args(const std::vector<std::int64_t>& a) {
+    arg_sets_.push_back(a);
+    return this;
+  }
+  // lo, then multiplier steps, then hi (like google-benchmark's AddRange;
+  // non-positive lo steps through 1 so Range(0, n) terminates).
+  Benchmark* Range(std::int64_t lo, std::int64_t hi) {
+    std::int64_t a = lo;
+    for (;;) {
+      arg_sets_.push_back({std::min(a, hi)});
+      if (a >= hi) break;
+      a = a <= 0 ? 1 : a * range_multiplier_;
+    }
+    return this;
+  }
+  Benchmark* RangeMultiplier(int m) {
+    range_multiplier_ = m > 1 ? m : 2;
+    return this;
+  }
+  Benchmark* DenseRange(std::int64_t lo, std::int64_t hi, std::int64_t step = 1) {
+    for (std::int64_t a = lo; a <= hi; a += step) arg_sets_.push_back({a});
+    return this;
+  }
+  Benchmark* Unit(TimeUnit u) {
+    unit_ = u;
+    return this;
+  }
+  Benchmark* Iterations(std::int64_t n) {
+    fixed_iterations_ = n > 0 ? static_cast<std::uint64_t>(n) : 0;
+    return this;
+  }
+  Benchmark* MinTime(double t) {
+    min_time_override_ = t;
+    return this;
+  }
+  // Accepted no-ops for API compatibility.
+  Benchmark* Repetitions(int) { return this; }
+  Benchmark* ReportAggregatesOnly(bool = true) { return this; }
+  Benchmark* UseRealTime() { return this; }
+
+  const std::string& name() const { return name_; }
+  void (*fn() const)(State&) { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& arg_sets() const { return arg_sets_; }
+  TimeUnit unit() const { return unit_; }
+  std::uint64_t fixed_iterations() const { return fixed_iterations_; }
+  double min_time_override() const { return min_time_override_; }
+
+ private:
+  std::string name_;
+  void (*fn_)(State&);
+  std::vector<std::vector<std::int64_t>> arg_sets_;
+  int range_multiplier_ = 8;
+  TimeUnit unit_ = kNanosecond;
+  std::uint64_t fixed_iterations_ = 0;
+  double min_time_override_ = -1.0;
+};
+
+inline std::vector<std::unique_ptr<Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<Benchmark>> benches;
+  return benches;
+}
+
+inline Benchmark* RegisterBenchmarkInternal(Benchmark* b) {
+  registry().emplace_back(b);
+  return b;
+}
+
+// One measured (benchmark, args) run, post-calibration.
+struct RunRow {
+  std::string name;
+  std::size_t family_index = 0;
+  std::uint64_t iterations = 0;
+  double real_total = 0.0;  // seconds across all iterations of final run
+  double cpu_total = 0.0;
+  TimeUnit unit = kNanosecond;
+  std::int64_t bytes_processed = 0;
+  std::int64_t items_processed = 0;
+  UserCounters counters;
+  bool skipped = false;
+  std::string error;
+};
+
+inline std::string run_name(const Benchmark& b, const std::vector<std::int64_t>& args) {
+  std::string n = b.name();
+  for (std::int64_t a : args) n += "/" + std::to_string(a);
+  return n;
+}
+
+// value → "12.3k"-style SI rendering for console counters.
+inline std::string humanize(double v) {
+  const char* suffixes[] = {"", "k", "M", "G", "T"};
+  int s = 0;
+  double mag = v < 0 ? -v : v;
+  while (mag >= 1000.0 && s < 4) {
+    mag /= 1000.0;
+    v /= 1000.0;
+    ++s;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g%s", v, suffixes[s]);
+  return buf;
+}
+
+inline void print_console_header(std::FILE* f, std::size_t name_width) {
+  const std::string dashes(name_width + 38, '-');
+  std::fprintf(f, "%s\n", dashes.c_str());
+  std::fprintf(f, "%-*s %13s %13s %10s\n", static_cast<int>(name_width),
+               "Benchmark", "Time", "CPU", "Iterations");
+  std::fprintf(f, "%s\n", dashes.c_str());
+}
+
+inline void print_console_row(std::FILE* f, const RunRow& row, std::size_t name_width) {
+  if (row.skipped) {
+    std::fprintf(f, "%-*s SKIPPED: %s\n", static_cast<int>(name_width),
+                 row.name.c_str(), row.error.c_str());
+    return;
+  }
+  const double mult = time_unit_multiplier(row.unit);
+  const double iters = static_cast<double>(row.iterations ? row.iterations : 1);
+  char time_buf[64], cpu_buf[64];
+  std::snprintf(time_buf, sizeof(time_buf), "%.3g %s", row.real_total / iters * mult,
+                time_unit_string(row.unit));
+  std::snprintf(cpu_buf, sizeof(cpu_buf), "%.3g %s", row.cpu_total / iters * mult,
+                time_unit_string(row.unit));
+  std::fprintf(f, "%-*s %13s %13s %10" PRIu64, static_cast<int>(name_width),
+               row.name.c_str(), time_buf, cpu_buf, row.iterations);
+  if (row.bytes_processed > 0) {
+    std::fprintf(f, " bytes_per_second=%s/s",
+                 humanize(static_cast<double>(row.bytes_processed) /
+                          (row.real_total > 0 ? row.real_total : 1)).c_str());
+  }
+  if (row.items_processed > 0) {
+    std::fprintf(f, " items_per_second=%s/s",
+                 humanize(static_cast<double>(row.items_processed) /
+                          (row.real_total > 0 ? row.real_total : 1)).c_str());
+  }
+  for (const auto& [cname, counter] : row.counters) {
+    if (counter.flags & Counter::kIsRate) {
+      std::fprintf(f, " %s=%s/s", cname.c_str(),
+                   humanize(counter.value / (row.real_total > 0 ? row.real_total : 1)).c_str());
+    } else {
+      std::fprintf(f, " %s=%s", cname.c_str(), humanize(counter.value).c_str());
+    }
+  }
+  std::fprintf(f, "\n");
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void print_json(std::FILE* f, const std::vector<RunRow>& rows,
+                       const char* executable) {
+  char date[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm* tm = std::localtime(&now)) {
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", tm);
+  }
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"date\": \"%s\",\n", date);
+  std::fprintf(f, "    \"executable\": \"%s\",\n", json_escape(executable).c_str());
+  std::fprintf(f, "    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"mhz_per_cpu\": 0,\n");
+  std::fprintf(f, "    \"cpu_scaling_enabled\": false,\n");
+  std::fprintf(f, "    \"caches\": [],\n");
+  std::fprintf(f, "    \"library_build_type\": \"minibenchmark-shim\"\n");
+  std::fprintf(f, "  },\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& row = rows[i];
+    const double mult = time_unit_multiplier(row.unit);
+    const double iters = static_cast<double>(row.iterations ? row.iterations : 1);
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", json_escape(row.name).c_str());
+    std::fprintf(f, "      \"family_index\": %zu,\n", row.family_index);
+    std::fprintf(f, "      \"run_name\": \"%s\",\n", json_escape(row.name).c_str());
+    std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+    std::fprintf(f, "      \"repetitions\": 1,\n");
+    std::fprintf(f, "      \"repetition_index\": 0,\n");
+    std::fprintf(f, "      \"threads\": 1,\n");
+    if (row.skipped) {
+      std::fprintf(f, "      \"error_occurred\": true,\n");
+      std::fprintf(f, "      \"error_message\": \"%s\",\n", json_escape(row.error).c_str());
+    }
+    std::fprintf(f, "      \"iterations\": %" PRIu64 ",\n", row.iterations);
+    std::fprintf(f, "      \"real_time\": %.9g,\n", row.real_total / iters * mult);
+    std::fprintf(f, "      \"cpu_time\": %.9g,\n", row.cpu_total / iters * mult);
+    if (row.bytes_processed > 0) {
+      std::fprintf(f, "      \"bytes_per_second\": %.9g,\n",
+                   static_cast<double>(row.bytes_processed) /
+                       (row.real_total > 0 ? row.real_total : 1));
+    }
+    if (row.items_processed > 0) {
+      std::fprintf(f, "      \"items_per_second\": %.9g,\n",
+                   static_cast<double>(row.items_processed) /
+                       (row.real_total > 0 ? row.real_total : 1));
+    }
+    for (const auto& [cname, counter] : row.counters) {
+      const double v = (counter.flags & Counter::kIsRate)
+                           ? counter.value / (row.real_total > 0 ? row.real_total : 1)
+                           : (counter.flags & Counter::kAvgIterations)
+                                 ? counter.value / iters
+                                 : counter.value;
+      std::fprintf(f, "      \"%s\": %.9g,\n", json_escape(cname).c_str(), v);
+    }
+    std::fprintf(f, "      \"time_unit\": \"%s\"\n", time_unit_string(row.unit));
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+inline std::string& executable_name() {
+  static std::string name = "benchmark";
+  return name;
+}
+
+inline bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+inline void Initialize(int* argc, char** argv) {
+  if (*argc > 0) internal::executable_name() = argv[0];
+  internal::Options& opts = internal::options();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (internal::parse_flag(arg, "--benchmark_min_time", &value)) {
+      // Accept google's "0.25s"/"3x" suffixed forms as well as a bare float.
+      if (!value.empty() && (value.back() == 's' || value.back() == 'x')) value.pop_back();
+      opts.min_time = std::strtod(value.c_str(), nullptr);
+      if (opts.min_time <= 0) opts.min_time = 0.5;
+    } else if (internal::parse_flag(arg, "--benchmark_filter", &value)) {
+      opts.filter = value;
+    } else if (internal::parse_flag(arg, "--benchmark_format", &value)) {
+      opts.format = value;
+    } else if (internal::parse_flag(arg, "--benchmark_out", &value) ||
+               internal::parse_flag(arg, "--json", &value)) {
+      opts.out_path = value;
+    } else if (internal::parse_flag(arg, "--benchmark_out_format", &value)) {
+      opts.out_format = value;
+    } else if (std::strcmp(arg, "--benchmark_list_tests") == 0 ||
+               std::strcmp(arg, "--benchmark_list_tests=true") == 0) {
+      opts.list_tests = true;
+    } else if (internal::parse_flag(arg, "--benchmark_repetitions", &value) ||
+               internal::parse_flag(arg, "--benchmark_color", &value) ||
+               internal::parse_flag(arg, "--benchmark_counters_tabular", &value)) {
+      // Accepted and ignored.
+    } else if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+      std::fprintf(stderr, "minibenchmark: ignoring unsupported flag %s\n", arg);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "minibenchmark: unrecognized argument %s\n", argv[i]);
+  }
+  return argc > 1;
+}
+
+inline std::size_t RunSpecifiedBenchmarks() {
+  const internal::Options& opts = internal::options();
+
+  // Expand every registered family into (benchmark, args) runs.
+  struct Pending {
+    internal::Benchmark* bench;
+    std::vector<std::int64_t> args;
+    std::string name;
+    std::size_t family_index;
+  };
+  std::vector<Pending> pending;
+  std::regex filter;
+  bool has_filter = false;
+  if (!opts.filter.empty()) {
+    filter = std::regex(opts.filter);
+    has_filter = true;
+  }
+  std::size_t family = 0;
+  for (const auto& bench : internal::registry()) {
+    std::vector<std::vector<std::int64_t>> arg_sets = bench->arg_sets();
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      std::string name = internal::run_name(*bench, args);
+      if (has_filter && !std::regex_search(name, filter)) continue;
+      pending.push_back({bench.get(), args, std::move(name), family});
+    }
+    ++family;
+  }
+
+  if (opts.list_tests) {
+    for (const Pending& p : pending) std::printf("%s\n", p.name.c_str());
+    return pending.size();
+  }
+
+  std::size_t name_width = std::strlen("Benchmark");
+  for (const Pending& p : pending) name_width = std::max(name_width, p.name.size());
+  const bool console = opts.format != "json";
+  if (console) internal::print_console_header(stdout, name_width);
+
+  std::vector<internal::RunRow> rows;
+  for (const Pending& p : pending) {
+    const double min_time =
+        p.bench->min_time_override() > 0 ? p.bench->min_time_override() : opts.min_time;
+    std::uint64_t iters = p.bench->fixed_iterations() ? p.bench->fixed_iterations() : 1;
+    internal::RunRow row;
+    for (;;) {
+      State state(p.args, iters);
+      p.bench->fn()(state);
+      row.name = p.name;
+      row.family_index = p.family_index;
+      row.iterations = iters;
+      row.real_total = state.measured_real_seconds();
+      row.cpu_total = state.measured_cpu_seconds();
+      row.unit = p.bench->unit();
+      row.bytes_processed = state.bytes_processed();
+      row.items_processed = state.items_processed();
+      row.counters = state.counters;
+      row.skipped = state.skipped();
+      row.error = state.error_message();
+      if (row.skipped || p.bench->fixed_iterations() || row.real_total >= min_time ||
+          iters >= (1ull << 30)) {
+        break;
+      }
+      // Grow towards min_time, with head-room for noise; never less than 2x.
+      double mult = min_time / std::max(row.real_total, 1e-9) * 1.4;
+      mult = std::min(std::max(mult, 2.0), 10.0);
+      iters = static_cast<std::uint64_t>(static_cast<double>(iters) * mult) + 1;
+    }
+    if (console) internal::print_console_row(stdout, row, name_width);
+    rows.push_back(std::move(row));
+  }
+
+  if (!console) internal::print_json(stdout, rows, internal::executable_name().c_str());
+  if (!opts.out_path.empty()) {
+    std::FILE* f = std::fopen(opts.out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "minibenchmark: cannot open %s\n", opts.out_path.c_str());
+    } else {
+      if (opts.out_format == "console") {
+        internal::print_console_header(f, name_width);
+        for (const auto& row : rows) internal::print_console_row(f, row, name_width);
+      } else {
+        internal::print_json(f, rows, internal::executable_name().c_str());
+      }
+      std::fclose(f);
+    }
+  }
+  return rows.size();
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define MINIBENCHMARK_CONCAT_(a, b) a##b
+#define MINIBENCHMARK_NAME_(line) MINIBENCHMARK_CONCAT_(minibenchmark_registration_, line)
+
+#define BENCHMARK(fn)                                                        \
+  [[maybe_unused]] static ::benchmark::internal::Benchmark*                  \
+      MINIBENCHMARK_NAME_(__LINE__) =                                        \
+          ::benchmark::internal::RegisterBenchmarkInternal(                  \
+              new ::benchmark::internal::Benchmark(#fn, fn))
+
+#define BENCHMARK_MAIN()                                            \
+  int main(int argc, char** argv) {                                 \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1; /* match real google-benchmark's failure mode */    \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }

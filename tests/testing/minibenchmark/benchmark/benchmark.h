@@ -1,0 +1,6 @@
+// Maps `#include <benchmark/benchmark.h>` onto the vendored minibenchmark
+// shim. The `blockdag_benchmark` interface target in CMakeLists.txt puts
+// this directory on the include path when BLOCKDAG_SYSTEM_BENCHMARK is OFF
+// (the offline default).
+#pragma once
+#include "../../minibenchmark.h"

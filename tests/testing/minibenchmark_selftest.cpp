@@ -1,0 +1,123 @@
+// Self-test of the vendored google-benchmark shim (minibenchmark.h): the
+// registration macro, the State iteration protocol, counters, arg passing,
+// the adaptive-iteration runner, and the JSON reporter tools/bench_all.sh
+// depends on. Keeps the offline bench harness from rotting the way the
+// optional find_package(benchmark) path did.
+#include "testing/minibenchmark.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int g_iterations_observed = 0;
+std::int64_t g_last_range0 = -1;
+std::int64_t g_last_range1 = -1;
+
+void BM_ShimLoop(benchmark::State& state) {
+  g_last_range0 = state.range(0);
+  g_last_range1 = state.range(1);
+  int local = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++local);
+  }
+  g_iterations_observed = local;
+  state.counters["items"] = static_cast<double>(local);
+  state.counters["items/s"] = benchmark::Counter(static_cast<double>(local),
+                                                 benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(local);
+}
+BENCHMARK(BM_ShimLoop)->Args({3, 9})->Unit(benchmark::kMicrosecond);
+
+void BM_ShimPause(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    // untimed setup
+    state.ResumeTiming();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ShimPause)->Arg(1)->Iterations(16);
+
+TEST(MinibenchmarkShim, RunsAndEmitsParsableJson) {
+  const std::string out_path = "minibenchmark_selftest_out.json";
+  benchmark::internal::options() = benchmark::internal::Options{};
+  benchmark::internal::options().min_time = 0.01;
+  benchmark::internal::options().out_path = out_path;
+  benchmark::internal::options().out_format = "json";
+
+  const std::size_t runs = benchmark::RunSpecifiedBenchmarks();
+  EXPECT_EQ(runs, 2u);
+  EXPECT_GT(g_iterations_observed, 0);
+  EXPECT_EQ(g_last_range0, 3);
+  EXPECT_EQ(g_last_range1, 9);
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // Structural sanity: our run names, counters, and balanced braces /
+  // brackets (a cheap but effective validity check without a JSON lib —
+  // no emitted string contains braces).
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("\"BM_ShimLoop/3/9\""), std::string::npos);
+  EXPECT_NE(json.find("\"BM_ShimPause/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"items/s\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_unit\": \"us\""), std::string::npos);
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  std::remove(out_path.c_str());
+}
+
+TEST(MinibenchmarkShim, FilterSelectsSubset) {
+  benchmark::internal::options() = benchmark::internal::Options{};
+  benchmark::internal::options().min_time = 0.001;
+  benchmark::internal::options().filter = "ShimPause";
+  EXPECT_EQ(benchmark::RunSpecifiedBenchmarks(), 1u);
+}
+
+TEST(MinibenchmarkShim, RangeTerminatesOnZeroLowerBoundAndHitsBothEnds) {
+  benchmark::internal::Benchmark b("range_probe", nullptr);
+  b.RangeMultiplier(8)->Range(0, 64);
+  const std::vector<std::vector<std::int64_t>> expect = {{0}, {1}, {8}, {64}};
+  EXPECT_EQ(b.arg_sets(), expect);
+
+  benchmark::internal::Benchmark c("range_probe2", nullptr);
+  c.Range(3, 3);
+  const std::vector<std::vector<std::int64_t>> expect_single = {{3}};
+  EXPECT_EQ(c.arg_sets(), expect_single);
+}
+
+TEST(MinibenchmarkShim, InitializeParsesAndStripsFlags) {
+  benchmark::internal::options() = benchmark::internal::Options{};
+  const char* raw[] = {"prog", "--benchmark_min_time=0.25s",
+                       "--benchmark_filter=Loop", "--json=x.json", "leftover"};
+  char* argv[5];
+  for (int i = 0; i < 5; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 5;
+  benchmark::Initialize(&argc, argv);
+  EXPECT_EQ(argc, 2);  // prog + leftover survive
+  EXPECT_EQ(std::string(argv[1]), "leftover");
+  EXPECT_EQ(benchmark::internal::options().min_time, 0.25);
+  EXPECT_EQ(benchmark::internal::options().filter, "Loop");
+  EXPECT_EQ(benchmark::internal::options().out_path, "x.json");
+  benchmark::internal::options() = benchmark::internal::Options{};
+}
+
+}  // namespace

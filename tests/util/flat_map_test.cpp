@@ -1,0 +1,111 @@
+// FlatMap must behave exactly like the std::map subset the interpreter hot
+// path was ported from — in particular ascending-key iteration, which
+// digest_of() depends on byte-for-byte.
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace blockdag {
+namespace {
+
+TEST(FlatMap, EmptyBehaviour) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_EQ(m.count(1), 0u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_THROW(m.at(1), std::out_of_range);
+}
+
+TEST(FlatMap, SubscriptInsertsSortedAndFindsBack) {
+  FlatMap<std::uint64_t, std::string> m;
+  m[5] = "five";
+  m[1] = "one";
+  m[3] = "three";
+  m[1] = "ONE";  // overwrite via existing slot
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at(1), "ONE");
+  EXPECT_EQ(m.at(3), "three");
+  EXPECT_EQ(m.at(5), "five");
+  EXPECT_EQ(m.find(2), m.end());
+
+  // Iteration is ascending by key.
+  std::vector<std::uint64_t> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+TEST(FlatMap, EmplaceDoesNotOverwrite) {
+  FlatMap<std::uint64_t, int> m;
+  auto [it1, fresh1] = m.emplace(7, 70);
+  EXPECT_TRUE(fresh1);
+  EXPECT_EQ(it1->second, 70);
+  auto [it2, fresh2] = m.emplace(7, 700);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(it2->second, 70);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, SupportsMoveOnlyValues) {
+  FlatMap<std::uint64_t, std::unique_ptr<int>> m;
+  m.emplace(2, std::make_unique<int>(22));
+  m[1] = std::make_unique<int>(11);
+  ASSERT_NE(m.at(1), nullptr);
+  ASSERT_NE(m.at(2), nullptr);
+  EXPECT_EQ(*m.at(1), 11);
+  EXPECT_EQ(*m.at(2), 22);
+  // Move the whole map; contents survive.
+  FlatMap<std::uint64_t, std::unique_ptr<int>> moved = std::move(m);
+  EXPECT_EQ(*moved.at(2), 22);
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomWorkload) {
+  Rng rng(2024);
+  FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t key = rng.below(64);
+    switch (rng.below(3)) {
+      case 0:
+        flat[key] = step;
+        ref[key] = static_cast<std::uint64_t>(step);
+        break;
+      case 1:
+        flat.emplace(key, static_cast<std::uint64_t>(step));
+        ref.emplace(key, static_cast<std::uint64_t>(step));
+        break;
+      default:
+        EXPECT_EQ(flat.contains(key), ref.count(key) > 0);
+        break;
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto fit = flat.begin();
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(fit->first, k);
+    EXPECT_EQ(fit->second, v);
+    ++fit;
+  }
+}
+
+TEST(FlatMap, EqualityIsContentEquality) {
+  FlatMap<int, int> a;
+  FlatMap<int, int> b;
+  a[1] = 10;
+  a[2] = 20;
+  b[2] = 20;
+  b[1] = 10;  // different insertion order, same content
+  EXPECT_TRUE(a == b);
+  b[3] = 30;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace blockdag

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# CI entry point: the tier-1 verify command on a Release build, then an
-# Asan build running the tier1 ctest label. Mirrors .github/workflows/ci.yml;
-# see BUILDING.md for the full command reference.
+# CI entry point: the tier-1 verify command on a Release build, a bench
+# harness smoke (every bench runs seconds-scale and must emit parseable
+# BENCH_*.json), then an Asan build running the tier1 ctest label. Mirrors
+# .github/workflows/ci.yml; see BUILDING.md for the full command reference.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,6 +14,9 @@ cmake -B build-ci -S .
 cmake --build build-ci -j "$jobs"
 # `cd` instead of `ctest --test-dir` keeps the script working on CMake < 3.20.
 (cd build-ci && ctest --output-on-failure -j "$jobs")
+
+echo "==> Bench harness smoke (all ten benches, JSON artifacts validated)"
+sh tools/bench_all.sh -B build-ci --smoke
 
 echo "==> Asan build + tier1 label"
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Asan \
