@@ -19,6 +19,7 @@ GossipServer::GossipServer(ServerId self, Scheduler& sched, SimNetwork& net,
       validator_(sigs, seq_mode) {}
 
 void GossipServer::on_network(ServerId from, const Bytes& wire) {
+  if (halted_) return;
   auto decoded = decode_wire(wire);
   if (!decoded) return;  // malformed (byzantine) traffic is dropped
 
@@ -107,6 +108,7 @@ void GossipServer::schedule_fwd(const Hash256& missing, ServerId ask) {
 }
 
 void GossipServer::fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t attempt) {
+  if (halted_) return;
   if (dag_.contains(missing) || pending_.count(missing)) {
     fwd_armed_.erase(missing);
     return;  // resolved meanwhile
@@ -131,6 +133,7 @@ void GossipServer::handle_fwd_request(ServerId from, const Hash256& ref) {
 }
 
 void GossipServer::disseminate(bool even_if_empty) {
+  if (halted_) return;
   std::vector<LabeledRequest> rs = rqsts_.get(config_.max_requests_per_block);
 
   if (!even_if_empty && rs.empty()) {

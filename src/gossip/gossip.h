@@ -98,6 +98,13 @@ class GossipServer {
   // possibly partially restored on later corruption) for malformed bytes.
   bool restore(const Bytes& snapshot);
 
+  // Crashes this server: it permanently stops sending and reacting. Pending
+  // scheduler events (the FWD retry timers) that still reference this object
+  // become no-ops, so a crashed server emits no ghost traffic. Recovery
+  // constructs a *fresh* GossipServer and calls restore() on it.
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
  private:
   void handle_block(Block&& block);
   void handle_fwd_request(ServerId from, const Hash256& ref);
@@ -130,6 +137,7 @@ class GossipServer {
 
   BlockInsertedHandler on_inserted_;
   GossipStats stats_;
+  bool halted_ = false;
 };
 
 }  // namespace blockdag

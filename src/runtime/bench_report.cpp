@@ -5,8 +5,6 @@
 
 namespace blockdag {
 
-namespace {
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -28,8 +26,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 BenchReport::BenchReport(std::string bench_name, int argc, char** argv)
     : name_(std::move(bench_name)) {

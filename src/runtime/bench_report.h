@@ -34,6 +34,11 @@
 
 namespace blockdag {
 
+// Escapes a string for inclusion inside a JSON string literal (quotes,
+// backslashes, \n, \t, \uXXXX control characters). Shared by every
+// machine-readable emitter in runtime/ (bench JSON, scenario traces).
+std::string json_escape(const std::string& s);
+
 class BenchReport {
  public:
   // Parses --json/--smoke out of argv; everything else is left alone.

@@ -114,6 +114,139 @@ std::vector<std::string> BrbChecker::violations(const std::vector<ServerId>& cor
   return out;
 }
 
+void FifoChecker::expect_broadcast(Label label, ServerId origin, Bytes value,
+                                   bool origin_correct) {
+  Stream& stream = expected_[{label, origin}];
+  stream.values.push_back(std::move(value));
+  stream.origin_correct = origin_correct;
+}
+
+void FifoChecker::record_delivery(ServerId server, Label label, ServerId origin,
+                                  std::uint64_t seq, Bytes value) {
+  deliveries_[{label, origin}][server].push_back(Received{seq, std::move(value)});
+}
+
+std::size_t FifoChecker::total_deliveries() const {
+  std::size_t n = 0;
+  for (const auto& [key, by_server] : deliveries_) {
+    (void)key;
+    for (const auto& [server, received] : by_server) {
+      (void)server;
+      n += received.size();
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> FifoChecker::violations(
+    const std::vector<ServerId>& correct, bool run_completed) const {
+  std::vector<std::string> out;
+  const auto is_correct = [&](ServerId s) {
+    return std::find(correct.begin(), correct.end(), s) != correct.end();
+  };
+  const auto where = [](const StreamKey& key) {
+    return "label " + std::to_string(key.first) + " origin " +
+           std::to_string(key.second);
+  };
+
+  for (const auto& [key, by_server] : deliveries_) {
+    const auto eit = expected_.find(key);
+    for (const auto& [server, received] : by_server) {
+      if (!is_correct(server)) continue;
+      // FIFO order: exactly 0, 1, 2, … in delivery order. A repeat is a
+      // duplication; anything else out of step is an order/gap violation.
+      std::uint64_t next = 0;
+      for (const Received& r : received) {
+        if (r.seq == next) {
+          ++next;
+        } else if (r.seq < next) {
+          out.push_back("no-duplication violated at " + where(key) + ": server " +
+                        std::to_string(server) + " re-delivered seq " +
+                        std::to_string(r.seq));
+        } else {
+          out.push_back("fifo-order violated at " + where(key) + ": server " +
+                        std::to_string(server) + " delivered seq " +
+                        std::to_string(r.seq) + " when expecting seq " +
+                        std::to_string(next));
+          next = r.seq + 1;  // resync so one gap reports once
+        }
+        // Integrity against a correct origin's declared stream.
+        if (eit == expected_.end()) {
+          if (is_correct(key.second)) {
+            out.push_back("integrity violated at " + where(key) + ": server " +
+                          std::to_string(server) + " delivered from a correct "
+                          "origin that never broadcast");
+          }
+        } else if (eit->second.origin_correct) {
+          if (r.seq >= eit->second.values.size()) {
+            out.push_back("integrity violated at " + where(key) + ": server " +
+                          std::to_string(server) + " delivered seq " +
+                          std::to_string(r.seq) + " beyond the broadcast stream");
+          } else if (eit->second.values[r.seq] != r.value) {
+            out.push_back("integrity violated at " + where(key) + " seq " +
+                          std::to_string(r.seq) + ": delivered " + show(r.value) +
+                          ", broadcast " + show(eit->second.values[r.seq]));
+          }
+        }
+      }
+    }
+    // Consistency: per seq, no two correct servers disagree on the value.
+    std::map<std::uint64_t, Bytes> agreed;
+    for (const auto& [server, received] : by_server) {
+      if (!is_correct(server)) continue;
+      for (const Received& r : received) {
+        const auto [it, fresh] = agreed.emplace(r.seq, r.value);
+        if (!fresh && it->second != r.value) {
+          out.push_back("consistency violated at " + where(key) + " seq " +
+                        std::to_string(r.seq) + ": " + show(it->second) + " vs " +
+                        show(r.value));
+        }
+      }
+    }
+    // Totality: once quiesced, every correct server delivered as many values
+    // of this stream as the furthest correct server.
+    if (run_completed) {
+      std::size_t furthest = 0;
+      for (const auto& [server, received] : by_server) {
+        if (is_correct(server)) furthest = std::max(furthest, received.size());
+      }
+      if (furthest > 0) {
+        for (ServerId s : correct) {
+          const auto sit = by_server.find(s);
+          const std::size_t got = sit == by_server.end() ? 0 : sit->second.size();
+          if (got < furthest) {
+            out.push_back("totality violated at " + where(key) + ": server " +
+                          std::to_string(s) + " delivered " + std::to_string(got) +
+                          " of " + std::to_string(furthest) + " values");
+          }
+        }
+      }
+    }
+  }
+
+  // Validity: a correct origin's whole stream arrives everywhere.
+  if (run_completed) {
+    for (const auto& [key, stream] : expected_) {
+      if (!stream.origin_correct || !is_correct(key.second)) continue;
+      const auto dit = deliveries_.find(key);
+      for (ServerId s : correct) {
+        std::size_t got = 0;
+        if (dit != deliveries_.end()) {
+          const auto sit = dit->second.find(s);
+          if (sit != dit->second.end()) got = sit->second.size();
+        }
+        if (got < stream.values.size()) {
+          out.push_back("validity violated at " + where(key) + ": server " +
+                        std::to_string(s) + " delivered " + std::to_string(got) +
+                        " of " + std::to_string(stream.values.size()) +
+                        " broadcast values");
+        }
+      }
+    }
+  }
+  return out;
+}
+
 void ConsensusChecker::expect_proposal(Label label, ServerId proposer, Bytes value) {
   proposals_[label][proposer] = std::move(value);
 }

@@ -46,6 +46,52 @@ class BrbChecker {
   std::map<Label, std::map<ServerId, std::vector<Bytes>>> deliveries_;
 };
 
+// Checker for FIFO byzantine reliable broadcast (protocols/fifo_brb): one
+// label carries a stream per origin, and correct servers must deliver each
+// origin's stream gap-free in broadcast order. Properties checked:
+//   * fifo order     — per (label, origin), a correct server's deliveries
+//                      are exactly seq 0, 1, 2, … with no gap, reorder or
+//                      repeat (repeats are reported as no-duplication);
+//   * consistency    — no two correct servers deliver different values for
+//                      the same (label, origin, seq);
+//   * integrity      — a correct origin's delivered (seq → value) matches
+//                      what it broadcast, and never goes past its stream;
+//   * totality       — once the run quiesced, every correct server delivers
+//                      as many values per (label, origin) as any other;
+//   * validity       — once the run quiesced, a correct origin's whole
+//                      stream is delivered by every correct server.
+class FifoChecker {
+ public:
+  // Declare the next value `origin` broadcast on instance ℓ. The sequence
+  // number is implicit: 0, 1, 2, … per (label, origin) in call order.
+  void expect_broadcast(Label label, ServerId origin, Bytes value,
+                        bool origin_correct);
+
+  // Record a deliver(origin, seq, v) indication observed at `server` for
+  // instance ℓ, in observation order.
+  void record_delivery(ServerId server, Label label, ServerId origin,
+                       std::uint64_t seq, Bytes value);
+
+  std::vector<std::string> violations(const std::vector<ServerId>& correct,
+                                      bool run_completed) const;
+
+  std::size_t total_deliveries() const;
+
+ private:
+  struct Stream {
+    std::vector<Bytes> values;  // index = seq
+    bool origin_correct = false;
+  };
+  struct Received {
+    std::uint64_t seq;
+    Bytes value;
+  };
+  using StreamKey = std::pair<Label, ServerId>;  // (label, origin)
+  std::map<StreamKey, Stream> expected_;
+  // (label, origin) → server → deliveries in delivery order.
+  std::map<StreamKey, std::map<ServerId, std::vector<Received>>> deliveries_;
+};
+
 // Checker for single-shot consensus (PBFT-lite): agreement, validity
 // (decided value was proposed), and termination when the run completed.
 class ConsensusChecker {

@@ -5,7 +5,7 @@
 namespace blockdag {
 
 Cluster::Cluster(const ProtocolFactory& factory, ClusterConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), factory_(&factory) {
   NetworkConfig net_cfg = config_.net;
   net_cfg.seed = config_.seed ^ 0xabcdef;
   net_ = std::make_unique<SimNetwork>(sched_, config_.n_servers, net_cfg);
@@ -77,6 +77,63 @@ void Cluster::stop() {
 void Cluster::request(ServerId server, Label label, Bytes req) {
   assert(is_correct(server));
   shims_[server]->request(label, std::move(req));
+}
+
+void Cluster::crash(ServerId server) {
+  assert(is_correct(server));
+  shims_[server]->halt();
+  // Drop ingress: deliveries scheduled for a crashed server are lost (the
+  // recovered incarnation hears about missed blocks via references in later
+  // blocks and recovers them through FWD).
+  net_->attach(server, SimNetwork::Handler{});
+  crashed_.push_back(std::move(shims_[server]));
+}
+
+bool Cluster::recover(ServerId server, const Bytes& snapshot) {
+  assert(!shims_[server] && !byz_[server]);
+  auto shim = std::make_unique<Shim>(server, sched_, *net_, *sigs_, *factory_,
+                                     config_.n_servers, config_.gossip,
+                                     config_.pacing, config_.seq_mode);
+  // The Shim constructor re-attached `server`'s network handler.
+  if (!shim->restore(snapshot)) {
+    net_->attach(server, SimNetwork::Handler{});  // don't leave it dangling
+    return false;
+  }
+  shims_[server] = std::move(shim);
+  if (started_) shims_[server]->start();
+  return true;
+}
+
+bool Cluster::quiesce_and_converge(std::size_t max_rounds) {
+  quiesce();
+  // The flush realizes Assumption 1's "eventually": transient drops stop
+  // (the drop budget is finite by configuration; zero probability is that
+  // budget's exhaustion) so each round's blocks actually arrive instead of
+  // the recovery chasing freshly dropped blocks forever.
+  net_->set_drop_regime(0.0, 0);
+  // Identical DAGs are not enough: a message materialized in the out-buffer
+  // of a freshly inserted block is only *consumed* once its receiver builds
+  // a block referencing it (Algorithm 2 lines 7–11), so liveness-flavoured
+  // properties need dissemination rounds until the interpreted protocol
+  // state stops moving too. The cascade is finite — deterministic instances
+  // emit finitely many messages — so the joint fixed point exists.
+  std::uint64_t last_progress = UINT64_MAX;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::uint64_t progress = 0;
+    for (const auto& shim : shims_) {
+      if (!shim) continue;
+      const InterpreterStats& stats = shim->interpreter().stats();
+      progress += stats.messages_delivered + stats.messages_materialized +
+                  stats.indications;
+    }
+    if (dags_converged() && progress == last_progress) return true;
+    last_progress = progress;
+    for (auto& shim : shims_) {
+      if (shim) shim->tick();
+    }
+    sched_.run();
+  }
+  return false;
 }
 
 bool Cluster::dags_converged() const {

@@ -39,6 +39,8 @@ class Cluster {
   SignatureProvider& signatures() { return *sigs_; }
   const ClusterConfig& config() const { return config_; }
 
+  // A server is "correct" here when it is currently live and honest; a
+  // crashed server drops out of this set until it recovers.
   bool is_correct(ServerId server) const { return shims_[server] != nullptr; }
   std::vector<ServerId> correct_servers() const;
   std::uint32_t n_correct() const;
@@ -66,6 +68,37 @@ class Cluster {
   // request(ℓ, r) on a correct server.
   void request(ServerId server, Label label, Bytes request);
 
+  // --- Crash/recovery churn (§7 Limitations; scenario engine substrate) ---
+
+  // The server's persisted gossip state (its block store + construction
+  // state), as of now. Only valid for correct servers.
+  Bytes snapshot_of(ServerId server) const { return shims_[server]->snapshot(); }
+
+  // Crashes a correct server: its shim halts (no sends, no reactions),
+  // network ingress is dropped, and the server leaves the correct set until
+  // recover(). The halted shim object is kept alive until the Cluster dies
+  // so in-flight scheduler events referencing it stay safe.
+  void crash(ServerId server);
+
+  // Recovers a crashed server from a snapshot taken at crash time: builds a
+  // fresh Shim, restores it (replaying interpretation + indications from
+  // the persisted DAG), reattaches it to the network and — if the cluster
+  // is running — restarts its dissemination loop. Blocks it missed while
+  // down are recovered through gossip's FWD path. Returns false on a
+  // malformed snapshot.
+  bool recover(ServerId server, const Bytes& snapshot);
+
+  // quiesce(), then drive manual dissemination rounds (tick + drain) until
+  // BOTH every correct server holds the identical joint DAG of Lemma 3.7
+  // AND the interpreted protocol state has reached a fixed point (a round
+  // with no new message deliveries, materializations or indications — so
+  // every pending in-message has been consumed per Algorithm 2 lines 7–11
+  // and "eventually"-properties are now checkable). The extra rounds flush
+  // references to blocks only some correct servers held at quiesce time
+  // (equivocations sent to one half, blocks a crashed server missed)
+  // through gossip + FWD. Returns false if `max_rounds` was not enough.
+  bool quiesce_and_converge(std::size_t max_rounds = 64);
+
   // True when every pair of correct servers' DAGs agree on their common
   // prefix trivially — i.e. identical vertex sets (the joint DAG of
   // Lemma 3.7, reached once gossip quiesces).
@@ -76,11 +109,13 @@ class Cluster {
 
  private:
   ClusterConfig config_;
+  const ProtocolFactory* factory_;
   Scheduler sched_;
   std::unique_ptr<SimNetwork> net_;
   std::unique_ptr<SignatureProvider> sigs_;
   std::vector<std::unique_ptr<Shim>> shims_;              // index = ServerId
   std::vector<std::unique_ptr<ByzantineServer>> byz_;     // index = ServerId
+  std::vector<std::unique_ptr<Shim>> crashed_;            // halted, kept alive
   bool started_ = false;
 
   void schedule_byz_tick(ServerId server);

@@ -1,0 +1,206 @@
+#include "runtime/faultplan.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace blockdag {
+
+namespace {
+
+LatencyModel random_latency(Rng& rng) {
+  LatencyModel model;
+  switch (rng.below(3)) {
+    case 0:
+      model.kind = LatencyModel::Kind::kFixed;
+      model.base = sim_ms(1 + rng.below(8));
+      model.spread = 0;
+      break;
+    case 1:
+      model.kind = LatencyModel::Kind::kUniform;
+      model.base = sim_ms(1 + rng.below(6));
+      model.spread = sim_ms(1 + rng.below(20));
+      break;
+    default:
+      // Heavy tail with a modest median: the tail multiplier can reach
+      // ~1000×, so a small spread keeps worst-case delays seconds-scale
+      // (finite ⇒ Assumption 1 holds; huge ⇒ the event queue crawls).
+      model.kind = LatencyModel::Kind::kHeavyTail;
+      model.base = sim_ms(1 + rng.below(4));
+      model.spread = sim_ms(1 + rng.below(8));
+      break;
+  }
+  return model;
+}
+
+}  // namespace
+
+SimTime effective_duration(const ScenarioConfig& config) {
+  // The plan invariants (burst/crash separation as duration fractions vs
+  // the absolute pacing interval) assume at least a second of simulated
+  // time; shorter requests are rounded up rather than silently unsound.
+  return std::max<SimTime>(config.duration, sim_sec(1));
+}
+
+FaultPlan derive_fault_plan(const ScenarioConfig& config) {
+  FaultPlan plan;
+  Rng rng(config.seed ^ 0xfa171e5cafeb10c5ULL);
+  const SimTime d = effective_duration(config);
+  const std::uint32_t n = config.n_servers;
+  const std::uint32_t f = max_faulty(n);
+
+  plan.pacing.interval = sim_ms(5 + rng.below(8));  // 5..12 ms
+
+  plan.initial_net.latency = random_latency(rng);
+  plan.initial_net.drop_probability = rng.chance(0.4) ? 0.02 + rng.unit() * 0.18 : 0.0;
+  plan.initial_net.max_drops_per_pair = 12;
+  if (rng.chance(0.3)) {
+    // Partial synchrony: chaotic-but-finite delays before GST.
+    plan.initial_net.gst = d / 10 + rng.below(d / 5);
+    plan.initial_net.pre_gst_latency =
+        LatencyModel{LatencyModel::Kind::kUniform, sim_ms(10), sim_ms(150)};
+  }
+
+  if (config.allow_byzantine && f > 0) {
+    const std::uint32_t count = static_cast<std::uint32_t>(rng.below(f + 1));
+    while (plan.byzantine.size() < count) {
+      const auto server = static_cast<ServerId>(rng.below(n));
+      if (plan.byzantine.count(server)) continue;
+      plan.byzantine[server] = static_cast<ByzantineKind>(rng.below(6));
+    }
+  }
+
+  if (config.allow_crashes) {
+    std::vector<ServerId> candidates;
+    for (ServerId s = 0; s < n; ++s) {
+      if (!plan.byzantine.count(s)) candidates.push_back(s);
+    }
+    const std::uint32_t max_crashes =
+        std::min<std::uint32_t>(2, static_cast<std::uint32_t>(candidates.size()) - 1);
+    const std::uint32_t count = static_cast<std::uint32_t>(rng.below(max_crashes + 1));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto pick = rng.below(candidates.size());
+      const ServerId server = candidates[pick];
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+      FaultPlan::Churn churn;
+      churn.server = server;
+      churn.crash_at = (d * 45) / 100 + rng.below(d / 4);          // [0.45d, 0.70d)
+      churn.recover_at = churn.crash_at + d / 50 + rng.below((d * 3) / 20);
+      churn.recover_at = std::min(churn.recover_at, (d * 85) / 100);
+      plan.churn.push_back(churn);
+    }
+    std::sort(plan.churn.begin(), plan.churn.end(),
+              [](const auto& a, const auto& b) { return a.crash_at < b.crash_at; });
+  }
+
+  const std::uint32_t n_partitions = static_cast<std::uint32_t>(rng.below(3));
+  for (std::uint32_t i = 0; i < n_partitions && n >= 2; ++i) {
+    FaultPlan::Partition part;
+    part.at = d / 12 + rng.below(d / 2);
+    part.heal_at = std::min(part.at + d / 50 + rng.below(d / 5), (d * 9) / 10);
+    if (part.heal_at <= part.at) part.heal_at = part.at + d / 100;
+    std::vector<bool> in_a(n, false);
+    for (ServerId s = 0; s < n; ++s) in_a[s] = rng.chance(0.5);
+    // Both sides non-empty, deterministically.
+    if (std::find(in_a.begin(), in_a.end(), true) == in_a.end()) in_a[0] = true;
+    if (std::find(in_a.begin(), in_a.end(), false) == in_a.end()) in_a[n - 1] = false;
+    for (ServerId s = 0; s < n; ++s) {
+      (in_a[s] ? part.side_a : part.side_b).push_back(s);
+    }
+    plan.partitions.push_back(std::move(part));
+  }
+  std::sort(plan.partitions.begin(), plan.partitions.end(),
+            [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  const std::uint32_t n_regimes = static_cast<std::uint32_t>(rng.below(4));
+  for (std::uint32_t i = 0; i < n_regimes; ++i) {
+    FaultPlan::Regime regime;
+    regime.at = d / 10 + rng.below((d * 7) / 10);  // [0.1d, 0.8d)
+    regime.latency = random_latency(rng);
+    regime.drop_probability = rng.chance(0.5) ? rng.unit() * 0.25 : 0.0;
+    regime.max_drops_per_pair = 12 + 8 * (i + 1);  // budget grows, never shrinks
+    plan.regimes.push_back(regime);
+  }
+  std::sort(plan.regimes.begin(), plan.regimes.end(),
+            [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  const std::uint32_t n_bursts =
+      1 + static_cast<std::uint32_t>(rng.below(std::min<std::uint32_t>(3, config.instances ? config.instances : 1)));
+  std::uint32_t assigned = 0;
+  for (std::uint32_t i = 0; i < n_bursts && assigned < config.instances; ++i) {
+    FaultPlan::Burst burst;
+    burst.at = d / 50 + rng.below((d * 38) / 100);  // [0.02d, 0.4d)
+    burst.first_instance = assigned;
+    const std::uint32_t remaining_bursts = n_bursts - i;
+    const std::uint32_t remaining = config.instances - assigned;
+    burst.count = i + 1 == n_bursts
+                      ? remaining
+                      : std::max<std::uint32_t>(1, remaining / remaining_bursts);
+    assigned += burst.count;
+    plan.bursts.push_back(burst);
+  }
+  std::sort(plan.bursts.begin(), plan.bursts.end(),
+            [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  return plan;
+}
+
+namespace {
+
+std::string ms(SimTime t) { return std::to_string(t / 1'000'000) + "ms"; }
+
+std::string latency_str(const LatencyModel& m) {
+  switch (m.kind) {
+    case LatencyModel::Kind::kFixed:
+      return "fixed(" + ms(m.base) + ")";
+    case LatencyModel::Kind::kUniform:
+      return "uniform(" + ms(m.base) + "+" + ms(m.spread) + ")";
+    case LatencyModel::Kind::kHeavyTail:
+      return "heavytail(" + ms(m.base) + "~" + ms(m.spread) + ")";
+  }
+  return "?";
+}
+
+std::string side_str(const std::vector<ServerId>& side) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(side[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string FaultPlan::summary() const {
+  std::string out;
+  out += "pacing " + ms(pacing.interval) + ", latency " +
+         latency_str(initial_net.latency) + ", drop " +
+         std::to_string(initial_net.drop_probability);
+  if (initial_net.gst > 0) out += ", gst " + ms(initial_net.gst);
+  out += "\n";
+  for (const auto& [server, kind] : byzantine) {
+    out += "byzantine " + std::to_string(server) + ":" +
+           byzantine_kind_name(kind) + "\n";
+  }
+  for (const auto& c : churn) {
+    out += "crash " + std::to_string(c.server) + " @" + ms(c.crash_at) +
+           " recover @" + ms(c.recover_at) + "\n";
+  }
+  for (const auto& p : partitions) {
+    out += "partition " + side_str(p.side_a) + "|" + side_str(p.side_b) + " @" +
+           ms(p.at) + " heal @" + ms(p.heal_at) + "\n";
+  }
+  for (const auto& r : regimes) {
+    out += "regime @" + ms(r.at) + " latency " + latency_str(r.latency) +
+           " drop " + std::to_string(r.drop_probability) + "\n";
+  }
+  for (const auto& b : bursts) {
+    out += "burst @" + ms(b.at) + " instances [" +
+           std::to_string(b.first_instance) + "," +
+           std::to_string(b.first_instance + b.count) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace blockdag

@@ -20,7 +20,9 @@ Shim::Shim(ServerId self, Scheduler& sched, SimNetwork& net, SignatureProvider& 
       [this](Label label, const Bytes& indication, ServerId on_behalf) {
         if (on_behalf != gossip_.self()) return;
         delivered_.push_back(UserIndication{label, indication, sched_.now()});
-        if (on_indication_) on_indication_(label, indication);
+        // Restore-replay rebuilds the log without re-firing the external
+        // handler: the pre-crash incarnation already surfaced these.
+        if (!restoring_ && on_indication_) on_indication_(label, indication);
       });
 }
 
@@ -56,6 +58,21 @@ void Shim::schedule_next_dissemination() {
 }
 
 void Shim::stop() { started_ = false; }
+
+void Shim::halt() {
+  stop();
+  gossip_.halt();
+}
+
+bool Shim::restore(const Bytes& snapshot) {
+  restoring_ = true;
+  // GossipServer::restore replays the insert notification per block, which
+  // drives the incremental interpreter over the whole persisted DAG —
+  // interpretation state and indications() come back deterministically.
+  const bool ok = gossip_.restore(snapshot);
+  restoring_ = false;
+  return ok;
+}
 
 void Shim::start() {
   if (started_) return;

@@ -53,6 +53,33 @@ class Shim {
   // Stops the loop (ends the simulation run cleanly).
   void stop();
 
+  // --- Crash recovery (§7 Limitations) ---
+  //
+  // A crashing server persists exactly its gossip state (snapshot());
+  // interpretation and the user-indication log are *recomputed* on restore:
+  // replaying the persisted DAG re-raises every indication in the original
+  // deterministic order (interpretation is a pure function of the DAG,
+  // Lemma 4.2, and indication order follows insertion order). Replayed
+  // indications repopulate indications() but do NOT re-fire the external
+  // IndicationHandler — the pre-crash incarnation already surfaced them, so
+  // re-firing would manufacture duplicate deliveries to the user, violating
+  // e.g. BRB no-duplication across the crash.
+
+  // Serialized gossip state (the persisted block store + construction
+  // state); feed to restore() on a fresh Shim.
+  Bytes snapshot() const { return gossip_.snapshot(); }
+
+  // Restores a freshly constructed Shim from a snapshot. Returns false on
+  // malformed bytes. `at` timestamps of replayed indications are the
+  // restore time, not the original delivery time.
+  bool restore(const Bytes& snapshot);
+
+  // Crash: stops the dissemination loop and permanently halts gossip (no
+  // sends, no reactions, pending timers become no-ops). The object stays
+  // alive so in-flight scheduler events referencing it stay safe; recovery
+  // happens on a *new* Shim via restore().
+  void halt();
+
   // One manual dissemination + interpretation step (tests drive this).
   void tick();
 
@@ -76,6 +103,7 @@ class Shim {
   Interpreter interpreter_;
   PacingConfig pacing_;
   bool started_ = false;
+  bool restoring_ = false;
   IndicationHandler on_indication_;
   std::vector<UserIndication> delivered_;
 };

@@ -98,6 +98,21 @@ class SimNetwork {
   void partition(const std::vector<ServerId>& side_a,
                  const std::vector<ServerId>& side_b, SimTime heal_at);
 
+  // --- Mid-run fault injection (scenario engine) ---
+  //
+  // Regime switches apply to *subsequently sent* messages only; in-flight
+  // deliveries keep their already-sampled times. Both hooks keep Assumption
+  // 1 honest: latency is always finite, and the drop budget only grows (the
+  // per-pair counters are cumulative, so the total loss per ordered pair
+  // stays bounded across regimes).
+  void set_latency_model(const LatencyModel& model) { config_.latency = model; }
+  void set_drop_regime(double drop_probability, std::uint32_t max_drops_per_pair) {
+    config_.drop_probability = drop_probability;
+    if (max_drops_per_pair > config_.max_drops_per_pair) {
+      config_.max_drops_per_pair = max_drops_per_pair;
+    }
+  }
+
   const WireMetrics& metrics() const { return metrics_; }
   WireMetrics& metrics() { return metrics_; }
 

@@ -10,6 +10,7 @@
 #include "gossip/gossip.h"
 #include "interpret/interpreter.h"
 #include "protocols/brb.h"
+#include "runtime/cluster.h"
 
 namespace blockdag {
 namespace {
@@ -153,6 +154,96 @@ TEST(Recovery, InterpretationIsRecomputedNotPersisted) {
     EXPECT_EQ(before.digest_of(b->ref()), after.digest_of(b->ref()));
   }
   EXPECT_GT(after.stats().messages_materialized, 0u);
+}
+
+TEST(Recovery, ShimCrashRecoverMidRunMatchesNeverCrashedPeers) {
+  // The full crash-recovery edge through the shim: a server crashes mid-
+  // run, the cluster keeps making progress without it, it recovers from
+  // its persisted block store and must (a) rebuild exactly the pre-crash
+  // indication log — nothing lost, nothing re-delivered — and (b) end the
+  // run with digest_of identical to never-crashed peers for every block
+  // (Lemma 4.2 across the crash).
+  brb::BrbFactory factory;
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 21;
+  cfg.pacing.interval = sim_ms(10);
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(0, 100, brb::make_broadcast(Bytes{1}));
+  cluster.run_for(sim_ms(300));
+
+  const Bytes snapshot = cluster.snapshot_of(2);
+  const std::vector<UserIndication> pre_log = cluster.shim(2).indications();
+  ASSERT_FALSE(pre_log.empty());  // label 100 was delivered before the crash
+  cluster.crash(2);
+  EXPECT_FALSE(cluster.is_correct(2));
+  EXPECT_EQ(cluster.n_correct(), 3u);
+
+  // Progress while server 2 is down: a broadcast it never hears directly.
+  cluster.request(1, 101, brb::make_broadcast(Bytes{2}));
+  cluster.run_for(sim_ms(300));
+
+  ASSERT_TRUE(cluster.recover(2, snapshot));
+  EXPECT_TRUE(cluster.is_correct(2));
+  // (a) The restored incarnation rebuilt exactly the pre-crash log from the
+  // persisted DAG (interpretation — hence indications — is a pure function
+  // of it).
+  const std::vector<UserIndication>& restored = cluster.shim(2).indications();
+  ASSERT_EQ(restored.size(), pre_log.size());
+  for (std::size_t i = 0; i < pre_log.size(); ++i) {
+    EXPECT_EQ(restored[i].label, pre_log[i].label);
+    EXPECT_EQ(restored[i].indication, pre_log[i].indication);
+  }
+
+  cluster.run_for(sim_ms(400));
+  ASSERT_TRUE(cluster.quiesce_and_converge());
+
+  // (b) Identical interpretation digests everywhere, including the blocks
+  // built while server 2 was down (recovered through gossip FWD).
+  const Shim& witness = cluster.shim(0);
+  for (const BlockPtr& b : witness.dag().topological_order()) {
+    ASSERT_TRUE(cluster.shim(2).interpreter().is_interpreted(b->ref()));
+    EXPECT_EQ(cluster.shim(2).interpreter().digest_of(b->ref()),
+              witness.interpreter().digest_of(b->ref()));
+  }
+  // The while-down broadcast reached the recovered server exactly once.
+  std::size_t label_101 = 0;
+  for (const UserIndication& ind : cluster.shim(2).indications()) {
+    if (ind.label == 101) ++label_101;
+  }
+  EXPECT_EQ(label_101, 1u);
+  EXPECT_EQ(cluster.indicated_count(100), 4u);
+  EXPECT_EQ(cluster.indicated_count(101), 4u);
+}
+
+TEST(Recovery, RestoreReplayDoesNotRefireExternalIndicationHandler) {
+  // Re-raising replayed indications to the user would manufacture
+  // duplicate deliveries across a crash (the pre-crash incarnation already
+  // surfaced them) — the external handler must stay silent during restore
+  // while indications() is rebuilt.
+  brb::BrbFactory factory;
+  ClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.seed = 9;
+  cfg.pacing.interval = sim_ms(10);
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  cluster.request(0, 100, brb::make_broadcast(Bytes{7}));
+  cluster.run_for(sim_ms(400));
+
+  const Bytes snapshot = cluster.snapshot_of(3);
+  const std::size_t pre_count = cluster.shim(3).indications().size();
+  ASSERT_GT(pre_count, 0u);
+  cluster.crash(3);
+
+  Shim fresh(3, cluster.scheduler(), cluster.network(), cluster.signatures(),
+             factory, 4);
+  int fired = 0;
+  fresh.set_indication_handler([&](Label, const Bytes&) { ++fired; });
+  ASSERT_TRUE(fresh.restore(snapshot));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(fresh.indications().size(), pre_count);
 }
 
 }  // namespace

@@ -1,0 +1,257 @@
+// Checker self-tests: feed synthetic executions with planted violations and
+// assert each checker reports *exactly* the planted violation — a checker
+// that stays green on a violating execution (or drowns a real violation in
+// false positives) would silently void the scenario engine that relies on
+// it (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include "runtime/checkers.h"
+
+namespace blockdag {
+namespace {
+
+Bytes val(std::uint8_t v) { return Bytes{v}; }
+
+bool mentions(const std::string& violation, const char* what) {
+  return violation.find(what) != std::string::npos;
+}
+
+// ---- BrbChecker ----
+
+TEST(BrbCheckerExact, CleanExecutionIsClean) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, val(7), true);
+  for (ServerId s = 0; s < 3; ++s) checker.record_delivery(s, 1, val(7));
+  EXPECT_TRUE(checker.violations({0, 1, 2}, /*run_completed=*/true).empty());
+  EXPECT_EQ(checker.total_deliveries(), 3u);
+}
+
+TEST(BrbCheckerExact, PlantedDuplicateDelivery) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, val(7), true);
+  for (ServerId s = 0; s < 3; ++s) checker.record_delivery(s, 1, val(7));
+  checker.record_delivery(2, 1, val(7));  // planted: second delivery at 2
+  const auto v = checker.violations({0, 1, 2}, true);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "no-duplication")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "server 2")) << v[0];
+}
+
+TEST(BrbCheckerExact, PlantedInconsistentValues) {
+  BrbChecker checker;
+  // Byzantine broadcaster (no integrity/validity clause), safety-only check.
+  checker.expect_broadcast(1, 3, val(7), false);
+  checker.record_delivery(0, 1, val(7));
+  checker.record_delivery(1, 1, val(8));  // planted: different value
+  const auto v = checker.violations({0, 1, 2}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "consistency")) << v[0];
+}
+
+TEST(BrbCheckerExact, PlantedMissingTotality) {
+  BrbChecker checker;
+  // Byzantine broadcaster: totality still binds once quiesced, validity
+  // does not — so exactly the totality clause must fire.
+  checker.expect_broadcast(1, 3, val(7), false);
+  checker.record_delivery(0, 1, val(7));
+  checker.record_delivery(1, 1, val(7));
+  // planted: server 2 never delivers
+  const auto v = checker.violations({0, 1, 2}, /*run_completed=*/true);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "totality")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "server 2")) << v[0];
+}
+
+TEST(BrbCheckerExact, PlantedValidityMiss) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, val(7), true);
+  // planted: nobody delivers a correct broadcaster's value
+  const auto v = checker.violations({0, 1}, /*run_completed=*/true);
+  ASSERT_EQ(v.size(), 2u);  // one per correct server
+  for (const auto& violation : v) {
+    EXPECT_TRUE(mentions(violation, "validity")) << violation;
+  }
+}
+
+TEST(BrbCheckerExact, PlantedIntegrityBreak) {
+  BrbChecker checker;
+  checker.expect_broadcast(1, 0, val(7), true);
+  checker.record_delivery(1, 1, val(9));  // planted: value never broadcast
+  const auto v = checker.violations({0, 1}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "integrity")) << v[0];
+}
+
+// ---- ConsensusChecker ----
+
+TEST(ConsensusCheckerExact, CleanExecutionIsClean) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, val(5));
+  for (ServerId s = 0; s < 4; ++s) checker.record_decision(s, 1, val(5));
+  EXPECT_TRUE(checker.violations({0, 1, 2, 3}, true).empty());
+}
+
+TEST(ConsensusCheckerExact, PlantedAgreementBreak) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, val(5));
+  checker.expect_proposal(1, 1, val(6));
+  checker.record_decision(0, 1, val(5));
+  checker.record_decision(1, 1, val(6));  // planted: different decision
+  const auto v = checker.violations({0, 1}, /*expect_termination=*/true);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "agreement")) << v[0];
+}
+
+TEST(ConsensusCheckerExact, PlantedDoubleDecision) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, val(5));
+  checker.record_decision(0, 1, val(5));
+  checker.record_decision(0, 1, val(5));  // planted: decided twice
+  checker.record_decision(1, 1, val(5));
+  const auto v = checker.violations({0, 1}, true);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "decided twice")) << v[0];
+}
+
+TEST(ConsensusCheckerExact, PlantedUnproposedDecision) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, val(5));
+  checker.record_decision(0, 1, val(9));  // planted: never proposed
+  checker.record_decision(1, 1, val(9));
+  const auto v = checker.violations({0, 1}, /*expect_termination=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "validity")) << v[0];
+}
+
+TEST(ConsensusCheckerExact, PlantedNonTermination) {
+  ConsensusChecker checker;
+  checker.expect_proposal(1, 0, val(5));
+  checker.record_decision(0, 1, val(5));  // planted: server 1 undecided
+  const auto v = checker.violations({0, 1}, /*expect_termination=*/true);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "termination")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "server 1")) << v[0];
+}
+
+// ---- FifoChecker ----
+
+FifoChecker clean_fifo() {
+  FifoChecker checker;
+  for (std::uint8_t seq = 0; seq < 3; ++seq) {
+    checker.expect_broadcast(1, 0, val(static_cast<std::uint8_t>(10 + seq)), true);
+  }
+  for (ServerId s = 0; s < 3; ++s) {
+    for (std::uint8_t seq = 0; seq < 3; ++seq) {
+      checker.record_delivery(s, 1, 0, seq, val(static_cast<std::uint8_t>(10 + seq)));
+    }
+  }
+  return checker;
+}
+
+TEST(FifoCheckerExact, CleanStreamIsClean) {
+  const FifoChecker checker = clean_fifo();
+  EXPECT_TRUE(checker.violations({0, 1, 2}, /*run_completed=*/true).empty());
+  EXPECT_EQ(checker.total_deliveries(), 9u);
+}
+
+TEST(FifoCheckerExact, CleanTwoOriginInterleaveIsClean) {
+  FifoChecker checker;
+  checker.expect_broadcast(1, 0, val(10), true);
+  checker.expect_broadcast(1, 2, val(20), true);
+  checker.expect_broadcast(1, 0, val(11), true);
+  for (ServerId s = 0; s < 3; ++s) {
+    checker.record_delivery(s, 1, 2, 0, val(20));
+    checker.record_delivery(s, 1, 0, 0, val(10));
+    checker.record_delivery(s, 1, 0, 1, val(11));
+  }
+  EXPECT_TRUE(checker.violations({0, 1, 2}, true).empty());
+}
+
+TEST(FifoCheckerExact, PlantedGap) {
+  FifoChecker checker;
+  checker.expect_broadcast(1, 0, val(10), true);
+  checker.expect_broadcast(1, 0, val(11), true);
+  checker.record_delivery(2, 1, 0, 1, val(11));  // planted: seq 1 before seq 0
+  const auto v = checker.violations({0, 1, 2}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "fifo-order")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "expecting seq 0")) << v[0];
+}
+
+TEST(FifoCheckerExact, PlantedDuplicateSeq) {
+  FifoChecker checker = clean_fifo();
+  checker.record_delivery(1, 1, 0, 2, val(12));  // planted: seq 2 again
+  // Safety-only check: the duplicate also inflates server 1's delivery
+  // count, so the quiesced totality clause would (correctly) fire too.
+  const auto v = checker.violations({0, 1, 2}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "no-duplication")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "server 1")) << v[0];
+}
+
+TEST(FifoCheckerExact, PlantedWrongValue) {
+  FifoChecker checker;
+  checker.expect_broadcast(1, 0, val(10), true);
+  checker.record_delivery(0, 1, 0, 0, val(99));  // planted: value mismatch
+  const auto v = checker.violations({0, 1}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "integrity")) << v[0];
+}
+
+TEST(FifoCheckerExact, PlantedDeliveryBeyondStream) {
+  FifoChecker checker;
+  checker.expect_broadcast(1, 0, val(10), true);
+  checker.record_delivery(0, 1, 0, 0, val(10));
+  checker.record_delivery(0, 1, 0, 1, val(11));  // planted: past the stream
+  const auto v = checker.violations({0, 1}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "integrity")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "beyond")) << v[0];
+}
+
+TEST(FifoCheckerExact, PlantedInconsistentValues) {
+  FifoChecker checker;
+  // Byzantine origin (3, outside the correct set): safety must still hold.
+  checker.record_delivery(0, 1, 3, 0, val(1));
+  checker.record_delivery(1, 1, 3, 0, val(2));  // planted: disagreement
+  const auto v = checker.violations({0, 1}, /*run_completed=*/false);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "consistency")) << v[0];
+}
+
+TEST(FifoCheckerExact, PlantedMissingTotality) {
+  FifoChecker checker;
+  checker.expect_broadcast(1, 3, val(1), false);  // byzantine origin
+  checker.record_delivery(0, 1, 3, 0, val(1));
+  // planted: server 1 never delivers the slot server 0 delivered
+  const auto v = checker.violations({0, 1}, /*run_completed=*/true);
+  ASSERT_EQ(v.size(), 1u) << v[0];
+  EXPECT_TRUE(mentions(v[0], "totality")) << v[0];
+  EXPECT_TRUE(mentions(v[0], "server 1")) << v[0];
+}
+
+TEST(FifoCheckerExact, PlantedValidityMiss) {
+  FifoChecker checker;
+  checker.expect_broadcast(1, 0, val(10), true);
+  checker.expect_broadcast(1, 0, val(11), true);
+  // planted: nobody delivers the correct origin's stream
+  const auto v = checker.violations({0, 1}, /*run_completed=*/true);
+  ASSERT_EQ(v.size(), 2u);  // one per correct server
+  for (const auto& violation : v) {
+    EXPECT_TRUE(mentions(violation, "validity")) << violation;
+    EXPECT_TRUE(mentions(violation, "0 of 2")) << violation;
+  }
+}
+
+TEST(FifoCheckerExact, PartialDeliveryIsCleanMidRun) {
+  // A prefix of the stream delivered at some servers only is fine before
+  // the run completes — liveness clauses must not fire early.
+  FifoChecker checker;
+  checker.expect_broadcast(1, 0, val(10), true);
+  checker.expect_broadcast(1, 0, val(11), true);
+  checker.record_delivery(0, 1, 0, 0, val(10));
+  EXPECT_TRUE(checker.violations({0, 1}, /*run_completed=*/false).empty());
+}
+
+}  // namespace
+}  // namespace blockdag

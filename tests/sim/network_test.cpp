@@ -174,5 +174,51 @@ TEST(SimNetwork, DeterministicGivenSeed) {
   EXPECT_NE(run(5), run(6));
 }
 
+TEST(SimNetwork, LatencyRegimeSwitchAppliesToSubsequentSends) {
+  NetworkConfig cfg;
+  cfg.latency = {LatencyModel::Kind::kFixed, sim_ms(7), 0};
+  Rig rig(2, cfg);
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{1});
+  // Mid-run regime switch (scenario engine): the in-flight message keeps
+  // its sampled delay; the next send uses the new model.
+  rig.net.set_latency_model({LatencyModel::Kind::kFixed, sim_ms(2), 0});
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{2});
+  rig.sched.run();
+  ASSERT_EQ(rig.received[1].size(), 2u);
+  // The second send overtakes the first (2ms vs 7ms) — scheduler order.
+  EXPECT_EQ(rig.received[1][0].payload, Bytes{2});
+  EXPECT_EQ(rig.received[1][0].at, sim_ms(2));
+  EXPECT_EQ(rig.received[1][1].payload, Bytes{1});
+  EXPECT_EQ(rig.received[1][1].at, sim_ms(7));
+}
+
+TEST(SimNetwork, DropRegimeBudgetOnlyGrows) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  cfg.max_drops_per_pair = 2;
+  Rig rig(2, cfg);
+  for (int i = 0; i < 4; ++i) rig.net.send(0, 1, WireKind::kProtocol, Bytes{1});
+  rig.sched.run();
+  // Budget 2: two drops, then sends succeed (transient loss, Assumption 1).
+  EXPECT_EQ(rig.net.metrics().dropped, 2u);
+  EXPECT_EQ(rig.received[1].size(), 2u);
+  // A regime switch can raise the budget but never shrink it below what an
+  // earlier regime granted.
+  rig.net.set_drop_regime(1.0, 3);
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{2});  // third drop
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{3});  // budget exhausted again
+  rig.net.set_drop_regime(1.0, 1);  // attempt to shrink: kept at 3
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{4});
+  rig.sched.run();
+  EXPECT_EQ(rig.net.metrics().dropped, 3u);
+  EXPECT_EQ(rig.received[1].size(), 4u);
+  // And switching the probability off stops dropping regardless of budget.
+  rig.net.set_drop_regime(0.0, 100);
+  rig.net.send(0, 1, WireKind::kProtocol, Bytes{5});
+  rig.sched.run();
+  EXPECT_EQ(rig.net.metrics().dropped, 3u);
+  EXPECT_EQ(rig.received[1].size(), 5u);
+}
+
 }  // namespace
 }  // namespace blockdag

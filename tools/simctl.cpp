@@ -1,16 +1,35 @@
 // simctl — command-line driver for the block DAG simulator.
 //
-// Runs a configurable cluster of shim(P) servers and prints a full report:
-// deliveries, wire traffic, signature counts, interpretation stats, DAG
-// audit. Meant for quick exploration without writing code.
+// Default (or `simctl run …`): runs a configurable cluster of shim(P)
+// servers and prints a full report — deliveries, wire traffic, signature
+// counts, interpretation stats, DAG audit. Meant for quick exploration
+// without writing code.
 //
-// Usage:
-//   simctl [--n N] [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
+//   simctl [run] [--n N] [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
 //          [--instances K] [--interval MS] [--seed X] [--drop P]
 //          [--byzantine ID:KIND ...] [--wots] [--dot FILE]
 //
 // Byzantine kinds: silent, equivocator, duplicate, flooder, badsigner,
 // garbage.
+//
+// Scenario engine (DESIGN.md §6) subcommands:
+//
+//   simctl fuzz --seeds A..B [--protocol P|mix] [--n N] [--instances K]
+//               [--duration S | --duration-ns NS] [--repro-file FILE]
+//     Runs one seeded adversarial scenario per seed (randomized partitions,
+//     latency/drop regimes, crash/recovery churn, byzantine mixes, request
+//     bursts) with the property checkers always on. Every failure prints a
+//     one-line `simctl replay …` repro (also appended to --repro-file).
+//     With `--protocol mix` (default), protocol and cluster size rotate
+//     deterministically per seed.
+//
+//   simctl replay --seed S [--protocol P] [--n N] [--instances K]
+//                 [--duration S | --duration-ns NS] [--trace FILE]
+//     Re-runs exactly one scenario (same derivation as fuzz), prints the
+//     derived fault plan and the result, and optionally writes a JSON
+//     trace. Replays are exact: a scenario is a pure function of its
+//     configuration (repro lines carry the duration in integer ns so no
+//     decimal round-trip can perturb the derived plan).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +43,7 @@
 #include "protocols/fifo_brb.h"
 #include "protocols/pbft_lite.h"
 #include "runtime/cluster.h"
+#include "runtime/scenario.h"
 #include "runtime/table.h"
 #include "util/histogram.h"
 
@@ -235,16 +255,232 @@ int run(const Options& opt) {
   return complete == issued ? 0 : 1;
 }
 
+// ---- scenario engine subcommands ----
+
+struct FuzzOptions {
+  std::uint64_t first_seed = 0;
+  std::uint64_t last_seed = 0;
+  std::string protocol = "mix";
+  std::uint32_t n = 0;           // 0 = rotate per seed
+  std::uint32_t instances = 6;
+  double duration_s = 1.0;       // --duration (human-friendly seconds)
+  std::uint64_t duration_ns = 0; // --duration-ns (exact; overrides seconds)
+  std::string repro_file;
+  std::string trace_file;        // replay only
+};
+
+// The fuzz derivation: protocol and cluster size rotate deterministically
+// per seed unless pinned. Repro lines pin everything explicitly, so replay
+// stays exact even if these rotations ever change.
+ScenarioConfig scenario_for_seed(std::uint64_t seed, const FuzzOptions& opt) {
+  static const char* kProtocols[] = {"brb", "bcb", "fifo", "pbft", "beacon"};
+  static const std::uint32_t kSizes[] = {4, 7, 10};
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.protocol = opt.protocol == "mix" ? kProtocols[seed % 5] : opt.protocol;
+  cfg.n_servers = opt.n != 0 ? opt.n : kSizes[(seed / 5) % 3];
+  cfg.instances = opt.instances;
+  cfg.duration = opt.duration_ns != 0 ? opt.duration_ns
+                                      : static_cast<SimTime>(opt.duration_s * 1e9);
+  return cfg;
+}
+
+std::string repro_line(const ScenarioConfig& cfg) {
+  char buf[256];
+  // Integer nanoseconds, the simulator's native unit: a decimal-seconds
+  // double does not survive the ns→s→ns round trip for every value, and
+  // every fault-plan time is derived from the duration, so a 1 ns slip
+  // would replay a different scenario.
+  std::snprintf(buf, sizeof buf,
+                "simctl replay --seed %llu --protocol %s --n %u --instances %u "
+                "--duration-ns %llu",
+                static_cast<unsigned long long>(cfg.seed), cfg.protocol.c_str(),
+                cfg.n_servers, cfg.instances,
+                static_cast<unsigned long long>(effective_duration(cfg)));
+  return buf;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(s, &used);
+    return used == s.size() && !s.empty();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_seed_range(const std::string& spec, FuzzOptions& opt) {
+  const auto dots = spec.find("..");
+  if (dots == std::string::npos) {
+    if (!parse_u64(spec, opt.first_seed)) return false;
+    opt.last_seed = opt.first_seed;
+  } else {
+    if (!parse_u64(spec.substr(0, dots), opt.first_seed) ||
+        !parse_u64(spec.substr(dots + 2), opt.last_seed)) {
+      return false;
+    }
+  }
+  return opt.first_seed <= opt.last_seed;
+}
+
+bool parse_u32(const char* s, std::uint32_t& out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long v = std::stoul(s, &used);
+    if (used != std::strlen(s) || v > UINT32_MAX) return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_duration(const char* s, double& out) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != std::strlen(s) || !(v > 0.0) || v > 1e6) return false;
+    out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_fuzz_args(int argc, char** argv, FuzzOptions& opt, bool replay) {
+  bool seen_seed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--seeds" && !replay) {
+      if (!(v = next()) || !parse_seed_range(v, opt)) return false;
+      seen_seed = true;
+    } else if (arg == "--seed" && replay) {
+      if (!(v = next()) || !parse_seed_range(v, opt)) return false;
+      seen_seed = true;
+    } else if (arg == "--protocol") {
+      if (!(v = next())) return false;
+      opt.protocol = v;
+      if (opt.protocol != "mix" && !scenario_protocol_known(opt.protocol)) return false;
+    } else if (arg == "--n") {
+      if (!(v = next()) || !parse_u32(v, opt.n)) return false;
+    } else if (arg == "--instances") {
+      if (!(v = next()) || !parse_u32(v, opt.instances)) return false;
+    } else if (arg == "--duration") {
+      if (!(v = next()) || !parse_duration(v, opt.duration_s)) return false;
+    } else if (arg == "--duration-ns") {
+      if (!(v = next()) || !parse_u64(v, opt.duration_ns) || opt.duration_ns == 0) {
+        return false;
+      }
+    } else if (arg == "--repro-file" && !replay) {
+      if (!(v = next())) return false;
+      opt.repro_file = v;
+    } else if (arg == "--trace" && replay) {
+      if (!(v = next())) return false;
+      opt.trace_file = v;
+    } else {
+      return false;
+    }
+  }
+  return seen_seed;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  FuzzOptions opt;
+  if (!parse_fuzz_args(argc, argv, opt, /*replay=*/false)) {
+    std::fprintf(stderr,
+                 "usage: simctl fuzz --seeds A..B [--protocol brb|bcb|fifo|pbft|"
+                 "beacon|mix]\n"
+                 "                   [--n N] [--instances K] [--duration S |"
+                 " --duration-ns NS]\n"
+                 "                   [--repro-file FILE]\n");
+    return 2;
+  }
+  std::size_t passed = 0, failed = 0;
+  for (std::uint64_t seed = opt.first_seed; seed <= opt.last_seed; ++seed) {
+    const ScenarioConfig cfg = scenario_for_seed(seed, opt);
+    const ScenarioResult result = run_scenario(cfg);
+    if (result.ok()) {
+      ++passed;
+      continue;
+    }
+    ++failed;
+    std::printf("FAIL seed=%llu protocol=%s n=%u: %s\n",
+                static_cast<unsigned long long>(seed), cfg.protocol.c_str(),
+                cfg.n_servers, result.violations.front().c_str());
+    const std::string repro = repro_line(cfg);
+    std::printf("  repro: %s\n", repro.c_str());
+    if (!opt.repro_file.empty()) {
+      std::ofstream out(opt.repro_file, std::ios::app);
+      out << repro << "\n";
+    }
+  }
+  std::printf("fuzz: %zu/%zu seeds passed (%llu..%llu)\n", passed,
+              passed + failed, static_cast<unsigned long long>(opt.first_seed),
+              static_cast<unsigned long long>(opt.last_seed));
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  FuzzOptions opt;
+  if (!parse_fuzz_args(argc, argv, opt, /*replay=*/true)) {
+    std::fprintf(stderr,
+                 "usage: simctl replay --seed S [--protocol brb|bcb|fifo|pbft|"
+                 "beacon|mix]\n"
+                 "                     [--n N] [--instances K] [--duration S |"
+                 " --duration-ns NS]\n"
+                 "                     [--trace FILE]\n");
+    return 2;
+  }
+  const ScenarioConfig cfg = scenario_for_seed(opt.first_seed, opt);
+  const FaultPlan plan = derive_fault_plan(cfg);
+  std::printf("scenario seed=%llu protocol=%s n=%u instances=%u duration=%.3fs\n",
+              static_cast<unsigned long long>(cfg.seed), cfg.protocol.c_str(),
+              cfg.n_servers, cfg.instances,
+              static_cast<double>(effective_duration(cfg)) / 1e9);
+  std::printf("---- fault plan ----\n%s", plan.summary().c_str());
+
+  const ScenarioResult result = run_scenario(cfg);
+  std::printf("---- result ----\n");
+  std::printf("blocks=%zu deliveries=%zu labels_complete=%zu converged=%s\n",
+              result.blocks, result.deliveries, result.labels_complete,
+              result.converged ? "yes" : "no");
+  for (const std::string& violation : result.violations) {
+    std::printf("VIOLATION: %s\n", violation.c_str());
+  }
+  if (result.ok()) std::printf("OK — no violations\n");
+  if (!opt.trace_file.empty()) {
+    std::ofstream out(opt.trace_file);
+    out << scenario_trace_json(cfg, plan, result);
+    std::printf("trace written to %s\n", opt.trace_file.c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) {
+    return cmd_fuzz(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "replay") == 0) {
+    return cmd_replay(argc - 1, argv + 1);
+  }
+  const bool explicit_run = argc > 1 && std::strcmp(argv[1], "run") == 0;
   Options opt;
-  if (!parse_args(argc, argv, opt)) {
+  if (!parse_args(explicit_run ? argc - 1 : argc,
+                  explicit_run ? argv + 1 : argv, opt)) {
     std::fprintf(stderr,
-                 "usage: simctl [--n N] [--protocol brb|bcb|fifo|pbft|beacon]\n"
+                 "usage: simctl [run] [--n N] [--protocol brb|bcb|fifo|pbft|beacon]\n"
                  "              [--seconds S] [--instances K] [--interval MS]\n"
                  "              [--seed X] [--drop P] [--byzantine ID:KIND ...]\n"
-                 "              [--wots] [--dot FILE]\n");
+                 "              [--wots] [--dot FILE]\n"
+                 "       simctl fuzz --seeds A..B [options]\n"
+                 "       simctl replay --seed S [options]\n");
     return 2;
   }
   return run(opt);
