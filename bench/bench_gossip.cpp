@@ -8,6 +8,7 @@
 #include <map>
 
 #include "crypto/signature.h"
+#include "sim/network.h"
 #include "gossip/gossip.h"
 #include "runtime/bench_report.h"
 #include "runtime/table.h"

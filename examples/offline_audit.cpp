@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "crypto/signature.h"
+#include "sim/network.h"
 #include "dag/audit.h"
 #include "dag/dot.h"
 #include "gossip/gossip.h"

@@ -49,11 +49,11 @@ std::optional<DecodedDirect> decode_direct(std::span<const std::uint8_t> wire,
 }
 }  // namespace
 
-DirectProtocolNode::DirectProtocolNode(ServerId self, Scheduler& sched,
-                                       SimNetwork& net, SignatureProvider& sigs,
+DirectProtocolNode::DirectProtocolNode(ServerId self, TimerService& timers,
+                                       Transport& net, SignatureProvider& sigs,
                                        const ProtocolFactory& factory,
                                        std::uint32_t n_servers)
-    : self_(self), sched_(sched), net_(net), sigs_(sigs), factory_(factory),
+    : self_(self), timers_(timers), net_(net), sigs_(sigs), factory_(factory),
       n_(n_servers) {
   net_.attach(self_, [this](ServerId from, const Bytes& wire) {
     on_network(from, wire);
@@ -74,14 +74,14 @@ void DirectProtocolNode::request(Label label, Bytes req) {
 
 void DirectProtocolNode::dispatch(Label label, StepResult&& result) {
   for (auto& ind : result.indications) {
-    delivered_.push_back(DirectIndication{label, std::move(ind), sched_.now()});
+    delivered_.push_back(DirectIndication{label, std::move(ind), timers_.now()});
   }
   for (Message& m : result.messages) {
     ++messages_sent_;
     if (m.receiver == self_) {
-      // Local loop-back: no wire, no signature — but defer via the
-      // scheduler so re-entrancy cannot reorder handler state.
-      sched_.after(0, [this, label, m = std::move(m)]() mutable {
+      // Local loop-back: no wire, no signature — but defer via a zero
+      // timer so re-entrancy cannot reorder handler state.
+      timers_.schedule_after(0, [this, label, m = std::move(m)]() mutable {
         dispatch(label, instance(label).on_message(m));
       });
     } else {

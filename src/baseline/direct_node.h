@@ -15,9 +15,8 @@
 #include <vector>
 
 #include "crypto/signature.h"
+#include "net/env.h"
 #include "protocol/protocol.h"
-#include "sim/network.h"
-#include "sim/scheduler.h"
 
 namespace blockdag {
 
@@ -29,9 +28,15 @@ struct DirectIndication {
 
 class DirectProtocolNode {
  public:
-  DirectProtocolNode(ServerId self, Scheduler& sched, SimNetwork& net,
+  // Like the block-DAG stack, the baseline is sans-io: it sees only the
+  // Transport / TimerService seam, so comparisons run on either runtime.
+  DirectProtocolNode(ServerId self, TimerService& timers, Transport& net,
                      SignatureProvider& sigs, const ProtocolFactory& factory,
                      std::uint32_t n_servers);
+  DirectProtocolNode(ServerId self, NodeEnv env, SignatureProvider& sigs,
+                     const ProtocolFactory& factory, std::uint32_t n_servers)
+      : DirectProtocolNode(self, env.timers, env.transport, sigs, factory,
+                           n_servers) {}
 
   // The user-facing request interface — same shape as Shim::request.
   void request(Label label, Bytes request);
@@ -46,8 +51,8 @@ class DirectProtocolNode {
   void on_network(ServerId from, const Bytes& wire);
 
   ServerId self_;
-  Scheduler& sched_;
-  SimNetwork& net_;
+  TimerService& timers_;
+  Transport& net_;
   SignatureProvider& sigs_;
   const ProtocolFactory& factory_;
   std::uint32_t n_;

@@ -56,6 +56,10 @@ std::optional<Block> Block::decode(std::span<const std::uint8_t> wire) {
 
   const auto n_preds = r.u32();
   if (!n_preds) return std::nullopt;
+  // Counts are attacker-controlled (byzantine wire input): reject any count
+  // the remaining bytes cannot possibly hold BEFORE reserving, so a forged
+  // header cannot force a multi-gigabyte allocation (wire_fuzz_test).
+  if (*n_preds > r.remaining() / Hash256::kSize) return std::nullopt;
   std::vector<Hash256> preds;
   preds.reserve(*n_preds);
   for (std::uint32_t i = 0; i < *n_preds; ++i) {
@@ -68,6 +72,8 @@ std::optional<Block> Block::decode(std::span<const std::uint8_t> wire) {
 
   const auto n_rs = r.u32();
   if (!n_rs) return std::nullopt;
+  // Each request needs at least its u64 label + u32 length prefix.
+  if (*n_rs > r.remaining() / 12) return std::nullopt;
   std::vector<LabeledRequest> rs;
   rs.reserve(*n_rs);
   for (std::uint32_t i = 0; i < *n_rs; ++i) {

@@ -7,11 +7,11 @@
 
 namespace blockdag {
 
-GossipServer::GossipServer(ServerId self, Scheduler& sched, SimNetwork& net,
+GossipServer::GossipServer(ServerId self, TimerService& timers, Transport& net,
                            SignatureProvider& sigs, RequestBuffer& rqsts,
                            GossipConfig config, SeqNoMode seq_mode)
     : self_(self),
-      sched_(sched),
+      timers_(timers),
       net_(net),
       sigs_(sigs),
       rqsts_(rqsts),
@@ -103,8 +103,8 @@ void GossipServer::insert_valid(const BlockPtr& block) {
 void GossipServer::schedule_fwd(const Hash256& missing, ServerId ask) {
   if (fwd_armed_.count(missing)) return;
   fwd_armed_.insert(missing);
-  sched_.after(config_.fwd_retry_delay,
-               [this, missing, ask] { fire_fwd(missing, ask, 1); });
+  timers_.schedule_after(config_.fwd_retry_delay,
+                         [this, missing, ask] { fire_fwd(missing, ask, 1); });
 }
 
 void GossipServer::fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t attempt) {
@@ -119,8 +119,9 @@ void GossipServer::fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t 
     fwd_armed_.erase(missing);
     return;  // give up: only byzantine-referenced blocks can dangle forever
   }
-  sched_.after(config_.fwd_retry_delay,
-               [this, missing, ask, attempt] { fire_fwd(missing, ask, attempt + 1); });
+  timers_.schedule_after(config_.fwd_retry_delay, [this, missing, ask, attempt] {
+    fire_fwd(missing, ask, attempt + 1);
+  });
 }
 
 void GossipServer::handle_fwd_request(ServerId from, const Hash256& ref) {
@@ -182,6 +183,10 @@ Bytes GossipServer::snapshot() const {
 
 bool GossipServer::restore(const Bytes& snapshot) {
   assert(dag_.size() == 0);
+  // Decode into staging state and commit only on full success: corruption
+  // anywhere in the snapshot — first block or last length field — must
+  // leave the server exactly as constructed, never half-restored.
+  BlockDag staged;
   Reader r(snapshot);
   const auto count = r.u32();
   if (!count) return false;
@@ -192,21 +197,29 @@ bool GossipServer::restore(const Bytes& snapshot) {
     if (!block) return false;
     // The snapshot is this server's own persistent storage: blocks in it
     // were validated before the crash, and snapshot order is topological.
-    if (!dag_.insert(std::make_shared<const Block>(std::move(*block)))) return false;
+    if (!staged.insert(std::make_shared<const Block>(std::move(*block)))) return false;
   }
   const auto k = r.u64();
   const auto n_preds = r.u32();
   if (!k || !n_preds) return false;
-  next_k_ = *k;
-  building_preds_.clear();
+  // The count is corruption-controlled: reject any value the remaining
+  // bytes cannot hold BEFORE reserving (same hardening as Block::decode),
+  // else a flipped count byte forces a multi-gigabyte allocation.
+  if (*n_preds > r.remaining() / Hash256::kSize) return false;
+  std::vector<Hash256> staged_preds;
+  staged_preds.reserve(*n_preds);
   for (std::uint32_t i = 0; i < *n_preds; ++i) {
     const auto raw = r.raw(Hash256::kSize);
     if (!raw) return false;
     Sha256::Digest d;
     std::copy(raw->begin(), raw->end(), d.begin());
-    building_preds_.emplace_back(d);
+    staged_preds.emplace_back(d);
   }
   if (!r.done()) return false;
+
+  dag_ = std::move(staged);
+  next_k_ = *k;
+  building_preds_ = std::move(staged_preds);
   // Replay insert notifications so a fresh interpreter catches up — the
   // §7 point that interpretation is recomputable, not persisted.
   if (on_inserted_) {

@@ -23,8 +23,7 @@
 #include "dag/validity.h"
 #include "gossip/request_buffer.h"
 #include "gossip/wire.h"
-#include "sim/network.h"
-#include "sim/scheduler.h"
+#include "net/env.h"
 
 namespace blockdag {
 
@@ -54,9 +53,16 @@ class GossipServer {
   // insertion = topological order; drives incremental interpretation.
   using BlockInsertedHandler = std::function<void(const BlockPtr&)>;
 
-  GossipServer(ServerId self, Scheduler& sched, SimNetwork& net,
+  // The server is written sans-io: it depends only on the Transport /
+  // TimerService seam (net/env.h), so the same code runs on the
+  // deterministic simulator and on the threaded runtime.
+  GossipServer(ServerId self, TimerService& timers, Transport& net,
                SignatureProvider& sigs, RequestBuffer& rqsts,
                GossipConfig config = {}, SeqNoMode seq_mode = SeqNoMode::kConsecutive);
+  GossipServer(ServerId self, NodeEnv env, SignatureProvider& sigs,
+               RequestBuffer& rqsts, GossipConfig config = {},
+               SeqNoMode seq_mode = SeqNoMode::kConsecutive)
+      : GossipServer(self, env.timers, env.transport, sigs, rqsts, config, seq_mode) {}
 
   ServerId self() const { return self_; }
   const BlockDag& dag() const { return dag_; }
@@ -94,8 +100,10 @@ class GossipServer {
   Bytes snapshot() const;
 
   // Restores from a snapshot; only callable on a fresh server (empty DAG).
-  // Returns false (leaving the server untouched on block-decode failure,
-  // possibly partially restored on later corruption) for malformed bytes.
+  // All-or-nothing: the snapshot is decoded into staging state first and
+  // committed only on full success, so a false return (malformed or
+  // corrupted bytes anywhere in the snapshot) leaves the server exactly as
+  // it was — a fresh construction can retry with a better snapshot.
   bool restore(const Bytes& snapshot);
 
   // Crashes this server: it permanently stops sending and reacting. Pending
@@ -114,8 +122,8 @@ class GossipServer {
   void fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t attempt);
 
   ServerId self_;
-  Scheduler& sched_;
-  SimNetwork& net_;
+  TimerService& timers_;
+  Transport& net_;
   SignatureProvider& sigs_;
   RequestBuffer& rqsts_;
   GossipConfig config_;

@@ -1,0 +1,26 @@
+// NodeEnv: the event substrate handed to one server of the protocol stack.
+//
+// A server (GossipServer, Shim, DirectProtocolNode) needs exactly two
+// capabilities from its environment: a way to move bytes (Transport) and a
+// local timer (TimerService). Bundling them keeps constructor signatures
+// stable as the seam grows (e.g. a future stable-storage interface) and
+// makes "which runtime am I on?" a single wiring decision:
+//
+//   Scheduler sched;                     // sim runtime
+//   SimNetwork net(sched, n, {});
+//   GossipServer gs(s, NodeEnv{net, sched}, ...);
+//
+// The references must outlive every server constructed over them.
+#pragma once
+
+#include "net/timer_service.h"
+#include "net/transport.h"
+
+namespace blockdag {
+
+struct NodeEnv {
+  Transport& transport;
+  TimerService& timers;
+};
+
+}  // namespace blockdag

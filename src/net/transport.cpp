@@ -1,0 +1,26 @@
+#include "net/transport.h"
+
+#include <numeric>
+
+namespace blockdag {
+
+const char* wire_kind_name(WireKind kind) {
+  switch (kind) {
+    case WireKind::kBlock: return "block";
+    case WireKind::kFwdRequest: return "fwd_request";
+    case WireKind::kFwdReply: return "fwd_reply";
+    case WireKind::kProtocol: return "protocol";
+    case WireKind::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t WireMetrics::total_messages() const {
+  return std::accumulate(std::begin(messages), std::end(messages), std::uint64_t{0});
+}
+
+std::uint64_t WireMetrics::total_bytes() const {
+  return std::accumulate(std::begin(bytes), std::end(bytes), std::uint64_t{0});
+}
+
+}  // namespace blockdag

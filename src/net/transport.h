@@ -1,0 +1,88 @@
+// Transport: the message-passing seam between the protocol stack and
+// whatever actually moves bytes.
+//
+// Algorithm 1 only assumes reliable eventual delivery between correct
+// servers (Assumption 1) — nothing about *how* messages move. Everything
+// above this interface (gossip, shim, the direct-network baseline) is
+// written sans-io against it; everything below is an interchangeable
+// substrate:
+//   * SimNetwork (sim/network.h) — the deterministic discrete-event
+//     simulation, with latency models, drops, partitions and partial
+//     synchrony;
+//   * LoopbackTransport (rt/loopback_transport.h) — an in-process
+//     multi-threaded runtime, one mailbox per server;
+//   * (future) a real socket transport.
+//
+// Delivery contract: the transport invokes the attached handler with the
+// complete payload of one send. Handlers run one at a time per server
+// (single-writer-per-server; see rqsts in gossip/request_buffer.h) — the
+// simulator guarantees this trivially, threaded transports by funnelling
+// all of a server's events through one mailbox drained by one thread.
+// Byzantine senders may deliver arbitrary bytes; receivers must treat the
+// payload as untrusted (decode_wire returns nullopt on garbage).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.h"
+
+namespace blockdag {
+
+// Traffic classes, so benches can attribute wire cost.
+enum class WireKind : std::uint8_t {
+  kBlock = 0,      // gossip block dissemination
+  kFwdRequest,     // gossip FWD ref(B) requests
+  kFwdReply,       // gossip replies carrying a full block
+  kProtocol,       // baseline protocols' direct messages
+  kCount,
+};
+
+const char* wire_kind_name(WireKind kind);
+
+// Wire metrics (message and byte counts per traffic class), which feed the
+// compression benchmarks (DESIGN.md CLAIM-COMPRESS). Self-sends are local
+// and never counted.
+struct WireMetrics {
+  std::uint64_t messages[static_cast<std::size_t>(WireKind::kCount)] = {};
+  std::uint64_t bytes[static_cast<std::size_t>(WireKind::kCount)] = {};
+  std::uint64_t dropped = 0;
+
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+  void reset() { *this = WireMetrics{}; }
+};
+
+class Transport {
+ public:
+  // Receives (from, payload) on the attached server. `from` is transport
+  // metadata (who the substrate says sent this), not authenticated — all
+  // trust decisions live in signatures carried inside the payload.
+  using Handler = std::function<void(ServerId from, const Bytes& payload)>;
+
+  virtual ~Transport() = default;
+
+  // Registers (or replaces, with an empty handler: detaches) the ingress
+  // handler of `server`. Deliveries to a detached server are dropped.
+  virtual void attach(ServerId server, Handler handler) = 0;
+
+  // Number of servers this transport connects.
+  virtual std::uint32_t size() const = 0;
+
+  // Sends `payload` from `from` to `to`. Reliable between correct servers
+  // in the "eventual" sense of Assumption 1: a transport may delay,
+  // reorder, or transiently drop (the gossip FWD path recovers), but must
+  // not lose messages forever.
+  virtual void send(ServerId from, ServerId to, WireKind kind, Bytes payload) = 0;
+
+  // Sends to every server including `from` itself (self-delivery is local
+  // and free of wire cost, matching Algorithm 1 line 17 where a server
+  // trivially has its own block). Implementations should encode/share the
+  // payload once across the n−1 remote recipients.
+  virtual void broadcast(ServerId from, WireKind kind, const Bytes& payload) = 0;
+
+  // Snapshot of the wire counters. Thread-safe on concurrent transports.
+  virtual WireMetrics wire_metrics() const = 0;
+};
+
+}  // namespace blockdag

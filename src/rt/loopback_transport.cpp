@@ -1,0 +1,67 @@
+#include "rt/loopback_transport.h"
+
+#include <cassert>
+#include <utility>
+
+namespace blockdag::rt {
+
+LoopbackTransport::LoopbackTransport(std::vector<Mailbox*> mailboxes)
+    : mailboxes_(std::move(mailboxes)), handlers_(mailboxes_.size()) {}
+
+void LoopbackTransport::attach(ServerId server, Handler handler) {
+  assert(server < handlers_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[server] =
+      handler ? std::make_shared<const Handler>(std::move(handler)) : nullptr;
+}
+
+void LoopbackTransport::deliver(ServerId from, ServerId to, SharedPayload payload) {
+  // Snapshot the handler now; the delivery task runs it on `to`'s thread.
+  // Holding a shared_ptr keeps a concurrently replaced handler alive for
+  // in-flight deliveries (mirrors SimNetwork's drop-on-detach semantics:
+  // a null handler means the payload is discarded at delivery time).
+  std::shared_ptr<const Handler> handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler = handlers_[to];
+  }
+  if (!handler) return;
+  mailboxes_[to]->push([handler = std::move(handler), from,
+                        payload = std::move(payload)] { (*handler)(from, *payload); });
+}
+
+void LoopbackTransport::send(ServerId from, ServerId to, WireKind kind,
+                             Bytes payload) {
+  assert(to < mailboxes_.size());
+  if (from != to) {
+    const auto k = static_cast<std::size_t>(kind);
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.messages[k] += 1;
+    metrics_.bytes[k] += payload.size();
+  }
+  deliver(from, to, std::make_shared<const Bytes>(std::move(payload)));
+}
+
+void LoopbackTransport::broadcast(ServerId from, WireKind kind,
+                                  const Bytes& payload) {
+  const auto n = static_cast<std::uint32_t>(mailboxes_.size());
+  // One shared buffer for all n deliveries; n−1 remote messages of wire
+  // cost (self-delivery is local, as on every transport).
+  auto shared = std::make_shared<const Bytes>(payload);
+  {
+    const auto k = static_cast<std::size_t>(kind);
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.messages[k] += n - 1;
+    metrics_.bytes[k] += static_cast<std::uint64_t>(shared->size()) * (n - 1);
+  }
+  for (ServerId to = 0; to < n; ++to) {
+    deliver(from, to, shared);
+  }
+}
+
+WireMetrics LoopbackTransport::wire_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+}  // namespace blockdag::rt

@@ -1,0 +1,48 @@
+// In-process loopback Transport for the threaded runtime.
+//
+// A send is one mailbox push: the payload crosses threads as an immutable
+// shared buffer and the attached handler runs on the *receiving* server's
+// thread (single-writer-per-server, see rt/mailbox.h). Delivery is
+// reliable, unordered across senders, FIFO per (sender, receiver) pair —
+// strictly stronger than Assumption 1 requires. There is no latency model
+// and no drops: this transport answers "how fast does the stack go when
+// the network is free", the simulator answers "is the protocol correct
+// when the network is adversarial".
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+#include "rt/mailbox.h"
+
+namespace blockdag::rt {
+
+class LoopbackTransport final : public Transport {
+ public:
+  // `mailboxes[s]` receives server s's deliveries; pointers must outlive
+  // the transport.
+  explicit LoopbackTransport(std::vector<Mailbox*> mailboxes);
+
+  void attach(ServerId server, Handler handler) override;
+  std::uint32_t size() const override {
+    return static_cast<std::uint32_t>(mailboxes_.size());
+  }
+  void send(ServerId from, ServerId to, WireKind kind, Bytes payload) override;
+  void broadcast(ServerId from, WireKind kind, const Bytes& payload) override;
+  WireMetrics wire_metrics() const override;
+
+ private:
+  using SharedPayload = std::shared_ptr<const Bytes>;
+
+  void deliver(ServerId from, ServerId to, SharedPayload payload);
+
+  std::vector<Mailbox*> mailboxes_;
+
+  mutable std::mutex mu_;  // guards handlers_ and metrics_
+  std::vector<std::shared_ptr<const Handler>> handlers_;
+  WireMetrics metrics_;
+};
+
+}  // namespace blockdag::rt

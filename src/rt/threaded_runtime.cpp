@@ -1,0 +1,195 @@
+#include "rt/threaded_runtime.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace blockdag::rt {
+
+ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
+                                 ThreadedConfig config)
+    : config_(config) {
+  nodes_.reserve(config_.n_servers);
+  std::vector<Mailbox*> mailboxes;
+  mailboxes.reserve(config_.n_servers);
+  for (ServerId s = 0; s < config_.n_servers; ++s) {
+    auto node = std::make_unique<Node>();
+    node->mailbox = std::make_unique<Mailbox>(idle_);
+    mailboxes.push_back(node->mailbox.get());
+    nodes_.push_back(std::move(node));
+  }
+  transport_ = std::make_unique<LoopbackTransport>(std::move(mailboxes));
+
+  for (ServerId s = 0; s < config_.n_servers; ++s) {
+    Node& node = *nodes_[s];
+    node.timers = std::make_unique<NodeTimerService>(wheel_, *node.mailbox);
+    node.sigs =
+        std::make_unique<IdealSignatureProvider>(config_.n_servers, config_.seed);
+    // The Shim constructor attaches the server's network handler; all of
+    // this happens before any thread runs, so no synchronization beyond
+    // thread creation is needed.
+    node.shim = std::make_unique<Shim>(s, *node.timers, *transport_, *node.sigs,
+                                       factory, config_.n_servers, config_.gossip,
+                                       config_.pacing, config_.seq_mode);
+  }
+  wheel_.start();
+  for (auto& node : nodes_) {
+    Mailbox* mailbox = node->mailbox.get();
+    node->thread = std::thread([mailbox] { node_loop(*mailbox); });
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
+
+void ThreadedRuntime::node_loop(Mailbox& mailbox) {
+  Mailbox::Task task;
+  while (mailbox.pop(task)) {
+    task();
+    task = nullptr;  // release captured state before declaring the unit done
+    mailbox.task_done();
+  }
+}
+
+void ThreadedRuntime::start() {
+  for (auto& node : nodes_) {
+    Shim* shim = node->shim.get();
+    node->mailbox->push([shim] { shim->start(); });
+  }
+}
+
+void ThreadedRuntime::stop() {
+  for (auto& node : nodes_) {
+    Shim* shim = node->shim.get();
+    node->mailbox->push([shim] { shim->stop(); });
+  }
+}
+
+void ThreadedRuntime::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Order matters: stop the wheel first so no timer posts into a mailbox
+  // mid-close, then let every node drain and exit its loop.
+  wheel_.stop();
+  for (auto& node : nodes_) node->mailbox->close();
+  for (auto& node : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+void ThreadedRuntime::request(ServerId server, Label label, Bytes request) {
+  Shim* shim = shim_of(server);
+  mailbox_of(server).push(
+      [shim, label, request = std::move(request)]() mutable {
+        shim->request(label, std::move(request));
+      });
+}
+
+bool ThreadedRuntime::wait_idle(std::chrono::nanoseconds timeout) {
+  return idle_.wait_idle(timeout);
+}
+
+bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
+                                           std::chrono::nanoseconds round_timeout) {
+  stop();
+  if (!wait_idle(round_timeout)) return false;
+  // Same fixed point as Cluster::quiesce_and_converge: identical DAGs are
+  // necessary but not sufficient — materialized messages are consumed only
+  // when the receiver builds a block referencing them (Algorithm 2 lines
+  // 7–11), so keep ticking until interpretation stops moving too.
+  std::uint64_t last_progress = UINT64_MAX;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool converged = true;
+    Bytes reference;
+    std::uint64_t progress = 0;
+    for (ServerId s = 0; s < size(); ++s) {
+      const auto [digest, moved] = call(s, [](Shim& shim) {
+        const InterpreterStats& stats = shim.interpreter().stats();
+        return std::make_pair(blockdag::rt::dag_digest(shim.dag()),
+                              stats.messages_delivered +
+                                  stats.messages_materialized + stats.indications);
+      });
+      progress += moved;
+      if (s == 0) {
+        reference = digest;
+      } else if (digest != reference) {
+        converged = false;
+      }
+    }
+    if (converged && progress == last_progress) return true;
+    last_progress = progress;
+    for (ServerId s = 0; s < size(); ++s) {
+      Shim* shim = shim_of(s);
+      mailbox_of(s).push([shim] { shim->tick(); });
+    }
+    if (!wait_idle(round_timeout)) return false;
+  }
+  return false;
+}
+
+Bytes ThreadedRuntime::dag_digest(ServerId server) {
+  return call(server, [](Shim& shim) { return rt::dag_digest(shim.dag()); });
+}
+
+Bytes ThreadedRuntime::interpretation_digest(ServerId server) {
+  return call(server, [](Shim& shim) {
+    return rt::interpretation_digest(shim.interpreter(), shim.dag());
+  });
+}
+
+std::size_t ThreadedRuntime::indicated_count(Label label) {
+  std::size_t count = 0;
+  for (ServerId s = 0; s < size(); ++s) {
+    count += call(s, [label](Shim& shim) -> std::size_t {
+      for (const UserIndication& ind : shim.indications()) {
+        if (ind.label == label) return 1;
+      }
+      return 0;
+    });
+  }
+  return count;
+}
+
+std::uint64_t ThreadedRuntime::total_blocks_inserted() {
+  std::uint64_t total = 0;
+  for (ServerId s = 0; s < size(); ++s) {
+    total += call(s, [](Shim& shim) { return shim.gossip().stats().blocks_inserted; });
+  }
+  return total;
+}
+
+namespace {
+std::vector<Hash256> sorted_refs(const BlockDag& dag) {
+  std::vector<Hash256> refs;
+  refs.reserve(dag.size());
+  for (const BlockPtr& b : dag.topological_order()) refs.push_back(b->ref());
+  std::sort(refs.begin(), refs.end());
+  return refs;
+}
+}  // namespace
+
+Bytes dag_digest(const BlockDag& dag) {
+  Sha256 h;
+  for (const Hash256& ref : sorted_refs(dag)) h.update(ref.span());
+  const Sha256::Digest d = h.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes interpretation_digest(const Interpreter& interpreter, const BlockDag& dag) {
+  Sha256 h;
+  for (const Hash256& ref : sorted_refs(dag)) {
+    h.update(ref.span());
+    // Uninterpreted blocks contribute a marker so "same DAG, lagging
+    // interpretation" never collides with a converged digest.
+    if (interpreter.is_interpreted(ref)) {
+      const Bytes state = interpreter.digest_of(ref);
+      h.update(state);
+    } else {
+      static constexpr std::uint8_t kUninterpreted[1] = {0xff};
+      h.update(kUninterpreted);
+    }
+  }
+  const Sha256::Digest d = h.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace blockdag::rt

@@ -1,0 +1,148 @@
+// ThreadedRuntime: a full in-process deployment of shim(P), one OS thread
+// per server, over the loopback Transport and real-time TimerWheel.
+//
+// The counterpart of runtime/cluster.h on the other side of the
+// Transport/TimerService seam: the *same* Shim/GossipServer/Interpreter
+// code runs here unmodified, but events are real — threads instead of a
+// discrete-event loop, a monotonic clock instead of virtual time. What
+// each runtime guarantees (DESIGN.md §7):
+//   * Cluster (sim): bit-for-bit determinism — a run is a pure function of
+//     (configuration, seed); used for correctness, adversarial scenarios
+//     and replayable fuzzing.
+//   * ThreadedRuntime: true parallelism and real wall-clock timing; execution
+//     order is whatever the OS scheduler produces, so runs are NOT
+//     replayable — but every safety property still holds, because the
+//     protocol stack never depended on simulation ordering, only on
+//     Assumption 1 and the single-writer-per-server discipline that the
+//     per-server mailbox enforces (rt/mailbox.h).
+//
+// Harness calls (request, call, digests) are funnelled through the owning
+// server's mailbox like every other event: the harness thread never
+// touches a Shim directly.
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "rt/loopback_transport.h"
+#include "rt/mailbox.h"
+#include "rt/timer_wheel.h"
+#include "shim/shim.h"
+
+namespace blockdag::rt {
+
+struct ThreadedConfig {
+  std::uint32_t n_servers = 4;
+  GossipConfig gossip{};
+  // Pacing intervals are *real* nanoseconds here (sim_ms(10) = 10ms of
+  // wall-clock between dissemination beats).
+  PacingConfig pacing{};
+  SeqNoMode seq_mode = SeqNoMode::kConsecutive;
+  std::uint64_t seed = 1;
+};
+
+class ThreadedRuntime {
+ public:
+  ThreadedRuntime(const ProtocolFactory& factory, ThreadedConfig config);
+  ~ThreadedRuntime();  // shutdown()s
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(nodes_.size()); }
+
+  // Starts / stops every server's dissemination loop (posted to the
+  // servers' threads; start() returns without waiting for the first beat).
+  void start();
+  void stop();
+
+  // Closes every mailbox and joins all threads. Idempotent; after this the
+  // runtime only serves already-computed state.
+  void shutdown();
+
+  // request(ℓ, r) on `server`, executed on its thread.
+  void request(ServerId server, Label label, Bytes request);
+
+  // Runs `fn(Shim&)` on `server`'s thread and returns its result. The only
+  // sanctioned way to read a server's state from outside. Must not be
+  // called from a server thread (it blocks the caller until `fn` ran).
+  template <typename F>
+  auto call(ServerId server, F&& fn) {
+    using R = std::invoke_result_t<F&, Shim&>;
+    Shim* shim = shim_of(server);
+    std::promise<R> promise;
+    auto future = promise.get_future();
+    const bool posted = mailbox_of(server).push([&promise, &fn, shim] {
+      if constexpr (std::is_void_v<R>) {
+        fn(*shim);
+        promise.set_value();
+      } else {
+        promise.set_value(fn(*shim));
+      }
+    });
+    if (!posted) {
+      // Mailbox closed ⇒ shutdown() already joined every thread, so the
+      // caller is the only thread left and may touch the shim directly.
+      return fn(*shim);
+    }
+    return future.get();
+  }
+
+  // Blocks until no task is queued or running anywhere and no timer is
+  // armed (requires stopped dissemination loops to be reachable at all).
+  bool wait_idle(std::chrono::nanoseconds timeout);
+
+  // stop(), then drive manual dissemination rounds until every server
+  // holds an identical DAG and interpretation has reached a fixed point —
+  // the threaded analogue of Cluster::quiesce_and_converge (Lemma 3.7
+  // joint DAG + Algorithm 2 lines 7–11 consumption). `round_timeout`
+  // bounds each round's settle; returns false if `max_rounds` or a timeout
+  // was not enough.
+  bool quiesce_and_converge(std::size_t max_rounds = 64,
+                            std::chrono::nanoseconds round_timeout =
+                                std::chrono::seconds(10));
+
+  // Digest of `server`'s DAG vertex set (equal digests ⇔ identical DAGs).
+  Bytes dag_digest(ServerId server);
+  // Digest over digest_of() of every block in `server`'s DAG — the Lemma
+  // 4.2 check: equal iff both servers interpret every block identically.
+  Bytes interpretation_digest(ServerId server);
+
+  std::size_t indicated_count(Label label);
+  std::uint64_t total_blocks_inserted();
+  WireMetrics wire_metrics() const { return transport_->wire_metrics(); }
+
+ private:
+  struct Node {
+    std::unique_ptr<Mailbox> mailbox;
+    std::unique_ptr<NodeTimerService> timers;
+    // Each server owns a provider instance (same seed ⇒ same key
+    // directory), so signing/verifying never shares mutable state across
+    // threads.
+    std::unique_ptr<IdealSignatureProvider> sigs;
+    std::unique_ptr<Shim> shim;
+    std::thread thread;
+  };
+
+  Shim* shim_of(ServerId server) { return nodes_[server]->shim.get(); }
+  Mailbox& mailbox_of(ServerId server) { return *nodes_[server]->mailbox; }
+  static void node_loop(Mailbox& mailbox);
+
+  ThreadedConfig config_;
+  IdleTracker idle_;
+  TimerWheel wheel_{idle_};
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool shut_down_ = false;
+};
+
+// Canonical digests used by the convergence checks (free functions so
+// tests can cross-check them on sim-side DAGs too).
+Bytes dag_digest(const BlockDag& dag);
+Bytes interpretation_digest(const Interpreter& interpreter, const BlockDag& dag);
+
+}  // namespace blockdag::rt

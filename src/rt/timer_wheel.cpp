@@ -1,0 +1,93 @@
+#include "rt/timer_wheel.h"
+
+namespace blockdag::rt {
+
+TimerWheel::TimerWheel(IdleTracker& idle) : idle_(idle) {}
+
+TimerWheel::~TimerWheel() { stop(); }
+
+void TimerWheel::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void TimerWheel::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+    // Every armed timer is cancelled: release its outstanding-work unit.
+    idle_.sub(armed_.size());
+    armed_.clear();
+    while (!queue_.empty()) queue_.pop();
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+SimTime TimerWheel::now() const {
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_)
+          .count());
+}
+
+TimerWheel::TimerId TimerWheel::schedule_after(SimTime delay,
+                                               std::function<void()> fire) {
+  const auto due = Clock::now() + std::chrono::nanoseconds(delay);
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ++next_id_;
+    armed_.emplace(id, std::move(fire));
+    queue_.push(Entry{due, id});
+    idle_.add();
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.erase(id) == 0) return false;
+  idle_.sub();
+  return true;  // stale heap entry is skipped when it surfaces
+}
+
+void TimerWheel::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    // Drop stale heads (cancelled timers) eagerly so sleeps target a live
+    // deadline.
+    while (!queue_.empty() && armed_.find(queue_.top().id) == armed_.end()) {
+      queue_.pop();
+    }
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const Entry head = queue_.top();
+    if (Clock::now() < head.due) {
+      cv_.wait_until(lock, head.due);
+      continue;  // re-evaluate: an earlier timer may have been armed
+    }
+    queue_.pop();
+    auto it = armed_.find(head.id);
+    if (it == armed_.end()) continue;  // cancelled meanwhile
+    auto fire = std::move(it->second);
+    armed_.erase(it);
+    // Fire outside the lock: the action posts into a mailbox, which adds
+    // its own work unit before this timer's unit is released — the idle
+    // count never dips to zero in between.
+    lock.unlock();
+    fire();
+    idle_.sub();
+    lock.lock();
+  }
+}
+
+}  // namespace blockdag::rt

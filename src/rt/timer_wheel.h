@@ -1,0 +1,105 @@
+// Real-time timers for the threaded runtime.
+//
+// One timing thread serves every server: it sleeps on a monotonic-clock
+// deadline queue (std::chrono::steady_clock) and, when a timer expires,
+// posts the armed action into the owning server's mailbox — so expiry
+// callbacks run on that server's thread, serialized with its other
+// handlers, exactly like Scheduler events do in the simulation. The
+// per-node TimerService facade (NodeTimerService) is what protocol code
+// sees through the seam.
+//
+// The deadline queue is a binary min-heap rather than a hashed/hierarchical
+// wheel: the runtime arms O(servers) timers (pacing beats + transient FWD
+// retries), far below the fan-in where wheel bucketing pays for itself.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/timer_service.h"
+#include "rt/mailbox.h"
+
+namespace blockdag::rt {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimerId = TimerService::TimerId;
+
+  explicit TimerWheel(IdleTracker& idle);
+  ~TimerWheel();  // stop()s and joins
+
+  void start();
+  // Cancels all armed timers and joins the timing thread.
+  void stop();
+
+  // Nanoseconds since this wheel was constructed (the runtime epoch).
+  SimTime now() const;
+
+  // Arms `fire` to run on the timing thread at now()+delay; `fire` is
+  // expected to do nothing but post into a mailbox. Counts as outstanding
+  // work in the IdleTracker until fired or cancelled.
+  TimerId schedule_after(SimTime delay, std::function<void()> fire);
+
+  // True if the timer had not fired yet (its action will never run).
+  bool cancel(TimerId id);
+
+ private:
+  struct Entry {
+    Clock::time_point due;
+    TimerId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.due != b.due ? a.due > b.due : a.id > b.id;
+    }
+  };
+
+  void run();
+
+  IdleTracker& idle_;
+  const Clock::time_point epoch_ = Clock::now();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Actions keyed by id; cancel() removes the entry, the stale heap node
+  // is skipped when it surfaces.
+  std::unordered_map<TimerId, std::function<void()>> armed_;
+  TimerId next_id_ = TimerService::kInvalidTimer;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+// The TimerService one server sees: schedules on the shared wheel, with
+// expiry actions funnelled through the server's mailbox.
+class NodeTimerService final : public TimerService {
+ public:
+  NodeTimerService(TimerWheel& wheel, Mailbox& mailbox)
+      : wheel_(wheel), mailbox_(&mailbox) {}
+
+  SimTime now() const override { return wheel_.now(); }
+
+  TimerId schedule_after(SimTime delay, Action action) override {
+    Mailbox* mailbox = mailbox_;
+    return wheel_.schedule_after(delay, [mailbox, action = std::move(action)] {
+      mailbox->push(action);
+    });
+  }
+
+  bool cancel(TimerId id) override { return wheel_.cancel(id); }
+
+ private:
+  TimerWheel& wheel_;
+  Mailbox* mailbox_;
+};
+
+}  // namespace blockdag::rt

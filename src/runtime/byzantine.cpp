@@ -28,7 +28,7 @@ namespace {
 // correct servers (an adversary *wants* its equivocations accepted).
 class ByzantineBase : public ByzantineServer {
  public:
-  ByzantineBase(ServerId self, SimNetwork& net, SignatureProvider& sigs,
+  ByzantineBase(ServerId self, Transport& net, SignatureProvider& sigs,
                 std::uint64_t seed)
       : self_(self), net_(net), sigs_(sigs), validator_(sigs), rng_(seed) {}
 
@@ -89,7 +89,7 @@ class ByzantineBase : public ByzantineServer {
   }
 
   ServerId self_;
-  SimNetwork& net_;
+  Transport& net_;
   SignatureProvider& sigs_;
   Validator validator_;
   Rng rng_;
@@ -286,10 +286,10 @@ class GarbageSpammer final : public ByzantineBase {
 }  // namespace
 
 std::unique_ptr<ByzantineServer> make_byzantine(ByzantineKind kind, ServerId self,
-                                                Scheduler& sched, SimNetwork& net,
+                                                TimerService& timers, Transport& net,
                                                 SignatureProvider& sigs,
                                                 std::uint64_t seed) {
-  (void)sched;
+  (void)timers;
   switch (kind) {
     case ByzantineKind::kSilent:
       return std::make_unique<Silent>();

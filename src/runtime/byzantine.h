@@ -18,8 +18,7 @@
 #include "dag/dag.h"
 #include "dag/validity.h"
 #include "gossip/wire.h"
-#include "sim/network.h"
-#include "sim/scheduler.h"
+#include "net/env.h"
 
 namespace blockdag {
 
@@ -43,10 +42,11 @@ class ByzantineServer {
   virtual void tick() = 0;
 };
 
-// Factory. `pace` is the cluster dissemination interval (some behaviours
-// time their mischief off it).
+// Factory. Byzantine behaviours speak the wire protocol through the same
+// Transport seam as honest servers (their mischief beat is driven
+// externally via tick()).
 std::unique_ptr<ByzantineServer> make_byzantine(ByzantineKind kind, ServerId self,
-                                                Scheduler& sched, SimNetwork& net,
+                                                TimerService& timers, Transport& net,
                                                 SignatureProvider& sigs,
                                                 std::uint64_t seed);
 

@@ -16,6 +16,8 @@
 #include "crypto/wots.h"
 #include "runtime/byzantine.h"
 #include "shim/shim.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
 
 namespace blockdag {
 

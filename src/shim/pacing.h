@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "sim/scheduler.h"
+#include "util/types.h"
 
 namespace blockdag {
 

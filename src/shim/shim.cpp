@@ -2,11 +2,11 @@
 
 namespace blockdag {
 
-Shim::Shim(ServerId self, Scheduler& sched, SimNetwork& net, SignatureProvider& sigs,
+Shim::Shim(ServerId self, TimerService& timers, Transport& net, SignatureProvider& sigs,
            const ProtocolFactory& factory, std::uint32_t n_servers,
            GossipConfig gossip_config, PacingConfig pacing, SeqNoMode seq_mode)
-    : sched_(sched),
-      gossip_(self, sched, net, sigs, rqsts_, gossip_config, seq_mode),
+    : timers_(timers),
+      gossip_(self, timers, net, sigs, rqsts_, gossip_config, seq_mode),
       interpreter_(gossip_.dag(), factory, n_servers),
       pacing_(pacing) {
   net.attach(self, [this](ServerId from, const Bytes& wire) {
@@ -19,7 +19,7 @@ Shim::Shim(ServerId self, Scheduler& sched, SimNetwork& net, SignatureProvider& 
   interpreter_.set_indication_handler(
       [this](Label label, const Bytes& indication, ServerId on_behalf) {
         if (on_behalf != gossip_.self()) return;
-        delivered_.push_back(UserIndication{label, indication, sched_.now()});
+        delivered_.push_back(UserIndication{label, indication, timers_.now()});
         // Restore-replay rebuilds the log without re-firing the external
         // handler: the pre-crash incarnation already surfaced these.
         if (!restoring_ && on_indication_) on_indication_(label, indication);
@@ -50,14 +50,21 @@ void Shim::tick() {
 }
 
 void Shim::schedule_next_dissemination() {
-  sched_.after(pacing_.interval, [this] {
+  beat_timer_ = timers_.schedule_after(pacing_.interval, [this] {
+    beat_timer_ = TimerService::kInvalidTimer;
     if (!started_) return;
     tick();
     schedule_next_dissemination();
   });
 }
 
-void Shim::stop() { started_ = false; }
+void Shim::stop() {
+  started_ = false;
+  if (beat_timer_ != TimerService::kInvalidTimer) {
+    timers_.cancel(beat_timer_);
+    beat_timer_ = TimerService::kInvalidTimer;
+  }
+}
 
 void Shim::halt() {
   stop();

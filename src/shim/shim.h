@@ -17,6 +17,7 @@
 
 #include "gossip/gossip.h"
 #include "interpret/interpreter.h"
+#include "net/env.h"
 #include "protocol/protocol.h"
 #include "shim/pacing.h"
 
@@ -26,17 +27,26 @@ namespace blockdag {
 struct UserIndication {
   Label label = 0;
   Bytes indication;
-  SimTime at = 0;  // simulated delivery time (for latency measurements)
+  SimTime at = 0;  // local TimerService::now() at delivery (latency measures)
 };
 
 class Shim {
  public:
   using IndicationHandler = std::function<void(Label, const Bytes&)>;
 
-  Shim(ServerId self, Scheduler& sched, SimNetwork& net, SignatureProvider& sigs,
+  // Sans-io: the shim reaches its environment only through the Transport /
+  // TimerService seam, so one Shim implementation serves both the
+  // deterministic simulator and the threaded runtime.
+  Shim(ServerId self, TimerService& timers, Transport& net, SignatureProvider& sigs,
        const ProtocolFactory& factory, std::uint32_t n_servers,
        GossipConfig gossip_config = {}, PacingConfig pacing = {},
        SeqNoMode seq_mode = SeqNoMode::kConsecutive);
+  Shim(ServerId self, NodeEnv env, SignatureProvider& sigs,
+       const ProtocolFactory& factory, std::uint32_t n_servers,
+       GossipConfig gossip_config = {}, PacingConfig pacing = {},
+       SeqNoMode seq_mode = SeqNoMode::kConsecutive)
+      : Shim(self, env.timers, env.transport, sigs, factory, n_servers,
+             gossip_config, pacing, seq_mode) {}
 
   // The high-level interface of Figure 1: request(ℓ, r).
   void request(Label label, Bytes request);
@@ -97,7 +107,11 @@ class Shim {
   void on_block_inserted(const BlockPtr& block);
   void schedule_next_dissemination();
 
-  Scheduler& sched_;
+  TimerService& timers_;
+  // The armed dissemination beat, cancelled by stop() so a stopped shim
+  // holds no outstanding timer (the threaded runtime's idle detection
+  // counts armed timers as pending work).
+  TimerService::TimerId beat_timer_ = TimerService::kInvalidTimer;
   RequestBuffer rqsts_;
   GossipServer gossip_;
   Interpreter interpreter_;

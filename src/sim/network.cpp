@@ -1,20 +1,9 @@
 #include "sim/network.h"
 
 #include <cassert>
-#include <numeric>
+#include <utility>
 
 namespace blockdag {
-
-const char* wire_kind_name(WireKind kind) {
-  switch (kind) {
-    case WireKind::kBlock: return "block";
-    case WireKind::kFwdRequest: return "fwd_request";
-    case WireKind::kFwdReply: return "fwd_reply";
-    case WireKind::kProtocol: return "protocol";
-    case WireKind::kCount: break;
-  }
-  return "?";
-}
 
 SimTime LatencyModel::sample(Rng& rng) const {
   switch (kind) {
@@ -31,14 +20,6 @@ SimTime LatencyModel::sample(Rng& rng) const {
     }
   }
   return base;
-}
-
-std::uint64_t WireMetrics::total_messages() const {
-  return std::accumulate(std::begin(messages), std::end(messages), std::uint64_t{0});
-}
-
-std::uint64_t WireMetrics::total_bytes() const {
-  return std::accumulate(std::begin(bytes), std::end(bytes), std::uint64_t{0});
 }
 
 SimNetwork::SimNetwork(Scheduler& sched, std::uint32_t n_servers, NetworkConfig config)
@@ -62,32 +43,24 @@ bool SimNetwork::partitioned(ServerId a, ServerId b) const {
   return false;
 }
 
-void SimNetwork::send(ServerId from, ServerId to, WireKind kind, Bytes payload) {
+bool SimNetwork::route(ServerId from, ServerId to, WireKind kind,
+                       std::size_t payload_size, SimTime& deliver_at) {
   assert(to < handlers_.size());
   const auto k = static_cast<std::size_t>(kind);
-
-  if (from == to) {
-    // Local delivery: no wire traffic, immediate.
-    sched_.after(0, [this, from, to, payload = std::move(payload)]() mutable {
-      if (handlers_[to]) handlers_[to](from, payload);
-    });
-    return;
-  }
-
   metrics_.messages[k] += 1;
-  metrics_.bytes[k] += payload.size();
+  metrics_.bytes[k] += payload_size;
 
   auto& used = drops_used_[static_cast<std::size_t>(from) * handlers_.size() + to];
   if (config_.drop_probability > 0.0 && used < config_.max_drops_per_pair &&
       rng_.chance(config_.drop_probability)) {
     ++used;
     ++metrics_.dropped;
-    return;
+    return false;
   }
 
   const LatencyModel& model =
       sched_.now() < config_.gst ? config_.pre_gst_latency : config_.latency;
-  SimTime deliver_at = sched_.now() + model.sample(rng_);
+  deliver_at = sched_.now() + model.sample(rng_);
   // Partitioned traffic is held until healing, then subject to latency.
   for (const auto& p : partitions_) {
     if (sched_.now() < p.heal_at &&
@@ -95,15 +68,47 @@ void SimNetwork::send(ServerId from, ServerId to, WireKind kind, Bytes payload) 
       deliver_at = std::max(deliver_at, p.heal_at + config_.latency.sample(rng_));
     }
   }
+  return true;
+}
 
-  sched_.at(deliver_at, [this, from, to, payload = std::move(payload)]() mutable {
+void SimNetwork::send(ServerId from, ServerId to, WireKind kind, Bytes payload) {
+  // Unicast owns its payload: move it straight into the scheduled event,
+  // no sharing wrapper (the hot path for FWD traffic and the baseline).
+  if (from == to) {
+    // Local delivery: no wire traffic, immediate.
+    sched_.after(0, [this, from, to, payload = std::move(payload)] {
+      if (handlers_[to]) handlers_[to](from, payload);
+    });
+    return;
+  }
+  SimTime deliver_at = 0;
+  if (!route(from, to, kind, payload.size(), deliver_at)) return;
+  sched_.at(deliver_at, [this, from, to, payload = std::move(payload)] {
     if (handlers_[to]) handlers_[to](from, payload);
   });
 }
 
+void SimNetwork::send_shared(ServerId from, ServerId to, WireKind kind,
+                             SharedPayload payload) {
+  if (from == to) {
+    sched_.after(0, [this, from, to, payload = std::move(payload)] {
+      if (handlers_[to]) handlers_[to](from, *payload);
+    });
+    return;
+  }
+  SimTime deliver_at = 0;
+  if (!route(from, to, kind, payload->size(), deliver_at)) return;
+  sched_.at(deliver_at, [this, from, to, payload = std::move(payload)] {
+    if (handlers_[to]) handlers_[to](from, *payload);
+  });
+}
+
 void SimNetwork::broadcast(ServerId from, WireKind kind, const Bytes& payload) {
+  // One allocation shared by every scheduled delivery (the refcount is the
+  // only per-receiver cost until delivery).
+  auto shared = std::make_shared<const Bytes>(payload);
   for (ServerId to = 0; to < handlers_.size(); ++to) {
-    send(from, to, kind, payload);
+    send_shared(from, to, kind, shared);
   }
 }
 

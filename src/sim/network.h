@@ -1,4 +1,4 @@
-// Simulated point-to-point network.
+// Simulated point-to-point network: the deterministic Transport.
 //
 // Stands in for the paper's real network. Assumption 1 (Reliable Delivery)
 // only requires that a block sent between correct servers *eventually*
@@ -9,31 +9,24 @@
 //     dropped first attempts are recovered by re-requests, preserving the
 //     *eventual* delivery the assumption demands);
 //   * temporary partitions that heal at a configured time;
-//   * wire metrics (message and byte counts per traffic class), which feed
-//     the compression benchmarks (DESIGN.md CLAIM-COMPRESS).
+//   * wire metrics (net/transport.h), which feed the compression
+//     benchmarks (DESIGN.md CLAIM-COMPRESS).
+//
+// Protocol code sees only the Transport interface; everything below it —
+// latency models, drops, partitions, partial synchrony — is simulation
+// substrate that tests and the scenario engine configure directly.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <string>
+#include <memory>
 #include <vector>
 
+#include "net/transport.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace blockdag {
-
-// Traffic classes, so benches can attribute wire cost.
-enum class WireKind : std::uint8_t {
-  kBlock = 0,      // gossip block dissemination
-  kFwdRequest,     // gossip FWD ref(B) requests
-  kFwdReply,       // gossip replies carrying a full block
-  kProtocol,       // baseline protocols' direct messages
-  kCount,
-};
-
-const char* wire_kind_name(WireKind kind);
 
 struct LatencyModel {
   enum class Kind { kFixed, kUniform, kHeavyTail } kind = Kind::kUniform;
@@ -61,35 +54,25 @@ struct NetworkConfig {
   LatencyModel pre_gst_latency{LatencyModel::Kind::kHeavyTail, sim_ms(50), sim_ms(500)};
 };
 
-struct WireMetrics {
-  std::uint64_t messages[static_cast<std::size_t>(WireKind::kCount)] = {};
-  std::uint64_t bytes[static_cast<std::size_t>(WireKind::kCount)] = {};
-  std::uint64_t dropped = 0;
-
-  std::uint64_t total_messages() const;
-  std::uint64_t total_bytes() const;
-  void reset() { *this = WireMetrics{}; }
-};
-
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
-  // Receives (from, payload) on the attached server.
-  using Handler = std::function<void(ServerId from, const Bytes& payload)>;
+  using Handler = Transport::Handler;
 
   SimNetwork(Scheduler& sched, std::uint32_t n_servers, NetworkConfig config);
 
-  void attach(ServerId server, Handler handler);
+  void attach(ServerId server, Handler handler) override;
 
-  std::uint32_t size() const { return static_cast<std::uint32_t>(handlers_.size()); }
+  std::uint32_t size() const override {
+    return static_cast<std::uint32_t>(handlers_.size());
+  }
 
   // Sends `payload` from `from` to `to`; delivery is scheduled at
   // now + latency unless dropped or partitioned away.
-  void send(ServerId from, ServerId to, WireKind kind, Bytes payload);
+  void send(ServerId from, ServerId to, WireKind kind, Bytes payload) override;
 
-  // Sends to every server including `from` itself (self-delivery is local
-  // and free of wire cost, matching Algorithm 1 line 17 where a server
-  // trivially has its own block).
-  void broadcast(ServerId from, WireKind kind, const Bytes& payload);
+  // Broadcast encodes/allocates the payload once: the n−1 scheduled
+  // deliveries share one immutable buffer instead of copying per receiver.
+  void broadcast(ServerId from, WireKind kind, const Bytes& payload) override;
 
   // Cuts connectivity between groups A and B (both directions) until
   // `heal_at`. Messages sent across the cut are queued and delivered after
@@ -113,11 +96,22 @@ class SimNetwork {
     }
   }
 
+  WireMetrics wire_metrics() const override { return metrics_; }
   const WireMetrics& metrics() const { return metrics_; }
   WireMetrics& metrics() { return metrics_; }
 
  private:
+  using SharedPayload = std::shared_ptr<const Bytes>;
+
   bool partitioned(ServerId a, ServerId b) const;
+  // Common per-link routing: metrics, drop decision, latency/partition
+  // sampling. Returns false when the message is dropped. RNG draws happen
+  // in the same order as before the broadcast-sharing change, so seeded
+  // runs are unchanged.
+  bool route(ServerId from, ServerId to, WireKind kind, std::size_t payload_size,
+             SimTime& deliver_at);
+  // The broadcast path: one immutable buffer shared across receivers.
+  void send_shared(ServerId from, ServerId to, WireKind kind, SharedPayload payload);
 
   Scheduler& sched_;
   NetworkConfig config_;

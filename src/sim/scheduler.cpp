@@ -27,6 +27,19 @@ std::size_t Scheduler::run(std::size_t max_events) {
   return n;
 }
 
+TimerService::TimerId Scheduler::schedule_after(SimTime delay, Action action) {
+  const TimerId id = ++next_timer_id_;
+  live_timers_.insert(id);
+  // The wrapper erases the id exactly once — on fire or on cancel — so a
+  // cancelled timer's queued event degrades to a no-op.
+  after(delay, [this, id, action = std::move(action)] {
+    if (live_timers_.erase(id) != 0) action();
+  });
+  return id;
+}
+
+bool Scheduler::cancel(TimerId id) { return live_timers_.erase(id) != 0; }
+
 std::size_t Scheduler::run_until(SimTime deadline) {
   std::size_t n = 0;
   while (!queue_.empty() && queue_.top().time <= deadline) {

@@ -9,23 +9,32 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
+#include "net/timer_service.h"
 #include "util/types.h"
 
 namespace blockdag {
 
-class Scheduler {
+// The Scheduler doubles as the sim runtime's TimerService implementation:
+// protocol code written against the seam (gossip, shim) schedules through
+// the interface; simulation-only code keeps the richer at()/run() API.
+class Scheduler final : public TimerService {
  public:
   using Action = std::function<void()>;
 
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   // Schedules `action` at absolute simulated time `t` (clamped to now).
   void at(SimTime t, Action action);
 
   // Schedules `action` `delay` nanoseconds from now.
   void after(SimTime delay, Action action) { at(now_ + delay, std::move(action)); }
+
+  // TimerService: cancellable one-shot timers (wraps after()).
+  TimerId schedule_after(SimTime delay, Action action) override;
+  bool cancel(TimerId id) override;
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
@@ -59,11 +68,11 @@ class Scheduler {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  // TimerService bookkeeping: ids of scheduled-and-not-yet-fired timers.
+  std::unordered_set<TimerId> live_timers_;
+  TimerId next_timer_id_ = kInvalidTimer;
 };
 
-// Convenience literals for simulated durations.
-constexpr SimTime sim_us(std::uint64_t v) { return v * 1'000; }
-constexpr SimTime sim_ms(std::uint64_t v) { return v * 1'000'000; }
-constexpr SimTime sim_sec(std::uint64_t v) { return v * 1'000'000'000; }
+// (sim_us/sim_ms/sim_sec duration literals live in util/types.h.)
 
 }  // namespace blockdag

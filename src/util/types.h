@@ -24,8 +24,15 @@ using Label = std::uint64_t;
 // Block sequence number `k ∈ N0` (Definition 3.1).
 using SeqNo = std::uint64_t;
 
-// Simulated time in nanoseconds (discrete-event simulation substrate).
+// Time in nanoseconds. On the simulated runtime this is discrete-event
+// virtual time; on the threaded runtime it is a real monotonic clock. Only
+// durations and one server's own timestamps are ever compared.
 using SimTime = std::uint64_t;
+
+// Convenience literals for durations (virtual or real, per runtime).
+constexpr SimTime sim_us(std::uint64_t v) { return v * 1'000; }
+constexpr SimTime sim_ms(std::uint64_t v) { return v * 1'000'000; }
+constexpr SimTime sim_sec(std::uint64_t v) { return v * 1'000'000'000; }
 
 // Raw bytes: requests, indications and protocol message payloads are
 // protocol-defined opaque byte strings to the framework (black-box P).

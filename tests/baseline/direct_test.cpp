@@ -4,6 +4,7 @@
 
 #include "protocols/brb.h"
 #include "protocols/pbft_lite.h"
+#include "sim/network.h"
 
 namespace blockdag {
 namespace {

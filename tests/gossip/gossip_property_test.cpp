@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/signature.h"
+#include "sim/network.h"
 #include "gossip/gossip.h"
 #include "util/rng.h"
 

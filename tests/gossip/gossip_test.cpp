@@ -5,6 +5,7 @@
 #include <map>
 
 #include "crypto/signature.h"
+#include "sim/network.h"
 #include "testing/builders.h"
 
 namespace blockdag {

@@ -72,6 +72,70 @@ TEST(Recovery, RestoreRejectsMalformed) {
   EXPECT_FALSE(fresh.servers[2]->restore(snapshot));
 }
 
+TEST(Recovery, RestoreIsAllOrNothingOnTruncation) {
+  // restore() must be atomic: a snapshot truncated at *any* byte boundary
+  // — mid-block, between blocks, inside the construction-state tail —
+  // either fails leaving the server exactly as constructed (empty DAG, no
+  // replayed notifications), or, never, half-applies.
+  RecoveryRig rig;
+  rig.rqsts[0]->put(1, brb::make_broadcast(Bytes{5}));
+  rig.round();
+  rig.round();
+  const Bytes snapshot = rig.servers[0]->snapshot();
+  ASSERT_GT(snapshot.size(), 8u);
+
+  for (std::size_t cut = 0; cut < snapshot.size(); ++cut) {
+    RecoveryRig fresh;
+    std::size_t replayed = 0;
+    fresh.servers[0]->set_block_inserted_handler(
+        [&](const BlockPtr&) { ++replayed; });
+    const Bytes truncated(snapshot.begin(),
+                          snapshot.begin() + static_cast<std::ptrdiff_t>(cut));
+    ASSERT_FALSE(fresh.servers[0]->restore(truncated)) << "cut at " << cut;
+    // Nothing committed, nothing replayed: the server is still fresh...
+    EXPECT_EQ(fresh.servers[0]->dag().size(), 0u) << "cut at " << cut;
+    EXPECT_EQ(replayed, 0u) << "cut at " << cut;
+    // ...so the full snapshot still restores cleanly afterwards.
+    ASSERT_TRUE(fresh.servers[0]->restore(snapshot)) << "cut at " << cut;
+    EXPECT_EQ(fresh.servers[0]->dag().size(), rig.servers[0]->dag().size());
+    EXPECT_EQ(replayed, fresh.servers[0]->dag().size());
+  }
+}
+
+TEST(Recovery, RestoreIsAllOrNothingOnCorruption) {
+  // Flip one byte at every offset. Corrupting a block's bytes changes its
+  // ref, so either decoding fails or DAG insertion fails (a pred no longer
+  // resolves) or the construction tail is inconsistent — in the cases
+  // restore() reports failure, the server must be untouched. (Some flips
+  // land in request payloads and still yield a decodable, insertable
+  // snapshot; those may succeed — what is forbidden is a *partial* apply.)
+  RecoveryRig rig;
+  rig.rqsts[0]->put(1, brb::make_broadcast(Bytes{9}));
+  rig.round();
+  rig.round();
+  const Bytes snapshot = rig.servers[0]->snapshot();
+
+  for (std::size_t at = 0; at < snapshot.size(); ++at) {
+    RecoveryRig fresh;
+    std::size_t replayed = 0;
+    fresh.servers[0]->set_block_inserted_handler(
+        [&](const BlockPtr&) { ++replayed; });
+    Bytes corrupted = snapshot;
+    corrupted[at] ^= 0x41;
+    const bool ok = fresh.servers[0]->restore(corrupted);
+    if (ok) {
+      // Accepted: then it must be a *complete* restore of the corrupted
+      // (still self-consistent) snapshot.
+      EXPECT_EQ(replayed, fresh.servers[0]->dag().size()) << "flip at " << at;
+      continue;
+    }
+    EXPECT_EQ(fresh.servers[0]->dag().size(), 0u) << "flip at " << at;
+    EXPECT_EQ(replayed, 0u) << "flip at " << at;
+    ASSERT_TRUE(fresh.servers[0]->restore(snapshot)) << "flip at " << at;
+    EXPECT_EQ(fresh.servers[0]->dag().size(), rig.servers[0]->dag().size());
+  }
+}
+
 TEST(Recovery, RecoveredServerNeverDoubleReferences) {
   RecoveryRig rig;
   rig.rqsts[0]->put(1, brb::make_broadcast(Bytes{7}));

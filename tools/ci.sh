@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # CI entry point: the tier-1 verify command on a Release build, a bench
 # harness smoke (every bench runs seconds-scale and must emit parseable
-# BENCH_*.json), then an Asan build running the tier1 ctest label. Mirrors
-# .github/workflows/ci.yml; see BUILDING.md for the full command reference.
+# BENCH_*.json), an Asan build running the tier1 ctest label, then a Tsan
+# build running the threaded-runtime convergence test under
+# ThreadSanitizer. Mirrors .github/workflows/ci.yml; see BUILDING.md for
+# the full command reference.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,5 +26,12 @@ cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Asan \
       -DBLOCKDAG_BUILD_TOOLS=OFF
 cmake --build build-ci-asan -j "$jobs"
 (cd build-ci-asan && ctest --output-on-failure -j "$jobs" -L tier1)
+
+echo "==> Tsan build + threaded-runtime smoke (ThreadSanitizer)"
+cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
+      -DBLOCKDAG_BUILD_BENCHES=OFF -DBLOCKDAG_BUILD_EXAMPLES=OFF \
+      -DBLOCKDAG_BUILD_TOOLS=OFF
+cmake --build build-ci-tsan -j "$jobs" --target rt_threaded_runtime_test
+(cd build-ci-tsan && ctest --output-on-failure -R '^rt/threaded_runtime_test$')
 
 echo "==> CI OK"

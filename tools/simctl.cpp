@@ -5,12 +5,19 @@
 // counts, interpretation stats, DAG audit. Meant for quick exploration
 // without writing code.
 //
-//   simctl [run] [--n N] [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
+//   simctl [run] [--runtime sim|threads] [--n N]
+//          [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
 //          [--instances K] [--interval MS] [--seed X] [--drop P]
 //          [--byzantine ID:KIND ...] [--wots] [--dot FILE]
 //
 // Byzantine kinds: silent, equivocator, duplicate, flooder, badsigner,
 // garbage.
+//
+// --runtime threads (or --runtime=threads) runs the same protocol stack on
+// the multi-threaded in-process runtime (one OS thread per server, real
+// clock) instead of the deterministic simulator; --seconds then bounds the
+// wall-clock run. Fault injection (--drop, --byzantine, partitions) and
+// --wots are simulator-only for now.
 //
 // Scenario engine (DESIGN.md §6) subcommands:
 //
@@ -35,8 +42,12 @@
 #include <fstream>
 #include <string>
 
+#include <chrono>
+#include <thread>
+
 #include "dag/audit.h"
 #include "dag/dot.h"
+#include "rt/threaded_runtime.h"
 #include "protocols/bcb.h"
 #include "protocols/brb.h"
 #include "protocols/coin_beacon.h"
@@ -53,6 +64,7 @@ namespace {
 
 struct Options {
   std::uint32_t n = 4;
+  std::string runtime = "sim";
   std::string protocol = "brb";
   double seconds = 2.0;
   std::uint32_t instances = 8;
@@ -80,7 +92,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--n") {
+    if (arg == "--runtime" || arg.rfind("--runtime=", 0) == 0) {
+      const std::string v =
+          arg == "--runtime" ? (next() ? std::string(argv[i]) : std::string())
+                             : arg.substr(std::string("--runtime=").size());
+      if (v != "sim" && v != "threads") return false;
+      opt.runtime = v;
+    } else if (arg == "--n") {
       const char* v = next();
       if (!v) return false;
       opt.n = static_cast<std::uint32_t>(std::stoul(v));
@@ -142,6 +160,107 @@ Bytes make_request(const std::string& protocol, std::uint32_t i) {
   return {};
 }
 
+// The same deployment on the multi-threaded runtime: one OS thread per
+// server over the loopback transport, real wall-clock pacing. Reports
+// aggregate throughput instead of the simulator's virtual-time report.
+int run_threaded(const Options& opt, const ProtocolFactory& factory) {
+  if (!opt.byzantine.empty() || opt.wots || opt.drop != 0.0) {
+    std::fprintf(stderr,
+                 "--runtime threads does not support --byzantine/--wots/--drop "
+                 "(fault injection is simulator-only for now)\n");
+    return 2;
+  }
+
+  rt::ThreadedConfig cfg;
+  cfg.n_servers = opt.n;
+  cfg.seed = opt.seed;
+  cfg.pacing.interval = sim_ms(opt.interval_ms);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rt::ThreadedRuntime runtime(factory, cfg);
+  runtime.start();
+
+  std::uint32_t issued = 0;
+  for (std::uint32_t i = 0; i < opt.instances; ++i) {
+    if (opt.protocol == "beacon") {
+      const std::uint32_t needed = plausibility_quorum(opt.n);
+      for (std::uint32_t c = 0; c < needed && c < opt.n; ++c) {
+        runtime.request(c, 1 + i, beacon::make_contribute(0x1234 + i * 31 + c));
+      }
+    } else {
+      const ServerId target = opt.protocol == "pbft" ? 0 : i % opt.n;
+      runtime.request(target, 1 + i, make_request(opt.protocol, i));
+    }
+    ++issued;
+  }
+
+  // Poll for completion (every label indicated everywhere) up to the
+  // wall-clock budget, then settle with explicit convergence rounds.
+  const auto deadline =
+      t0 + std::chrono::nanoseconds(static_cast<std::uint64_t>(opt.seconds * 1e9));
+  std::size_t complete = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    complete = 0;
+    for (std::uint32_t i = 0; i < opt.instances; ++i) {
+      if (runtime.indicated_count(1 + i) == opt.n) ++complete;
+    }
+    if (complete == issued) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const bool converged = runtime.quiesce_and_converge();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  complete = 0;
+  for (std::uint32_t i = 0; i < opt.instances; ++i) {
+    if (runtime.indicated_count(1 + i) == opt.n) ++complete;
+  }
+
+  std::printf("simctl report — runtime=threads protocol=%s n=%u instances=%u "
+              "seed=%llu\n\n",
+              opt.protocol.c_str(), opt.n, issued,
+              static_cast<unsigned long long>(opt.seed));
+  const std::uint64_t blocks = runtime.total_blocks_inserted();
+  std::printf("instances complete everywhere : %zu / %u\n", complete, issued);
+  std::printf("converged (joint DAG + interp) : %s\n", converged ? "yes" : "no");
+  std::printf("wall time                      : %.3f s\n", wall);
+  std::printf("aggregate blocks inserted      : %llu (%.0f blocks/s)\n",
+              static_cast<unsigned long long>(blocks),
+              wall > 0 ? static_cast<double>(blocks) / wall : 0.0);
+
+  const WireMetrics wire = runtime.wire_metrics();
+  Table traffic({"wire class", "messages", "bytes"});
+  for (std::size_t k = 0; k < static_cast<std::size_t>(WireKind::kCount); ++k) {
+    if (wire.messages[k] == 0) continue;
+    traffic.add_row({wire_kind_name(static_cast<WireKind>(k)),
+                     Table::num(wire.messages[k]), Table::num(wire.bytes[k])});
+  }
+  std::printf("\n");
+  traffic.print();
+
+  // The Lemma 3.7 / 4.2 cross-check the threaded runtime must still pass.
+  bool digests_equal = converged;
+  const Bytes dag0 = runtime.dag_digest(0);
+  const Bytes interp0 = runtime.interpretation_digest(0);
+  for (ServerId s = 1; s < opt.n; ++s) {
+    if (runtime.dag_digest(s) != dag0 ||
+        runtime.interpretation_digest(s) != interp0) {
+      digests_equal = false;
+    }
+  }
+  std::printf("\nidentical DAG + interpretation digests on all %u servers: %s\n",
+              opt.n, digests_equal ? "yes" : "NO");
+
+  if (!opt.dot_file.empty()) {
+    const std::string dot =
+        runtime.call(0, [](Shim& shim) { return to_dot(shim.dag()); });
+    std::ofstream out(opt.dot_file);
+    out << dot;
+    std::printf("\nDOT written to %s\n", opt.dot_file.c_str());
+  }
+  return (complete == issued && digests_equal) ? 0 : 1;
+}
+
 int run(const Options& opt) {
   brb::BrbFactory brb_factory;
   bcb::BcbFactory bcb_factory;
@@ -158,6 +277,8 @@ int run(const Options& opt) {
     std::fprintf(stderr, "unknown protocol '%s'\n", opt.protocol.c_str());
     return 2;
   }
+
+  if (opt.runtime == "threads") return run_threaded(opt, *factory);
 
   ClusterConfig cfg;
   cfg.n_servers = opt.n;
@@ -475,7 +596,8 @@ int main(int argc, char** argv) {
   if (!parse_args(explicit_run ? argc - 1 : argc,
                   explicit_run ? argv + 1 : argv, opt)) {
     std::fprintf(stderr,
-                 "usage: simctl [run] [--n N] [--protocol brb|bcb|fifo|pbft|beacon]\n"
+                 "usage: simctl [run] [--runtime sim|threads] [--n N]\n"
+                 "              [--protocol brb|bcb|fifo|pbft|beacon]\n"
                  "              [--seconds S] [--instances K] [--interval MS]\n"
                  "              [--seed X] [--drop P] [--byzantine ID:KIND ...]\n"
                  "              [--wots] [--dot FILE]\n"
