@@ -1,0 +1,139 @@
+// RUNTIME-TCP: aggregate block throughput across all three runtimes.
+//
+// The same shim(P) deployment — BRB, paced dissemination, identical gossip
+// config — executed (a) on the deterministic single-threaded simulator,
+// (b) on the multi-threaded loopback runtime (delivery = one mailbox
+// push), and (c) on the multi-threaded runtime over real localhost TCP
+// sockets (delivery = frame encode → kernel → poll thread → mailbox).
+// The metric is blocks inserted across all servers per wall-clock second.
+// The (b)→(c) delta prices the real network stack: syscalls, kernel
+// buffering, frame codec, poll-thread handoff — with n·(n−1) directed
+// connections it is the closest in-repo proxy for LAN deployment cost.
+//
+// n is capped below the loopback sweep: n=32 over TCP means ~2k fds
+// (outbound + accepted + acceptors), which trips default ulimits.
+//
+// Convergence is asserted after each threaded run (Lemma 3.7 joint DAG) —
+// a throughput number from a diverged run would be meaningless.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "protocols/brb.h"
+#include "rt/threaded_runtime.h"
+#include "runtime/bench_report.h"
+#include "runtime/cluster.h"
+#include "runtime/table.h"
+
+namespace {
+
+using namespace blockdag;
+
+struct RunResult {
+  std::uint64_t blocks = 0;
+  double wall_s = 0;
+  bool converged = false;
+  std::uint64_t frames = 0;  // frames that crossed a socket (tcp only)
+  double blocks_per_s() const {
+    return wall_s > 0 ? static_cast<double>(blocks) / wall_s : 0;
+  }
+};
+
+constexpr SimTime kBeat = sim_ms(1);  // dissemination interval, all runtimes
+
+RunResult run_sim(std::uint32_t n, SimTime virtual_duration, std::uint32_t requests) {
+  brb::BrbFactory factory;
+  ClusterConfig cfg;
+  cfg.n_servers = n;
+  cfg.seed = 42 + n;
+  cfg.pacing.interval = kBeat;
+  Cluster cluster(factory, cfg);
+  cluster.start();
+  for (std::uint32_t i = 0; i < requests; ++i) {
+    cluster.request(i % n, 1 + i, brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run_for(virtual_duration);
+  cluster.quiesce();
+  RunResult out{};
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (ServerId s : cluster.correct_servers()) {
+    out.blocks += cluster.shim(s).gossip().stats().blocks_inserted;
+  }
+  out.converged = cluster.dags_converged();
+  return out;
+}
+
+RunResult run_threaded(std::uint32_t n, SimTime wall_duration, std::uint32_t requests,
+                       rt::TransportBackend backend) {
+  brb::BrbFactory factory;
+  rt::ThreadedConfig cfg;
+  cfg.n_servers = n;
+  cfg.seed = 42 + n;
+  cfg.pacing.interval = kBeat;
+  cfg.backend = backend;  // kTcp: ephemeral localhost ports
+  rt::ThreadedRuntime runtime(factory, cfg);
+  if (runtime.tcp() && !runtime.tcp()->ok()) return {};
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime.start();
+  for (std::uint32_t i = 0; i < requests; ++i) {
+    runtime.request(i % n, 1 + i, brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(wall_duration));
+  runtime.stop();
+  RunResult out{};
+  out.converged = runtime.quiesce_and_converge();
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.blocks = runtime.total_blocks_inserted();
+  const Bytes dag0 = runtime.dag_digest(0);
+  for (ServerId s = 1; s < n; ++s) {
+    if (runtime.dag_digest(s) != dag0) out.converged = false;
+  }
+  if (runtime.tcp()) out.frames = runtime.tcp()->stats().frames_received;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("bench_tcp", argc, argv);
+  const SimTime duration = report.smoke() ? sim_ms(150) : sim_ms(600);
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4}
+                     : std::vector<std::uint32_t>{4, 8, 16};
+
+  std::printf("RUNTIME-TCP: aggregate blocks/s — sim vs loopback threads vs TCP\n");
+  std::printf("(BRB, %llu ms run @1ms beats; %u hardware threads)\n\n",
+              static_cast<unsigned long long>(duration / sim_ms(1)),
+              std::thread::hardware_concurrency());
+
+  Table table({"n", "runtime", "blocks", "wall s", "blocks/s", "frames", "converged"});
+  for (std::uint32_t n : ns) {
+    const std::uint32_t requests = 2 * n;
+    const RunResult sim = run_sim(n, duration, requests);
+    const RunResult thr =
+        run_threaded(n, duration, requests, rt::TransportBackend::kLoopback);
+    const RunResult tcp =
+        run_threaded(n, duration, requests, rt::TransportBackend::kTcp);
+    table.add_row({Table::num(static_cast<std::uint64_t>(n)), "sim",
+                   Table::num(sim.blocks), Table::num(sim.wall_s, 3),
+                   Table::num(sim.blocks_per_s(), 0), "-",
+                   sim.converged ? "yes" : "NO"});
+    table.add_row({Table::num(static_cast<std::uint64_t>(n)), "threads",
+                   Table::num(thr.blocks), Table::num(thr.wall_s, 3),
+                   Table::num(thr.blocks_per_s(), 0), "-",
+                   thr.converged ? "yes" : "NO"});
+    table.add_row({Table::num(static_cast<std::uint64_t>(n)), "tcp",
+                   Table::num(tcp.blocks), Table::num(tcp.wall_s, 3),
+                   Table::num(tcp.blocks_per_s(), 0), Table::num(tcp.frames),
+                   tcp.converged ? "yes" : "NO"});
+  }
+  report.add("throughput", table);
+  report.note("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  std::printf(
+      "The sim row executes the run in *virtual* time as fast as one core\n"
+      "allows; threads and tcp rows spend that much real time. threads→tcp\n"
+      "is the price of the real network stack: frame codec, syscalls,\n"
+      "kernel socket buffers and the poll-thread handoff.\n");
+  return report.finish();
+}

@@ -130,7 +130,7 @@ void GossipServer::handle_fwd_request(ServerId from, const Hash256& ref) {
   if (!block) return;
   ++stats_.fwd_replies_sent;
   net_.send(self_, from, WireKind::kFwdReply,
-            encode_block_envelope(*block, WireTag::kFwdReply));
+            encode_block_envelope(*block, WireKind::kFwdReply));
 }
 
 void GossipServer::disseminate(bool even_if_empty) {
@@ -163,7 +163,7 @@ void GossipServer::disseminate(bool even_if_empty) {
 
   // Line 17: send B to every server. (Self-delivery short-circuits: the
   // block is already in G, so the receive path ignores it.)
-  net_.broadcast(self_, WireKind::kBlock, encode_block_envelope(*block, WireTag::kBlock));
+  net_.broadcast(self_, WireKind::kBlock, encode_block_envelope(*block, WireKind::kBlock));
 
   // Line 18: start the next block with the parent reference.
   ++next_k_;

@@ -1,46 +1,39 @@
 #include "gossip/wire.h"
 
 #include <algorithm>
-
-#include "util/serialize.h"
+#include <cassert>
 
 namespace blockdag {
 
-Bytes encode_block_envelope(const Block& block, WireTag tag) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(tag));
-  w.raw(block.encode());
-  return std::move(w).take();
+Bytes encode_block_envelope(const Block& block, WireKind kind) {
+  assert(kind == WireKind::kBlock || kind == WireKind::kFwdReply);
+  return encode_tagged(kind, block.encode());
 }
 
 Bytes encode_fwd_request(const Hash256& ref) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(WireTag::kFwdRequest));
-  w.raw(ref.span());
-  return std::move(w).take();
+  return encode_tagged(WireKind::kFwdRequest, ref.span());
 }
 
 std::optional<WireMessage> decode_wire(std::span<const std::uint8_t> wire) {
-  Reader r(wire);
-  const auto tag = r.u8();
-  if (!tag) return std::nullopt;
+  const auto tagged = split_tagged(wire);
+  if (!tagged) return std::nullopt;
 
-  switch (static_cast<WireTag>(*tag)) {
-    case WireTag::kBlock:
-    case WireTag::kFwdReply: {
-      auto block = Block::decode(wire.subspan(1));
+  switch (tagged->kind) {
+    case WireKind::kBlock:
+    case WireKind::kFwdReply: {
+      auto block = Block::decode(tagged->body);
       if (!block) return std::nullopt;
-      return BlockEnvelope{static_cast<WireTag>(*tag), std::move(*block)};
+      return BlockEnvelope{tagged->kind, std::move(*block)};
     }
-    case WireTag::kFwdRequest: {
-      const auto raw = r.raw(Hash256::kSize);
-      if (!raw || !r.done()) return std::nullopt;
+    case WireKind::kFwdRequest: {
+      if (tagged->body.size() != Hash256::kSize) return std::nullopt;
       Sha256::Digest d;
-      std::copy(raw->begin(), raw->end(), d.begin());
+      std::copy(tagged->body.begin(), tagged->body.end(), d.begin());
       return FwdRequestEnvelope{Hash256(d)};
     }
+    default:
+      return std::nullopt;  // kProtocol / kControl are not gossip traffic
   }
-  return std::nullopt;
 }
 
 }  // namespace blockdag

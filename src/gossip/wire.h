@@ -3,23 +3,25 @@
 // Section 3 stresses that gossip has "one core message type, namely a
 // block". The only other traffic is the explicit forwarding mechanism
 // (Algorithm 1 lines 10–13): FWD ref(B) requests and their block replies.
+//
+// Framing (the leading tag byte) is owned by the shared net codec
+// (net/codec.h) and the tag values are the transport's own WireKind — the
+// gossip layer owns only the *bodies*: block encodings and FWD refs. One
+// payload therefore means the same thing on every Transport backend, and
+// byte-stream backends can wrap these envelopes in net/frame.h frames
+// without a second, gossip-private tag space.
 #pragma once
 
 #include <optional>
 #include <variant>
 
 #include "dag/block.h"
+#include "net/codec.h"
 
 namespace blockdag {
 
-enum class WireTag : std::uint8_t {
-  kBlock = 1,     // a disseminated block (Algorithm 1 line 17)
-  kFwdRequest,    // FWD ref(B) (line 11)
-  kFwdReply,      // the forwarded block (line 13)
-};
-
 struct BlockEnvelope {
-  WireTag tag = WireTag::kBlock;
+  WireKind kind = WireKind::kBlock;  // kBlock or kFwdReply
   Block block;
 };
 
@@ -29,12 +31,15 @@ struct FwdRequestEnvelope {
 
 using WireMessage = std::variant<BlockEnvelope, FwdRequestEnvelope>;
 
-Bytes encode_block_envelope(const Block& block, WireTag tag);
+// `kind` must be kBlock (dissemination, Algorithm 1 line 17) or kFwdReply
+// (the forwarded block, line 13).
+Bytes encode_block_envelope(const Block& block, WireKind kind);
 Bytes encode_fwd_request(const Hash256& ref);
 
 // Returns std::nullopt on malformed input (byzantine senders may emit
 // arbitrary bytes; decoding failures are silently dropped, as a real
-// implementation would).
+// implementation would). Non-gossip traffic classes (kProtocol, kControl)
+// are malformed here by definition: they never reach the gossip ingress.
 std::optional<WireMessage> decode_wire(std::span<const std::uint8_t> wire);
 
 }  // namespace blockdag

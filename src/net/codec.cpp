@@ -1,0 +1,23 @@
+#include "net/codec.h"
+
+#include <cassert>
+
+namespace blockdag {
+
+Bytes encode_tagged(WireKind kind, std::span<const std::uint8_t> body) {
+  assert(kind < WireKind::kCount);
+  Bytes out;
+  out.reserve(1 + body.size());
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<TaggedView> split_tagged(std::span<const std::uint8_t> wire) {
+  if (wire.empty()) return std::nullopt;
+  const std::uint8_t tag = wire[0];
+  if (tag >= static_cast<std::uint8_t>(WireKind::kCount)) return std::nullopt;
+  return TaggedView{static_cast<WireKind>(tag), wire.subspan(1)};
+}
+
+}  // namespace blockdag

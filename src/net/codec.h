@@ -1,0 +1,40 @@
+// Tagged-envelope codec: the shared payload framing every backend speaks.
+//
+// Every Transport payload is self-describing: one WireKind tag byte
+// followed by an opaque body. The tag byte used to live inside the gossip
+// module (as a private WireTag enum that mirrored WireKind one-for-one);
+// it is transport-level framing, not protocol content, so it lives here —
+// gossip owns only the *bodies* (blocks and FWD refs, gossip/wire.h),
+// exactly like a real stack separates framing from messages.
+//
+// The envelope is deliberately minimal: on datagram-like substrates
+// (SimNetwork, LoopbackTransport) one send carries one envelope and the
+// tag is all the receiver needs. On byte-stream substrates (TCP) the
+// envelope travels inside a length-prefixed frame (net/frame.h) whose
+// header repeats the kind for pre-decode routing; the in-payload tag stays
+// authoritative for the protocol decoder, so a payload means the same
+// thing on every backend.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "net/transport.h"
+
+namespace blockdag {
+
+// A decoded envelope: the tag and a view of the body (aliases the input).
+struct TaggedView {
+  WireKind kind;
+  std::span<const std::uint8_t> body;
+};
+
+// One tag byte + body. `kind` must be a concrete traffic class (< kCount).
+Bytes encode_tagged(WireKind kind, std::span<const std::uint8_t> body);
+
+// Splits an envelope into (kind, body view). nullopt on empty input or a
+// tag byte that is not a concrete WireKind — byzantine senders may deliver
+// arbitrary bytes, so an unknown tag is an ordinary decode failure.
+std::optional<TaggedView> split_tagged(std::span<const std::uint8_t> wire);
+
+}  // namespace blockdag

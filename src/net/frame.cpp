@@ -1,0 +1,93 @@
+#include "net/frame.h"
+
+#include <cassert>
+
+namespace blockdag {
+
+namespace {
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void push_le32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+Bytes encode_frame(const FrameHeader& header, std::span<const std::uint8_t> payload) {
+  assert(payload.size() <= kMaxFramePayload);
+  assert(header.kind < WireKind::kCount);
+  Bytes out;
+  out.reserve(kFrameOverhead + payload.size());
+  push_le32(out, static_cast<std::uint32_t>(kFrameHeaderTail + payload.size()));
+  out.push_back(header.version);
+  out.push_back(static_cast<std::uint8_t>(header.kind));
+  push_le32(out, header.from);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::poison(const char* reason) {
+  corrupt_ = true;
+  error_ = reason;
+  Bytes().swap(buf_);  // free, don't just clear: the connection is done
+  pos_ = 0;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  if (corrupt_ || data.empty()) return;
+  // Compact the consumed prefix before growing; keeps the resident buffer
+  // proportional to the unconsumed tail (normally a partial frame).
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (corrupt_) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = read_le32(p);
+  // Validate the length *before* waiting for (or buffering toward) the
+  // body: a forged length fails here, never at an allocation.
+  if (len < kFrameHeaderTail || len > max_payload_ + kFrameHeaderTail) {
+    poison("frame length out of range");
+    return std::nullopt;
+  }
+  // Fail fast on header fields that are already visible, even while the
+  // payload is still in flight — no point buffering toward a dead frame.
+  if (avail >= 5 && p[4] != kFrameVersion) {
+    poison("unsupported frame version");
+    return std::nullopt;
+  }
+  if (avail >= 6 && p[5] >= static_cast<std::uint8_t>(WireKind::kCount)) {
+    poison("unknown frame kind");
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+
+  Frame frame;
+  frame.header.version = p[4];
+  frame.header.kind = static_cast<WireKind>(p[5]);
+  frame.header.from = read_le32(p + 6);
+  frame.payload.assign(p + kFrameOverhead, p + 4 + len);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace blockdag

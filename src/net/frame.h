@@ -1,0 +1,92 @@
+// Length-prefixed framing for byte-stream transports (DESIGN.md §8).
+//
+// TCP is a stream of bytes, not a datagram service: one send() can arrive
+// split across any number of reads, and one read can span several sends.
+// This codec restores the Transport contract ("the handler receives the
+// complete payload of one send") on top of a stream:
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//   0       4     len      u32 LE — byte count of everything after it
+//   4       1     version  kFrameVersion; anything else is a protocol error
+//   5       1     kind     WireKind — lets the transport route (e.g. the
+//                          control plane) before the payload is decoded
+//   6       4     from     u32 LE ServerId — transport metadata, exactly as
+//                          unauthenticated as the `from` of Transport::send;
+//                          all trust lives in signatures inside the payload
+//   10      len−6 payload  one tagged envelope (net/codec.h)
+//
+// FrameDecoder is incremental: feed() whatever the socket produced —
+// arbitrary split boundaries, half a header, three frames at once — and
+// next() yields complete frames in order. A peer is byzantine until proven
+// otherwise, so the decoder is load-bearing armor: a forged length can
+// never cause an unbounded allocation (lengths above max_payload are
+// rejected before any buffering commitment, and the buffer only ever holds
+// bytes the peer actually transmitted), and every malformed prefix latches
+// corrupt() so the connection can be reset instead of re-synchronised —
+// resynchronising a framed stream against an adversary is a fool's errand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/transport.h"
+
+namespace blockdag {
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+// len counts version + kind + from + payload.
+inline constexpr std::size_t kFrameHeaderTail = 6;
+// Full prefix: the len field plus the fields it counts, before the payload.
+inline constexpr std::size_t kFrameOverhead = 4 + kFrameHeaderTail;
+// Default ceiling on one frame's payload. Generous against real blocks
+// (max_requests_per_block bounds block size far below this) while keeping
+// a forged length from committing the receiver to gigabytes.
+inline constexpr std::size_t kMaxFramePayload = 8u << 20;
+
+struct FrameHeader {
+  std::uint8_t version = kFrameVersion;
+  WireKind kind = WireKind::kBlock;
+  ServerId from = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  Bytes payload;
+};
+
+// Encodes one frame. `payload.size()` must be ≤ kMaxFramePayload.
+Bytes encode_frame(const FrameHeader& header, std::span<const std::uint8_t> payload);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  // Appends stream bytes. No-op once corrupt().
+  void feed(std::span<const std::uint8_t> data);
+
+  // Extracts the next complete frame; nullopt when more bytes are needed
+  // or the stream is corrupt. Malformed input (bad length, version or
+  // kind) latches corrupt() and discards the buffer — the caller must
+  // reset the connection.
+  std::optional<Frame> next();
+
+  bool corrupt() const { return corrupt_; }
+  // Human-readable reason once corrupt(); nullptr otherwise.
+  const char* error() const { return error_; }
+  // Bytes buffered awaiting a complete frame.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  void poison(const char* reason);
+
+  std::size_t max_payload_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool corrupt_ = false;
+  const char* error_ = nullptr;
+};
+
+}  // namespace blockdag

@@ -10,6 +10,7 @@ const char* wire_kind_name(WireKind kind) {
     case WireKind::kFwdRequest: return "fwd_request";
     case WireKind::kFwdReply: return "fwd_reply";
     case WireKind::kProtocol: return "protocol";
+    case WireKind::kControl: return "control";
     case WireKind::kCount: break;
   }
   return "?";

@@ -11,7 +11,8 @@
 //     synchrony;
 //   * LoopbackTransport (rt/loopback_transport.h) — an in-process
 //     multi-threaded runtime, one mailbox per server;
-//   * (future) a real socket transport.
+//   * TcpTransport (rt/tcp_transport.h) — real localhost/LAN TCP sockets,
+//     framed by net/frame.h, spanning one or several OS processes.
 //
 // Delivery contract: the transport invokes the attached handler with the
 // complete payload of one send. Handlers run one at a time per server
@@ -35,6 +36,8 @@ enum class WireKind : std::uint8_t {
   kFwdRequest,     // gossip FWD ref(B) requests
   kFwdReply,       // gossip replies carrying a full block
   kProtocol,       // baseline protocols' direct messages
+  kControl,        // runtime control plane (multi-process digest exchange);
+                   // never delivered to the protocol stack
   kCount,
 };
 

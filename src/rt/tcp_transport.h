@@ -1,0 +1,173 @@
+// Real-socket Transport for the threaded runtime (DESIGN.md §8).
+//
+// The third backend of the Transport seam: payloads cross real TCP
+// sockets, framed by net/frame.h (TCP is a byte stream — one write can
+// arrive split across any number of reads), so the same protocol stack
+// that runs on the simulator and the loopback runtime spans OS processes.
+//
+// Topology: every server owns one acceptor (listening on base_port + id,
+// or an ephemeral port when the whole cluster lives in one process) and
+// one *outbound* connection per peer, used only for sending; inbound
+// connections, accepted on the local server's acceptor, are used only for
+// receiving. All sockets are nonblocking and serviced by one dedicated
+// poll thread per transport instance; complete frames are posted into the
+// owning server's mailbox, so handlers keep the single-writer-per-server
+// discipline of rt/mailbox.h and protocol code never learns that bytes
+// now move through a kernel.
+//
+// Delivery contract (Assumption 1): connects are retried with backoff
+// forever and unsent frames queue across reconnects, so delivery between
+// live endpoints is eventual. What a broken connection already carried
+// into a dead kernel buffer is transiently lost — exactly the loss class
+// the gossip FWD path recovers (tests/rt/tcp_runtime_test.cpp kills
+// connections mid-run and converges). A corrupt frame stream (bad length,
+// version or kind) resets the connection rather than attempting to
+// re-synchronise against a potentially byzantine peer.
+//
+// broadcast() encodes the frame once and shares one immutable buffer
+// across all n−1 peer queues — the same single-allocation discipline as
+// SimNetwork::broadcast and LoopbackTransport.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+#include "rt/mailbox.h"
+
+namespace blockdag::rt {
+
+struct TcpConfig {
+  std::uint32_t n_servers = 0;
+  // Numeric IPv4 address every server binds and dials (multi-process
+  // clusters on one host use the loopback address).
+  std::string host = "127.0.0.1";
+  // Server s listens on base_port + s. 0 = kernel-assigned ephemeral ports,
+  // which is race-free for parallel test runs but only works when every
+  // server is local (remote ports could not be derived).
+  std::uint16_t base_port = 0;
+  // ServerIds hosted by this process. Empty = all of them (the in-process
+  // `--runtime tcp` deployment).
+  std::vector<ServerId> local_servers;
+  // Delay before re-dialing a failed or refused connection. Retries repeat
+  // forever while traffic is queued: a joining process may come up later.
+  std::chrono::milliseconds reconnect_delay{25};
+  // Per-peer send queue ceiling; beyond it new frames are dropped (counted
+  // in WireMetrics::dropped) — transient loss, recovered by gossip FWD.
+  std::size_t max_queued_frames_per_peer = 16384;
+  std::size_t max_frame_payload = kMaxFramePayload;
+};
+
+struct TcpStats {
+  std::uint64_t dials = 0;           // connect() attempts
+  std::uint64_t connects = 0;        // successful outbound establishments
+  std::uint64_t accepts = 0;         // inbound connections accepted
+  std::uint64_t resets = 0;          // established connections lost/reset
+  std::uint64_t frames_sent = 0;     // frames fully written to the kernel
+  std::uint64_t frames_received = 0; // complete frames decoded
+  std::uint64_t corrupt_streams = 0; // inbound streams poisoned by FrameDecoder
+};
+
+class TcpTransport final : public Transport {
+ public:
+  // `mailboxes` is indexed by ServerId and must be non-null exactly for the
+  // local servers; pointers must outlive the transport. `idle` (optional)
+  // counts queued-but-unsent frames as outstanding work so wait_idle()
+  // covers the send path. Acceptors are bound in the constructor (check
+  // ok()); no traffic moves until start().
+  TcpTransport(TcpConfig config, std::vector<Mailbox*> mailboxes,
+               IdleTracker* idle = nullptr);
+  ~TcpTransport();  // stop()s
+
+  // False if any acceptor failed to bind/listen (port already in use).
+  bool ok() const { return ok_; }
+  // Actual listen port of `server` (resolves ephemeral binds for local
+  // servers; base_port + s for remote ones).
+  std::uint16_t port_of(ServerId server) const;
+
+  void start();  // launches the poll thread; idempotent
+  void stop();   // closes every socket, drains queues, joins; idempotent
+
+  // Transport interface.
+  void attach(ServerId server, Handler handler) override;
+  std::uint32_t size() const override { return config_.n_servers; }
+  void send(ServerId from, ServerId to, WireKind kind, Bytes payload) override;
+  void broadcast(ServerId from, WireKind kind, const Bytes& payload) override;
+  WireMetrics wire_metrics() const override;
+
+  // Control plane: frames sent with WireKind::kControl are routed to this
+  // handler instead of the attached protocol handler (used by the
+  // multi-process runtime for its digest-exchange settle protocol).
+  void set_control_handler(ServerId server, Handler handler);
+
+  // Test hook: hard-closes every established socket between `a` and `b`
+  // (both directions). Queued-but-unsent frames survive and are resent
+  // after the automatic re-dial; bytes already in kernel buffers are lost —
+  // the transient-loss scenario the gossip FWD path must recover.
+  void drop_connections(ServerId a, ServerId b);
+
+  TcpStats stats() const;
+
+ private:
+  struct OutConn {
+    enum class State { kIdle, kConnecting, kConnected, kBackoff };
+    int fd = -1;
+    State state = State::kIdle;
+    std::chrono::steady_clock::time_point retry_at{};
+    // Encoded frames awaiting the kernel; broadcast shares one buffer
+    // across every peer's queue.
+    std::deque<std::shared_ptr<const Bytes>> queue;
+    std::size_t front_offset = 0;  // bytes of queue.front() already written
+  };
+  struct InConn {
+    int fd = -1;
+    ServerId owner = 0;                 // local server whose acceptor accepted
+    ServerId peer = kInvalidServer;     // claimed sender, from frame headers
+    FrameDecoder decoder;
+    bool dead = false;
+  };
+
+  bool is_local(ServerId s) const { return s < mailboxes_.size() && mailboxes_[s]; }
+  void enqueue_frame(ServerId from, ServerId to, WireKind kind,
+                     const std::shared_ptr<const Bytes>& frame,
+                     std::size_t payload_bytes);
+  void deliver_local(ServerId to, ServerId from, WireKind kind,
+                     std::shared_ptr<const Bytes> payload);
+  void wake();
+  void poll_loop();
+  // All four run with mu_ held.
+  void dial(ServerId from, ServerId to, OutConn& out);
+  void fail_out(OutConn& out);
+  void service_in(InConn& in);
+  void flush_out(OutConn& out);
+
+  TcpConfig config_;
+  std::vector<Mailbox*> mailboxes_;
+  IdleTracker* idle_;
+  bool ok_ = false;
+  std::vector<int> acceptor_fds_;        // indexed by ServerId; -1 if remote
+  std::vector<std::uint16_t> ports_;     // indexed by ServerId
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::map<std::pair<ServerId, ServerId>, OutConn> out_;  // (from, to)
+  std::vector<std::unique_ptr<InConn>> in_;
+  std::vector<std::shared_ptr<const Handler>> handlers_;
+  std::vector<std::shared_ptr<const Handler>> control_;
+  WireMetrics metrics_;
+  TcpStats stats_;
+};
+
+}  // namespace blockdag::rt

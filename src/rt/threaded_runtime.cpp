@@ -8,19 +8,40 @@ namespace blockdag::rt {
 
 ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
                                  ThreadedConfig config)
-    : config_(config) {
-  nodes_.reserve(config_.n_servers);
-  std::vector<Mailbox*> mailboxes;
-  mailboxes.reserve(config_.n_servers);
-  for (ServerId s = 0; s < config_.n_servers; ++s) {
+    : config_(std::move(config)) {
+  local_ = config_.backend == TransportBackend::kTcp
+               ? config_.tcp.local_servers
+               : std::vector<ServerId>{};
+  if (local_.empty()) {
+    for (ServerId s = 0; s < config_.n_servers; ++s) local_.push_back(s);
+  }
+  std::sort(local_.begin(), local_.end());
+
+  nodes_.resize(config_.n_servers);
+  std::vector<Mailbox*> mailboxes(config_.n_servers, nullptr);
+  for (const ServerId s : local_) {
+    assert(s < config_.n_servers);
     auto node = std::make_unique<Node>();
     node->mailbox = std::make_unique<Mailbox>(idle_);
-    mailboxes.push_back(node->mailbox.get());
-    nodes_.push_back(std::move(node));
+    mailboxes[s] = node->mailbox.get();
+    nodes_[s] = std::move(node);
   }
-  transport_ = std::make_unique<LoopbackTransport>(std::move(mailboxes));
 
-  for (ServerId s = 0; s < config_.n_servers; ++s) {
+  if (config_.backend == TransportBackend::kTcp) {
+    TcpConfig tcp = config_.tcp;
+    tcp.n_servers = config_.n_servers;
+    tcp.local_servers = local_;
+    auto transport =
+        std::make_unique<TcpTransport>(std::move(tcp), std::move(mailboxes), &idle_);
+    tcp_ = transport.get();
+    transport_ = std::move(transport);
+  } else {
+    assert(local_.size() == config_.n_servers &&
+           "the loopback backend hosts every server in-process");
+    transport_ = std::make_unique<LoopbackTransport>(std::move(mailboxes));
+  }
+
+  for (const ServerId s : local_) {
     Node& node = *nodes_[s];
     node.timers = std::make_unique<NodeTimerService>(wheel_, *node.mailbox);
     node.sigs =
@@ -33,10 +54,12 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
                                        config_.pacing, config_.seq_mode);
   }
   wheel_.start();
-  for (auto& node : nodes_) {
-    Mailbox* mailbox = node->mailbox.get();
-    node->thread = std::thread([mailbox] { node_loop(*mailbox); });
+  for (const ServerId s : local_) {
+    Mailbox* mailbox = nodes_[s]->mailbox.get();
+    nodes_[s]->thread = std::thread([mailbox] { node_loop(*mailbox); });
   }
+  // Sockets only move bytes once every handler is attached.
+  if (tcp_) tcp_->start();
 }
 
 ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
@@ -51,16 +74,16 @@ void ThreadedRuntime::node_loop(Mailbox& mailbox) {
 }
 
 void ThreadedRuntime::start() {
-  for (auto& node : nodes_) {
-    Shim* shim = node->shim.get();
-    node->mailbox->push([shim] { shim->start(); });
+  for (const ServerId s : local_) {
+    Shim* shim = nodes_[s]->shim.get();
+    nodes_[s]->mailbox->push([shim] { shim->start(); });
   }
 }
 
 void ThreadedRuntime::stop() {
-  for (auto& node : nodes_) {
-    Shim* shim = node->shim.get();
-    node->mailbox->push([shim] { shim->stop(); });
+  for (const ServerId s : local_) {
+    Shim* shim = nodes_[s]->shim.get();
+    nodes_[s]->mailbox->push([shim] { shim->stop(); });
   }
 }
 
@@ -68,11 +91,13 @@ void ThreadedRuntime::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   // Order matters: stop the wheel first so no timer posts into a mailbox
-  // mid-close, then let every node drain and exit its loop.
+  // mid-close, then the sockets (the poll thread also posts deliveries),
+  // then let every node drain and exit its loop.
   wheel_.stop();
-  for (auto& node : nodes_) node->mailbox->close();
-  for (auto& node : nodes_) {
-    if (node->thread.joinable()) node->thread.join();
+  if (tcp_) tcp_->stop();
+  for (const ServerId s : local_) nodes_[s]->mailbox->close();
+  for (const ServerId s : local_) {
+    if (nodes_[s]->thread.joinable()) nodes_[s]->thread.join();
   }
 }
 
@@ -98,10 +123,16 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
   // 7–11), so keep ticking until interpretation stops moving too.
   std::uint64_t last_progress = UINT64_MAX;
   for (std::size_t round = 0; round < max_rounds; ++round) {
+    // On the TCP backend wait_idle() covers everything up to the kernel's
+    // socket buffers; give in-flight frames a beat to surface into
+    // mailboxes. Sampling early is safe (a latent frame implies some DAG
+    // is ahead of another, so the digests cannot agree), just slower.
+    if (tcp_) std::this_thread::sleep_for(std::chrono::milliseconds(2));
     bool converged = true;
+    bool first = true;
     Bytes reference;
     std::uint64_t progress = 0;
-    for (ServerId s = 0; s < size(); ++s) {
+    for (const ServerId s : local_) {
       const auto [digest, moved] = call(s, [](Shim& shim) {
         const InterpreterStats& stats = shim.interpreter().stats();
         return std::make_pair(blockdag::rt::dag_digest(shim.dag()),
@@ -109,17 +140,18 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
                                   stats.messages_materialized + stats.indications);
       });
       progress += moved;
-      if (s == 0) {
+      if (first) {
         reference = digest;
+        first = false;
       } else if (digest != reference) {
         converged = false;
       }
     }
     if (converged && progress == last_progress) return true;
     last_progress = progress;
-    for (ServerId s = 0; s < size(); ++s) {
-      Shim* shim = shim_of(s);
-      mailbox_of(s).push([shim] { shim->tick(); });
+    for (const ServerId s : local_) {
+      Shim* shim = nodes_[s]->shim.get();
+      nodes_[s]->mailbox->push([shim] { shim->tick(); });
     }
     if (!wait_idle(round_timeout)) return false;
   }
@@ -138,7 +170,7 @@ Bytes ThreadedRuntime::interpretation_digest(ServerId server) {
 
 std::size_t ThreadedRuntime::indicated_count(Label label) {
   std::size_t count = 0;
-  for (ServerId s = 0; s < size(); ++s) {
+  for (const ServerId s : local_) {
     count += call(s, [label](Shim& shim) -> std::size_t {
       for (const UserIndication& ind : shim.indications()) {
         if (ind.label == label) return 1;
@@ -151,7 +183,7 @@ std::size_t ThreadedRuntime::indicated_count(Label label) {
 
 std::uint64_t ThreadedRuntime::total_blocks_inserted() {
   std::uint64_t total = 0;
-  for (ServerId s = 0; s < size(); ++s) {
+  for (const ServerId s : local_) {
     total += call(s, [](Shim& shim) { return shim.gossip().stats().blocks_inserted; });
   }
   return total;

@@ -1,11 +1,12 @@
 // ThreadedRuntime: a full in-process deployment of shim(P), one OS thread
-// per server, over the loopback Transport and real-time TimerWheel.
+// per server, over a real-time TimerWheel and a pluggable byte-moving
+// backend: the in-process loopback Transport or real TCP sockets.
 //
 // The counterpart of runtime/cluster.h on the other side of the
 // Transport/TimerService seam: the *same* Shim/GossipServer/Interpreter
 // code runs here unmodified, but events are real — threads instead of a
 // discrete-event loop, a monotonic clock instead of virtual time. What
-// each runtime guarantees (DESIGN.md §7):
+// each runtime guarantees (DESIGN.md §7/§8):
 //   * Cluster (sim): bit-for-bit determinism — a run is a pure function of
 //     (configuration, seed); used for correctness, adversarial scenarios
 //     and replayable fuzzing.
@@ -15,6 +16,13 @@
 //     protocol stack never depended on simulation ordering, only on
 //     Assumption 1 and the single-writer-per-server discipline that the
 //     per-server mailbox enforces (rt/mailbox.h).
+//
+// With TransportBackend::kTcp the runtime may host a *subset* of the
+// cluster's servers (config.tcp.local_servers): the remaining servers live
+// in other OS processes reachable at base_port + id. request()/call()/
+// digest accessors are only valid for hosted servers; the convergence
+// helpers operate over the hosted subset (a cross-process settle protocol
+// lives in `simctl serve`/`join`, built on the transport's control plane).
 //
 // Harness calls (request, call, digests) are funnelled through the owning
 // server's mailbox like every other event: the harness thread never
@@ -33,10 +41,16 @@
 #include "crypto/signature.h"
 #include "rt/loopback_transport.h"
 #include "rt/mailbox.h"
+#include "rt/tcp_transport.h"
 #include "rt/timer_wheel.h"
 #include "shim/shim.h"
 
 namespace blockdag::rt {
+
+enum class TransportBackend {
+  kLoopback,  // one mailbox push per delivery (rt/loopback_transport.h)
+  kTcp,       // real TCP sockets framed by net/frame.h (rt/tcp_transport.h)
+};
 
 struct ThreadedConfig {
   std::uint32_t n_servers = 4;
@@ -46,6 +60,12 @@ struct ThreadedConfig {
   PacingConfig pacing{};
   SeqNoMode seq_mode = SeqNoMode::kConsecutive;
   std::uint64_t seed = 1;
+  TransportBackend backend = TransportBackend::kLoopback;
+  // TCP backend settings (n_servers is filled in from the field above).
+  // tcp.local_servers selects the hosted subset; empty = all (the
+  // single-process `--runtime tcp` deployment). Loopback hosts all servers
+  // by definition.
+  TcpConfig tcp{};
 };
 
 class ThreadedRuntime {
@@ -53,9 +73,18 @@ class ThreadedRuntime {
   ThreadedRuntime(const ProtocolFactory& factory, ThreadedConfig config);
   ~ThreadedRuntime();  // shutdown()s
 
-  std::uint32_t size() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t size() const { return config_.n_servers; }
+  // ServerIds hosted by this runtime instance, ascending.
+  const std::vector<ServerId>& local_servers() const { return local_; }
+  bool hosts(ServerId server) const {
+    return server < nodes_.size() && nodes_[server] != nullptr;
+  }
 
-  // Starts / stops every server's dissemination loop (posted to the
+  // Non-null iff backend == kTcp: bind status, ports, control plane,
+  // connection-drop test hook.
+  TcpTransport* tcp() { return tcp_; }
+
+  // Starts / stops every hosted server's dissemination loop (posted to the
   // servers' threads; start() returns without waiting for the first beat).
   void start();
   void stop();
@@ -64,12 +93,13 @@ class ThreadedRuntime {
   // runtime only serves already-computed state.
   void shutdown();
 
-  // request(ℓ, r) on `server`, executed on its thread.
+  // request(ℓ, r) on `server`, executed on its thread. Hosted servers only.
   void request(ServerId server, Label label, Bytes request);
 
   // Runs `fn(Shim&)` on `server`'s thread and returns its result. The only
   // sanctioned way to read a server's state from outside. Must not be
   // called from a server thread (it blocks the caller until `fn` ran).
+  // Hosted servers only.
   template <typename F>
   auto call(ServerId server, F&& fn) {
     using R = std::invoke_result_t<F&, Shim&>;
@@ -92,14 +122,15 @@ class ThreadedRuntime {
     return future.get();
   }
 
-  // Blocks until no task is queued or running anywhere and no timer is
-  // armed (requires stopped dissemination loops to be reachable at all).
+  // Blocks until no task is queued or running anywhere, no timer is armed,
+  // and no sent frame awaits the wire (requires stopped dissemination
+  // loops to be reachable at all).
   bool wait_idle(std::chrono::nanoseconds timeout);
 
-  // stop(), then drive manual dissemination rounds until every server
-  // holds an identical DAG and interpretation has reached a fixed point —
-  // the threaded analogue of Cluster::quiesce_and_converge (Lemma 3.7
-  // joint DAG + Algorithm 2 lines 7–11 consumption). `round_timeout`
+  // stop(), then drive manual dissemination rounds until every hosted
+  // server holds an identical DAG and interpretation has reached a fixed
+  // point — the threaded analogue of Cluster::quiesce_and_converge (Lemma
+  // 3.7 joint DAG + Algorithm 2 lines 7–11 consumption). `round_timeout`
   // bounds each round's settle; returns false if `max_rounds` or a timeout
   // was not enough.
   bool quiesce_and_converge(std::size_t max_rounds = 64,
@@ -112,6 +143,7 @@ class ThreadedRuntime {
   // 4.2 check: equal iff both servers interpret every block identically.
   Bytes interpretation_digest(ServerId server);
 
+  // Aggregates over the hosted servers.
   std::size_t indicated_count(Label label);
   std::uint64_t total_blocks_inserted();
   WireMetrics wire_metrics() const { return transport_->wire_metrics(); }
@@ -128,14 +160,19 @@ class ThreadedRuntime {
     std::thread thread;
   };
 
-  Shim* shim_of(ServerId server) { return nodes_[server]->shim.get(); }
+  Shim* shim_of(ServerId server) {
+    assert(hosts(server));
+    return nodes_[server]->shim.get();
+  }
   Mailbox& mailbox_of(ServerId server) { return *nodes_[server]->mailbox; }
   static void node_loop(Mailbox& mailbox);
 
   ThreadedConfig config_;
+  std::vector<ServerId> local_;
   IdleTracker idle_;
   TimerWheel wheel_{idle_};
-  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<Transport> transport_;
+  TcpTransport* tcp_ = nullptr;  // borrowed view of transport_ when kTcp
   std::vector<std::unique_ptr<Node>> nodes_;
   bool shut_down_ = false;
 };

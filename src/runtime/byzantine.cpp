@@ -53,14 +53,14 @@ class ByzantineBase : public ByzantineServer {
       for (const auto& dag : my_blocks_) {
         if (dag->ref() == fwd->ref) {
           net_.send(self_, from, WireKind::kFwdReply,
-                    encode_block_envelope(*dag, WireTag::kFwdReply));
+                    encode_block_envelope(*dag, WireKind::kFwdReply));
           return true;
         }
       }
       const BlockPtr b = dag_.get(fwd->ref);
       if (b) {
         net_.send(self_, from, WireKind::kFwdReply,
-                  encode_block_envelope(*b, WireTag::kFwdReply));
+                  encode_block_envelope(*b, WireKind::kFwdReply));
       }
       return true;
     }
@@ -163,7 +163,7 @@ class Equivocator final : public ByzantineBase {
       if (to == self_) continue;
       const BlockPtr& version = (to % 2 == 0) ? a : b;
       net_.send(self_, to, WireKind::kBlock,
-                encode_block_envelope(*version, WireTag::kBlock));
+                encode_block_envelope(*version, WireKind::kBlock));
     }
   }
 
@@ -195,7 +195,7 @@ class DuplicateReferencer final : public ByzantineBase {
     const BlockPtr b = forge(k_++, std::move(preds), {});
     parent_.assign(1, b->ref());
     net_.broadcast(self_, WireKind::kBlock,
-                   encode_block_envelope(*b, WireTag::kBlock));
+                   encode_block_envelope(*b, WireKind::kBlock));
   }
 
  private:
@@ -231,7 +231,7 @@ class Flooder final : public ByzantineBase {
     preds.insert(preds.end(), fresh.begin(), fresh.end());
     const BlockPtr b = forge(k_++, std::move(preds), {});
     parent_.assign(1, b->ref());
-    const Bytes wire = encode_block_envelope(*b, WireTag::kBlock);
+    const Bytes wire = encode_block_envelope(*b, WireKind::kBlock);
     net_.broadcast(self_, WireKind::kBlock, wire);
     net_.broadcast(self_, WireKind::kBlock, wire);
   }
@@ -259,7 +259,7 @@ class BadSigner final : public ByzantineBase {
     for (auto& x : junk) x = static_cast<std::uint8_t>(rng_.next());
     Block block(self_, k_++, std::move(preds), {}, std::move(junk));
     net_.broadcast(self_, WireKind::kBlock,
-                   encode_block_envelope(block, WireTag::kBlock));
+                   encode_block_envelope(block, WireKind::kBlock));
   }
 
  private:

@@ -113,7 +113,7 @@ TEST(WireRobustness, TruncatedRealBlocksRejected) {
   IdealSignatureProvider sigs(2, 1);
   const Hash256 ref = Block::compute_ref(0, 0, {}, {{1, Bytes{1, 2, 3}}});
   Block block(0, 0, {}, {{1, Bytes{1, 2, 3}}}, sigs.sign(0, ref.span()));
-  const Bytes wire = encode_block_envelope(block, WireTag::kBlock);
+  const Bytes wire = encode_block_envelope(block, WireKind::kBlock);
   for (std::size_t len = 0; len < wire.size(); ++len) {
     const auto decoded = decode_wire(std::span(wire.data(), len));
     EXPECT_FALSE(decoded.has_value()) << "truncation at " << len << " parsed";

@@ -166,7 +166,7 @@ TEST(Gossip, BadSignatureBlocksRejected) {
   GossipRig rig(4);
   testing::BlockForge forge(4, /*different seed=*/77);
   const BlockPtr bogus = forge.block(1, 0, {});  // signed under alien keys
-  rig.servers[0]->on_network(1, encode_block_envelope(*bogus, WireTag::kBlock));
+  rig.servers[0]->on_network(1, encode_block_envelope(*bogus, WireKind::kBlock));
   rig.sched.run();
   EXPECT_EQ(rig.servers[0]->dag().size(), 0u);
   EXPECT_EQ(rig.servers[0]->stats().blocks_rejected, 1u);
@@ -194,11 +194,11 @@ TEST(Gossip, PendingBufferHoldsOrphansUntilParentsArrive) {
   const BlockPtr b1 = same_keys.block(1, 1, {b0->ref()});
   const BlockPtr b2 = same_keys.block(1, 2, {b1->ref()});
   // Deliver the grandchild first: it must wait in the pending buffer.
-  rig.servers[0]->on_network(1, encode_block_envelope(*b2, WireTag::kBlock));
+  rig.servers[0]->on_network(1, encode_block_envelope(*b2, WireKind::kBlock));
   EXPECT_EQ(rig.servers[0]->pending_blocks(), 1u);
   EXPECT_FALSE(rig.servers[0]->dag().contains(b2->ref()));
   // Now the middle block arrives; both insert in order.
-  rig.servers[0]->on_network(1, encode_block_envelope(*b1, WireTag::kBlock));
+  rig.servers[0]->on_network(1, encode_block_envelope(*b1, WireKind::kBlock));
   EXPECT_EQ(rig.servers[0]->pending_blocks(), 0u);
   EXPECT_TRUE(rig.servers[0]->dag().contains(b1->ref()));
   EXPECT_TRUE(rig.servers[0]->dag().contains(b2->ref()));

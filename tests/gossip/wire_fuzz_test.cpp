@@ -40,13 +40,13 @@ void expect_all_truncations_rejected(const Bytes& wire) {
 }
 
 TEST(WireFuzz, TruncatedBlockEnvelopeAtEveryBoundary) {
-  const Bytes wire = encode_block_envelope(sample_block(), WireTag::kBlock);
+  const Bytes wire = encode_block_envelope(sample_block(), WireKind::kBlock);
   ASSERT_TRUE(decode_wire(wire).has_value());  // the untampered bytes decode
   expect_all_truncations_rejected(wire);
 }
 
 TEST(WireFuzz, TruncatedFwdReplyAtEveryBoundary) {
-  const Bytes wire = encode_block_envelope(sample_block(), WireTag::kFwdReply);
+  const Bytes wire = encode_block_envelope(sample_block(), WireKind::kFwdReply);
   ASSERT_TRUE(decode_wire(wire).has_value());
   expect_all_truncations_rejected(wire);
 }
@@ -61,16 +61,16 @@ TEST(WireFuzz, EveryTagValueEitherDecodesOrRejects) {
   // Flip the leading tag byte through all 256 values over both valid body
   // shapes. Unknown tags must reject; known tags must not crash on a body
   // of the other shape.
-  const Bytes block_body = encode_block_envelope(sample_block(), WireTag::kBlock);
+  const Bytes block_body = encode_block_envelope(sample_block(), WireKind::kBlock);
   const Bytes fwd_body = encode_fwd_request(Hash256::of(Bytes{2}));
   for (int tag = 0; tag < 256; ++tag) {
     for (const Bytes* base : {&block_body, &fwd_body}) {
       Bytes wire = *base;
       wire[0] = static_cast<std::uint8_t>(tag);
       const auto decoded = decode_wire(wire);  // must not crash
-      const bool known = tag == static_cast<int>(WireTag::kBlock) ||
-                         tag == static_cast<int>(WireTag::kFwdRequest) ||
-                         tag == static_cast<int>(WireTag::kFwdReply);
+      const bool known = tag == static_cast<int>(WireKind::kBlock) ||
+                         tag == static_cast<int>(WireKind::kFwdRequest) ||
+                         tag == static_cast<int>(WireKind::kFwdReply);
       if (!known) {
         EXPECT_FALSE(decoded.has_value()) << "tag " << tag;
       }
@@ -82,7 +82,7 @@ TEST(WireFuzz, OversizedLengthFieldsRejectWithoutHugeAllocation) {
   // A block envelope's first field is the u32 length of the signed
   // preimage. Inflate it (and the inner counts) to lie about gigabytes of
   // upcoming data: decode must fail on the actual (short) buffer.
-  const Bytes wire = encode_block_envelope(sample_block(), WireTag::kBlock);
+  const Bytes wire = encode_block_envelope(sample_block(), WireKind::kBlock);
   for (const std::uint32_t lie :
        {0xffffffffu, 0x7fffffffu, 0x10000000u,
         static_cast<std::uint32_t>(wire.size()), 1000u}) {
@@ -103,7 +103,7 @@ TEST(WireFuzz, OversizedLengthFieldsRejectWithoutHugeAllocation) {
   preimage.u64(5);                // seq k
   preimage.u32(0xffffffffu);      // preds count lie
   Writer envelope;
-  envelope.u8(static_cast<std::uint8_t>(WireTag::kBlock));
+  envelope.u8(static_cast<std::uint8_t>(WireKind::kBlock));
   Writer body;
   body.bytes(preimage.data());
   body.bytes(Bytes(32, 0xaa));    // "signature"
@@ -116,7 +116,7 @@ TEST(WireFuzz, SingleByteFlipsNeverCrash) {
   // structural fields must reject; flips inside payload bytes may still
   // decode — to a *different* block, which signature verification at the
   // gossip layer then rejects — but nothing may crash or over-read.
-  for (const WireTag tag : {WireTag::kBlock, WireTag::kFwdReply}) {
+  for (const WireKind tag : {WireKind::kBlock, WireKind::kFwdReply}) {
     const Bytes wire = encode_block_envelope(sample_block(), tag);
     for (std::size_t at = 1; at < wire.size(); ++at) {
       for (const std::uint8_t pattern : {0xffu, 0x01u}) {

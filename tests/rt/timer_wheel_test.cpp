@@ -1,0 +1,157 @@
+// Direct unit tests for the real-time TimerWheel (rt/timer_wheel.h).
+//
+// Until now the wheel was exercised only through the threaded-runtime
+// end-to-end test; these pin its contract in isolation: at-most-once
+// firing, cancel() returning true exactly when the action will never run,
+// cancellation from foreign threads, re-arming from inside an expiry
+// callback (the FWD retry pattern in gossip), and the IdleTracker
+// accounting that quiesce detection depends on.
+#include "rt/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace blockdag::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spins (politely) until `pred` holds or ~5s elapse. Timing-sensitive
+// assertions stay loose so a loaded CI box cannot flake them.
+template <typename Pred>
+bool eventually(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(TimerWheel, FiresOnceAndCancelAfterFireReturnsFalse) {
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  wheel.start();
+  std::atomic<int> fired{0};
+  const auto id = wheel.schedule_after(sim_ms(1), [&] { ++fired; });
+  ASSERT_TRUE(eventually([&] { return fired.load() == 1; }));
+  // The work unit was released on firing.
+  ASSERT_TRUE(eventually([&] { return idle.count() == 0; }));
+  // A fired timer is spent: cancel must report "too late" and never make
+  // the count go negative (sub on a fired timer would corrupt quiesce).
+  EXPECT_FALSE(wheel.cancel(id));
+  EXPECT_EQ(idle.count(), 0u);
+  std::this_thread::sleep_for(5ms);
+  EXPECT_EQ(fired.load(), 1);  // at-most-once
+  wheel.stop();
+}
+
+TEST(TimerWheel, CancelPreventsFiringAndReleasesIdleUnit) {
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  wheel.start();
+  std::atomic<int> fired{0};
+  const auto id = wheel.schedule_after(sim_sec(3600), [&] { ++fired; });
+  EXPECT_EQ(idle.count(), 1u);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(idle.count(), 0u);
+  EXPECT_FALSE(wheel.cancel(id));  // double-cancel: already spent
+  wheel.stop();
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(TimerWheel, CancelFromAnotherThreadIsSafe) {
+  // The gossip FWD path cancels timers from the owning server's thread
+  // while the wheel's timing thread races toward the deadline; neither
+  // side may double-run or double-release. Drive many racy iterations:
+  // every timer must end up exactly (fired XOR cancelled).
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  wheel.start();
+  std::atomic<int> fired{0};
+  int cancelled = 0;
+  constexpr int kIterations = 200;
+  for (int i = 0; i < kIterations; ++i) {
+    // Deadline so short the cancel below truly races the expiry.
+    const auto id = wheel.schedule_after(sim_us(50), [&] { ++fired; });
+    std::thread canceller([&wheel, id, &cancelled] {
+      if (wheel.cancel(id)) ++cancelled;
+    });
+    canceller.join();
+  }
+  ASSERT_TRUE(eventually([&] { return idle.count() == 0; }));
+  EXPECT_EQ(fired.load() + cancelled, kIterations);
+  wheel.stop();
+}
+
+TEST(TimerWheel, ReArmDuringExpiryRunsTheNextShot) {
+  // The FWD retry loop re-arms from inside the expiry callback
+  // (fire_fwd schedules the next attempt); the wheel must accept
+  // schedule_after() while it is mid-expiry without deadlock or loss.
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  wheel.start();
+  std::atomic<int> shots{0};
+  std::function<void()> chain = [&] {
+    if (++shots < 3) wheel.schedule_after(sim_us(200), chain);
+  };
+  wheel.schedule_after(sim_us(200), chain);
+  ASSERT_TRUE(eventually([&] { return shots.load() == 3; }));
+  ASSERT_TRUE(eventually([&] { return idle.count() == 0; }));
+  wheel.stop();
+  EXPECT_EQ(shots.load(), 3);
+}
+
+TEST(TimerWheel, EarlierTimerArmedSecondStillFiresFirst) {
+  // The timing thread sleeps toward the earliest deadline; arming an
+  // earlier timer while it sleeps must preempt the nap, not wait it out.
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  wheel.start();
+  std::atomic<int> order{0};
+  std::atomic<int> first_seen{-1};
+  wheel.schedule_after(sim_ms(200), [&] {
+    int expected = -1;
+    first_seen.compare_exchange_strong(expected, 1);
+    ++order;
+  });
+  wheel.schedule_after(sim_ms(1), [&] {
+    int expected = -1;
+    first_seen.compare_exchange_strong(expected, 0);
+    ++order;
+  });
+  ASSERT_TRUE(eventually([&] { return order.load() == 2; }));
+  EXPECT_EQ(first_seen.load(), 0) << "the 1ms timer must beat the 200ms one";
+  wheel.stop();
+}
+
+TEST(TimerWheel, StopCancelsArmedTimersAndReleasesIdleUnits) {
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  wheel.start();
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 8; ++i) {
+    wheel.schedule_after(sim_sec(3600), [&] { ++fired; });
+  }
+  EXPECT_EQ(idle.count(), 8u);
+  wheel.stop();
+  EXPECT_EQ(idle.count(), 0u);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(TimerWheel, NowIsMonotonic) {
+  IdleTracker idle;
+  TimerWheel wheel(idle);
+  SimTime last = wheel.now();
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = wheel.now();
+    ASSERT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace blockdag::rt

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# CI entry point: the tier-1 verify command on a Release build, a bench
-# harness smoke (every bench runs seconds-scale and must emit parseable
-# BENCH_*.json), an Asan build running the tier1 ctest label, then a Tsan
-# build running the threaded-runtime convergence test under
+# CI entry point: the tier-1 verify command on a Release build, explicit
+# socket-runtime smokes (`simctl run --runtime tcp` in one process, the
+# serve/join two-OS-process cluster), a bench harness smoke (every bench
+# runs seconds-scale and must emit parseable BENCH_*.json), an Asan build
+# running the tier1 ctest label, then a Tsan build running the
+# threaded-runtime and TCP-runtime convergence tests under
 # ThreadSanitizer. Mirrors .github/workflows/ci.yml; see BUILDING.md for
 # the full command reference.
 set -eu
@@ -17,7 +19,11 @@ cmake --build build-ci -j "$jobs"
 # `cd` instead of `ctest --test-dir` keeps the script working on CMake < 3.20.
 (cd build-ci && ctest --output-on-failure -j "$jobs")
 
-echo "==> Bench harness smoke (all ten benches, JSON artifacts validated)"
+echo "==> Socket-runtime smoke (real localhost TCP, single process + multi-process)"
+./build-ci/simctl run --runtime tcp --n 4 --instances 4 --seconds 5 --interval 2
+sh tools/tcp_cluster_smoke.sh ./build-ci/simctl
+
+echo "==> Bench harness smoke (all twelve benches, JSON artifacts validated)"
 sh tools/bench_all.sh -B build-ci --smoke
 
 echo "==> Asan build + tier1 label"
@@ -27,11 +33,13 @@ cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Asan \
 cmake --build build-ci-asan -j "$jobs"
 (cd build-ci-asan && ctest --output-on-failure -j "$jobs" -L tier1)
 
-echo "==> Tsan build + threaded-runtime smoke (ThreadSanitizer)"
+echo "==> Tsan build + threaded/TCP runtime smoke (ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
       -DBLOCKDAG_BUILD_BENCHES=OFF -DBLOCKDAG_BUILD_EXAMPLES=OFF \
       -DBLOCKDAG_BUILD_TOOLS=OFF
-cmake --build build-ci-tsan -j "$jobs" --target rt_threaded_runtime_test
-(cd build-ci-tsan && ctest --output-on-failure -R '^rt/threaded_runtime_test$')
+cmake --build build-ci-tsan -j "$jobs" \
+      --target rt_threaded_runtime_test rt_tcp_runtime_test rt_timer_wheel_test
+(cd build-ci-tsan && ctest --output-on-failure \
+    -R '^rt/(threaded_runtime_test|tcp_runtime_test|timer_wheel_test)$')
 
 echo "==> CI OK"

@@ -5,7 +5,7 @@
 // counts, interpretation stats, DAG audit. Meant for quick exploration
 // without writing code.
 //
-//   simctl [run] [--runtime sim|threads] [--n N]
+//   simctl [run] [--runtime sim|threads|tcp] [--n N]
 //          [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
 //          [--instances K] [--interval MS] [--seed X] [--drop P]
 //          [--byzantine ID:KIND ...] [--wots] [--dot FILE]
@@ -16,8 +16,26 @@
 // --runtime threads (or --runtime=threads) runs the same protocol stack on
 // the multi-threaded in-process runtime (one OS thread per server, real
 // clock) instead of the deterministic simulator; --seconds then bounds the
-// wall-clock run. Fault injection (--drop, --byzantine, partitions) and
-// --wots are simulator-only for now.
+// wall-clock run. --runtime tcp is the same deployment with every payload
+// crossing real localhost TCP sockets (ephemeral ports, n·(n−1) directed
+// connections) instead of the loopback mailbox transport. Fault injection
+// (--drop, --byzantine, partitions) and --wots are simulator-only for now.
+//
+// Multi-process clusters (DESIGN.md §8): every member runs the same
+// protocol stack in its own OS process, hosting exactly one server,
+// connected over TCP at 127.0.0.1:(PORT + id):
+//
+//   simctl serve --n N --port PORT [--protocol P] [--instances K]
+//                [--seconds S] [--interval MS] [--seed X]
+//   simctl join --id I --n N --port PORT [same options]
+//
+// `serve` hosts server 0, `join --id I` hosts server I (one process per
+// server, started in any order — connects retry until peers appear). Each
+// process issues its share of the workload, then the members settle via a
+// digest-exchange control protocol on the wire itself: a member exits 0
+// once every server reports the identical DAG digest and identical
+// per-block interpretation digest (Lemma 3.7 / Lemma 4.2) and all
+// instances are delivered; nonzero on timeout or bind failure (exit 2).
 //
 // Scenario engine (DESIGN.md §6) subcommands:
 //
@@ -40,7 +58,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <tuple>
 
 #include <chrono>
 #include <thread>
@@ -56,7 +76,9 @@
 #include "runtime/cluster.h"
 #include "runtime/scenario.h"
 #include "runtime/table.h"
+#include "util/hex.h"
 #include "util/histogram.h"
+#include "util/serialize.h"
 
 using namespace blockdag;
 
@@ -96,7 +118,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const std::string v =
           arg == "--runtime" ? (next() ? std::string(argv[i]) : std::string())
                              : arg.substr(std::string("--runtime=").size());
-      if (v != "sim" && v != "threads") return false;
+      if (v != "sim" && v != "threads" && v != "tcp") return false;
       opt.runtime = v;
     } else if (arg == "--n") {
       const char* v = next();
@@ -161,13 +183,16 @@ Bytes make_request(const std::string& protocol, std::uint32_t i) {
 }
 
 // The same deployment on the multi-threaded runtime: one OS thread per
-// server over the loopback transport, real wall-clock pacing. Reports
-// aggregate throughput instead of the simulator's virtual-time report.
+// server, real wall-clock pacing, bytes moved by the loopback transport
+// (--runtime threads) or by real localhost TCP sockets (--runtime tcp).
+// Reports aggregate throughput instead of the simulator's virtual-time
+// report.
 int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   if (!opt.byzantine.empty() || opt.wots || opt.drop != 0.0) {
     std::fprintf(stderr,
-                 "--runtime threads does not support --byzantine/--wots/--drop "
-                 "(fault injection is simulator-only for now)\n");
+                 "--runtime %s does not support --byzantine/--wots/--drop "
+                 "(fault injection is simulator-only for now)\n",
+                 opt.runtime.c_str());
     return 2;
   }
 
@@ -175,9 +200,16 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   cfg.n_servers = opt.n;
   cfg.seed = opt.seed;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
+  if (opt.runtime == "tcp") {
+    cfg.backend = rt::TransportBackend::kTcp;  // ephemeral localhost ports
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   rt::ThreadedRuntime runtime(factory, cfg);
+  if (runtime.tcp() && !runtime.tcp()->ok()) {
+    std::fprintf(stderr, "failed to bind TCP acceptors\n");
+    return 2;
+  }
   runtime.start();
 
   std::uint32_t issued = 0;
@@ -216,9 +248,9 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
     if (runtime.indicated_count(1 + i) == opt.n) ++complete;
   }
 
-  std::printf("simctl report — runtime=threads protocol=%s n=%u instances=%u "
+  std::printf("simctl report — runtime=%s protocol=%s n=%u instances=%u "
               "seed=%llu\n\n",
-              opt.protocol.c_str(), opt.n, issued,
+              opt.runtime.c_str(), opt.protocol.c_str(), opt.n, issued,
               static_cast<unsigned long long>(opt.seed));
   const std::uint64_t blocks = runtime.total_blocks_inserted();
   std::printf("instances complete everywhere : %zu / %u\n", complete, issued);
@@ -237,6 +269,15 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   }
   std::printf("\n");
   traffic.print();
+  if (runtime.tcp()) {
+    const rt::TcpStats tcp = runtime.tcp()->stats();
+    std::printf("sockets: %llu connections, %llu frames sent, %llu received, "
+                "%llu resets\n",
+                static_cast<unsigned long long>(tcp.connects),
+                static_cast<unsigned long long>(tcp.frames_sent),
+                static_cast<unsigned long long>(tcp.frames_received),
+                static_cast<unsigned long long>(tcp.resets));
+  }
 
   // The Lemma 3.7 / 4.2 cross-check the threaded runtime must still pass.
   bool digests_equal = converged;
@@ -261,24 +302,30 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   return (complete == issued && digests_equal) ? 0 : 1;
 }
 
+const ProtocolFactory* factory_for(const std::string& protocol) {
+  static brb::BrbFactory brb_factory;
+  static bcb::BcbFactory bcb_factory;
+  static fifo::FifoBrbFactory fifo_factory;
+  static pbft::PbftFactory pbft_factory;
+  static beacon::BeaconFactory beacon_factory;
+  if (protocol == "brb") return &brb_factory;
+  if (protocol == "bcb") return &bcb_factory;
+  if (protocol == "fifo") return &fifo_factory;
+  if (protocol == "pbft") return &pbft_factory;
+  if (protocol == "beacon") return &beacon_factory;
+  return nullptr;
+}
+
 int run(const Options& opt) {
-  brb::BrbFactory brb_factory;
-  bcb::BcbFactory bcb_factory;
-  fifo::FifoBrbFactory fifo_factory;
-  pbft::PbftFactory pbft_factory;
-  beacon::BeaconFactory beacon_factory;
-  const ProtocolFactory* factory = nullptr;
-  if (opt.protocol == "brb") factory = &brb_factory;
-  if (opt.protocol == "bcb") factory = &bcb_factory;
-  if (opt.protocol == "fifo") factory = &fifo_factory;
-  if (opt.protocol == "pbft") factory = &pbft_factory;
-  if (opt.protocol == "beacon") factory = &beacon_factory;
+  const ProtocolFactory* factory = factory_for(opt.protocol);
   if (!factory) {
     std::fprintf(stderr, "unknown protocol '%s'\n", opt.protocol.c_str());
     return 2;
   }
 
-  if (opt.runtime == "threads") return run_threaded(opt, *factory);
+  if (opt.runtime == "threads" || opt.runtime == "tcp") {
+    return run_threaded(opt, *factory);
+  }
 
   ClusterConfig cfg;
   cfg.n_servers = opt.n;
@@ -374,6 +421,261 @@ int run(const Options& opt) {
     std::printf("\nDOT written to %s\n", opt.dot_file.c_str());
   }
   return complete == issued ? 0 : 1;
+}
+
+// ---- multi-process cluster (serve / join) ----
+
+// Shared argv parsers, defined with the scenario-engine subcommands below.
+bool parse_u64(const std::string& s, std::uint64_t& out);
+bool parse_u32(const char* s, std::uint32_t& out);
+bool parse_duration(const char* s, double& out);
+
+struct MemberOptions {
+  ServerId id = 0;  // serve: 0; join: --id
+  std::uint32_t n = 2;
+  std::string protocol = "brb";
+  std::uint32_t instances = 4;
+  std::uint64_t interval_ms = 5;
+  std::uint64_t seed = 1;
+  double seconds = 30.0;  // wall-clock budget for the whole run
+  std::uint16_t port = 0; // base port: server s listens on 127.0.0.1:(port+s)
+};
+
+bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
+  bool seen_port = false;
+  bool seen_id = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    std::uint32_t u = 0;
+    if (arg == "--id" && join) {
+      if (!v || !parse_u32(v, u) || u == 0) return false;
+      opt.id = u;
+      seen_id = true;
+    } else if (arg == "--n") {
+      if (!v || !parse_u32(v, u) || u < 2) return false;
+      opt.n = u;
+    } else if (arg == "--port") {
+      if (!v || !parse_u32(v, u) || u == 0 || u > 65535) return false;
+      opt.port = static_cast<std::uint16_t>(u);
+      seen_port = true;
+    } else if (arg == "--protocol") {
+      if (!v) return false;
+      opt.protocol = v;
+      if (!factory_for(opt.protocol)) return false;
+    } else if (arg == "--instances") {
+      if (!v || !parse_u32(v, u)) return false;
+      opt.instances = u;
+    } else if (arg == "--interval") {
+      if (!v || !parse_u32(v, u) || u == 0) return false;
+      opt.interval_ms = u;
+    } else if (arg == "--seed") {
+      std::uint64_t s = 0;
+      if (!v || !parse_u64(v, s)) return false;
+      opt.seed = s;
+    } else if (arg == "--seconds") {
+      double s = 0;
+      if (!v || !parse_duration(v, s)) return false;
+      opt.seconds = s;
+    } else {
+      return false;
+    }
+    ++i;
+  }
+  // The whole cluster's ports (base .. base + n − 1) must fit in 16 bits.
+  return seen_port && (!join || seen_id) && opt.id < opt.n &&
+         static_cast<std::uint32_t>(opt.port) + opt.n - 1 <= 65535;
+}
+
+// The digest beat every member broadcasts on the control plane
+// (WireKind::kControl — routed by the TCP transport, invisible to gossip).
+Bytes encode_digest_beat(const Bytes& dag, const Bytes& interp, bool done) {
+  Writer w;
+  w.u8(1);  // control-protocol version
+  w.bytes(dag);
+  w.bytes(interp);
+  w.u8(done ? 1 : 0);
+  return std::move(w).take();
+}
+
+// One member of a multi-OS-process cluster: hosts exactly one server on
+// the TCP transport, issues its share of the workload, then settles via
+// digest exchange. The acceptance criterion of DESIGN.md §8: exit 0 iff
+// every server in the cluster reports the identical DAG digest and the
+// identical per-block interpretation digest (Lemma 3.7 / Lemma 4.2) and
+// every instance was delivered locally.
+int run_member(const MemberOptions& opt, const char* role) {
+  const ProtocolFactory* factory = factory_for(opt.protocol);
+  if (!factory) return 2;
+
+  rt::ThreadedConfig cfg;
+  cfg.n_servers = opt.n;
+  cfg.seed = opt.seed;
+  cfg.pacing.interval = sim_ms(opt.interval_ms);
+  cfg.gossip.fwd_retry_delay = sim_ms(20);
+  cfg.backend = rt::TransportBackend::kTcp;
+  cfg.tcp.base_port = opt.port;
+  cfg.tcp.local_servers = {opt.id};
+
+  // Latest digest beat per peer. Written by the control handler on the
+  // hosted server's thread, read by this (harness) thread. Declared
+  // *before* the runtime: the handler may still run (a lingering peer
+  // re-sending its final beat) until the runtime's destructor joins the
+  // poll and node threads, so the captured state must outlive it.
+  struct PeerView {
+    Bytes dag, interp;
+    bool done = false;
+    bool seen = false;
+  };
+  std::mutex peers_mu;
+  std::vector<PeerView> peers(opt.n);
+
+  rt::ThreadedRuntime runtime(*factory, cfg);
+  if (!runtime.tcp()->ok()) {
+    std::fprintf(stderr,
+                 "simctl %s: failed to bind 127.0.0.1:%u (port in use or "
+                 "port range exceeds 65535?)\n",
+                 role, opt.port + opt.id);
+    return 2;
+  }
+  runtime.tcp()->set_control_handler(
+      opt.id, [&peers_mu, &peers](ServerId from, const Bytes& payload) {
+        Reader r(payload);
+        const auto version = r.u8();
+        if (!version || *version != 1) return;
+        const auto dag = r.bytes();
+        const auto interp = r.bytes();
+        const auto done = r.u8();
+        if (!dag || !interp || !done || !r.done()) return;
+        std::lock_guard<std::mutex> lock(peers_mu);
+        peers[from] = PeerView{*dag, *interp, *done != 0, true};
+      });
+
+  std::printf("simctl %s — server %u of %u, protocol=%s, 127.0.0.1:%u..%u\n",
+              role, opt.id, opt.n, opt.protocol.c_str(), opt.port,
+              opt.port + opt.n - 1);
+  runtime.start();
+
+  // This process's share of the workload: the member hosting the issuing
+  // server of instance i makes the request (the same routing rule as
+  // `simctl run`: round-robin, PBFT proposals through the view-0 leader,
+  // beacon contributions from the first f+1 servers).
+  for (std::uint32_t i = 0; i < opt.instances; ++i) {
+    if (opt.protocol == "beacon") {
+      const std::uint32_t needed = plausibility_quorum(opt.n);
+      if (opt.id < needed) {
+        runtime.request(opt.id, 1 + i,
+                        beacon::make_contribute(0x1234 + i * 31 + opt.id));
+      }
+    } else {
+      const ServerId issuer = opt.protocol == "pbft" ? 0 : i % opt.n;
+      if (issuer == opt.id) {
+        runtime.request(opt.id, 1 + i, make_request(opt.protocol, i));
+      }
+    }
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::uint64_t>(opt.seconds * 1e9));
+  const auto labels_complete = [&] {
+    for (std::uint32_t i = 0; i < opt.instances; ++i) {
+      if (runtime.indicated_count(1 + i) != 1) return false;
+    }
+    return true;
+  };
+
+  // Phase 1: paced dissemination until every instance indicated locally.
+  while (std::chrono::steady_clock::now() < deadline && !labels_complete()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Phase 2: stop building blocks; keep the receive path, FWD recovery and
+  // interpretation live, and exchange digest beats until the whole cluster
+  // agrees (every further block could only chase a moving target — with
+  // builders stopped, the joint DAG is a fixed set to drain toward).
+  runtime.stop();
+
+  int exit_code = 1;
+  Bytes last_dag, last_interp;
+  int stable = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto [dag, interp, pending] =
+        runtime.call(opt.id, [](Shim& shim) {
+          shim.interpreter().run();
+          return std::make_tuple(
+              rt::dag_digest(shim.dag()),
+              rt::interpretation_digest(shim.interpreter(), shim.dag()),
+              shim.gossip().pending_blocks());
+        });
+    stable = (dag == last_dag && interp == last_interp) ? stable + 1 : 0;
+    last_dag = dag;
+    last_interp = interp;
+    const bool self_done = labels_complete() && pending == 0 && stable >= 2;
+
+    const Bytes beat = encode_digest_beat(dag, interp, self_done);
+    for (ServerId s = 0; s < opt.n; ++s) {
+      if (s != opt.id) {
+        runtime.tcp()->send(opt.id, s, WireKind::kControl, Bytes(beat));
+      }
+    }
+
+    bool cluster_done = self_done;
+    {
+      std::lock_guard<std::mutex> lock(peers_mu);
+      for (ServerId s = 0; s < opt.n && cluster_done; ++s) {
+        if (s == opt.id) continue;
+        const PeerView& peer = peers[s];
+        if (!peer.seen || !peer.done || peer.dag != dag || peer.interp != interp) {
+          cluster_done = false;
+        }
+      }
+    }
+    if (cluster_done) {
+      // Linger a few beats so peers still sampling can observe agreement
+      // before this process (and its sockets) disappear.
+      for (int i = 0; i < 3; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        for (ServerId s = 0; s < opt.n; ++s) {
+          if (s != opt.id) {
+            runtime.tcp()->send(opt.id, s, WireKind::kControl, Bytes(beat));
+          }
+        }
+      }
+      exit_code = 0;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  const std::uint64_t blocks = runtime.call(opt.id, [](Shim& shim) {
+    return shim.gossip().stats().blocks_inserted;
+  });
+  const rt::TcpStats tcp = runtime.tcp()->stats();
+  std::printf("server %u: %llu blocks, dag=%s interp=%s\n", opt.id,
+              static_cast<unsigned long long>(blocks),
+              to_hex(last_dag).substr(0, 16).c_str(),
+              to_hex(last_interp).substr(0, 16).c_str());
+  std::printf("sockets: %llu connects, %llu frames sent, %llu received\n",
+              static_cast<unsigned long long>(tcp.connects),
+              static_cast<unsigned long long>(tcp.frames_sent),
+              static_cast<unsigned long long>(tcp.frames_received));
+  std::printf("%s\n", exit_code == 0
+                          ? "OK — cluster-wide identical DAG + interpretation digests"
+                          : "TIMEOUT — cluster did not reach digest agreement");
+  return exit_code;
+}
+
+int cmd_member(int argc, char** argv, bool join) {
+  MemberOptions opt;
+  if (!parse_member_args(argc, argv, opt, join)) {
+    std::fprintf(stderr,
+                 "usage: simctl serve --n N --port PORT [--protocol P] "
+                 "[--instances K]\n"
+                 "                    [--seconds S] [--interval MS] [--seed X]\n"
+                 "       simctl join --id I --n N --port PORT [same options]\n");
+    return 2;
+  }
+  return run_member(opt, join ? "join" : "serve");
 }
 
 // ---- scenario engine subcommands ----
@@ -591,16 +893,24 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "replay") == 0) {
     return cmd_replay(argc - 1, argv + 1);
   }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return cmd_member(argc - 1, argv + 1, /*join=*/false);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "join") == 0) {
+    return cmd_member(argc - 1, argv + 1, /*join=*/true);
+  }
   const bool explicit_run = argc > 1 && std::strcmp(argv[1], "run") == 0;
   Options opt;
   if (!parse_args(explicit_run ? argc - 1 : argc,
                   explicit_run ? argv + 1 : argv, opt)) {
     std::fprintf(stderr,
-                 "usage: simctl [run] [--runtime sim|threads] [--n N]\n"
+                 "usage: simctl [run] [--runtime sim|threads|tcp] [--n N]\n"
                  "              [--protocol brb|bcb|fifo|pbft|beacon]\n"
                  "              [--seconds S] [--instances K] [--interval MS]\n"
                  "              [--seed X] [--drop P] [--byzantine ID:KIND ...]\n"
                  "              [--wots] [--dot FILE]\n"
+                 "       simctl serve --n N --port PORT [options]\n"
+                 "       simctl join --id I --n N --port PORT [options]\n"
                  "       simctl fuzz --seeds A..B [options]\n"
                  "       simctl replay --seed S [options]\n");
     return 2;

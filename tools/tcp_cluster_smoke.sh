@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Two-OS-process cluster smoke (DESIGN.md §8): `simctl serve` + `simctl
+# join` in separate processes over localhost TCP must both exit 0, i.e.
+# reach identical DAG digests and identical per-block interpretation
+# digests (Lemma 3.7 / Lemma 4.2) plus full delivery, via their on-wire
+# digest-exchange settle protocol.
+#
+# Usage: tools/tcp_cluster_smoke.sh <path-to-simctl>
+#
+# Ports: base ports are derived from this shell's PID and retried a few
+# times on bind collision (simctl exits 2 when an acceptor cannot bind),
+# so parallel ctest invocations do not trample each other.
+set -u
+
+simctl="${1:?usage: tcp_cluster_smoke.sh <path-to-simctl>}"
+
+attempt=0
+while [ "$attempt" -lt 5 ]; do
+  # Spread attempts across the registered-port range.
+  port=$(( 20011 + ($$ + attempt * 613) % 40000 ))
+  echo "==> attempt $((attempt + 1)): two-process BRB cluster on 127.0.0.1:$port"
+
+  "$simctl" join --id 1 --n 2 --port "$port" --instances 6 --seconds 30 &
+  join_pid=$!
+  "$simctl" serve --n 2 --port "$port" --instances 6 --seconds 30
+  serve_rc=$?
+  wait "$join_pid"
+  join_rc=$?
+
+  if [ "$serve_rc" -eq 0 ] && [ "$join_rc" -eq 0 ]; then
+    echo "==> OK: both processes report cluster-wide digest agreement"
+    exit 0
+  fi
+  # Exit code 2 = bind failure (port collision): retry on different ports.
+  if [ "$serve_rc" -ne 2 ] && [ "$join_rc" -ne 2 ]; then
+    echo "==> FAIL: serve exit $serve_rc, join exit $join_rc" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+done
+
+echo "==> FAIL: could not find a free port pair after $attempt attempts" >&2
+exit 1
