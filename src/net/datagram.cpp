@@ -1,0 +1,281 @@
+#include "net/datagram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blockdag {
+
+namespace {
+
+void push_le16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void push_le32(Bytes& out, std::uint32_t v) {
+  push_le16(out, static_cast<std::uint16_t>(v));
+  push_le16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void push_le64(Bytes& out, std::uint64_t v) {
+  push_le32(out, static_cast<std::uint32_t>(v));
+  push_le32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t read_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(read_le16(p)) |
+         static_cast<std::uint32_t>(read_le16(p + 2)) << 16;
+}
+
+std::uint64_t read_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_le32(p)) |
+         static_cast<std::uint64_t>(read_le32(p + 4)) << 32;
+}
+
+}  // namespace
+
+Bytes encode_datagram(const DatagramHeader& header,
+                      std::span<const std::uint8_t> payload) {
+  assert(header.kind < DatagramKind::kCount);
+  assert(header.kind == DatagramKind::kData ? !payload.empty() : payload.empty());
+  assert(payload.size() <= UINT16_MAX);
+  Bytes out;
+  out.reserve(kDatagramHeaderSize + payload.size());
+  out.push_back(header.version);
+  out.push_back(static_cast<std::uint8_t>(header.kind));
+  push_le32(out, header.from);
+  push_le32(out, header.epoch);
+  push_le64(out, header.seq);
+  push_le64(out, header.ack);
+  push_le16(out, static_cast<std::uint16_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<DatagramView> decode_datagram(std::span<const std::uint8_t> wire) {
+  // Every check precedes every state-or-allocation commitment: a malformed
+  // datagram costs exactly one pass over fixed-offset header fields.
+  if (wire.size() < kDatagramHeaderSize) return std::nullopt;
+  const std::uint8_t* p = wire.data();
+  if (p[0] != kDatagramVersion) return std::nullopt;
+  if (p[1] >= static_cast<std::uint8_t>(DatagramKind::kCount)) return std::nullopt;
+  const auto kind = static_cast<DatagramKind>(p[1]);
+  const std::uint16_t len = read_le16(p + 26);
+  // The length field must account for the datagram exactly: UDP preserves
+  // boundaries, so any mismatch is a forgery or corruption, not a split.
+  if (static_cast<std::size_t>(len) != wire.size() - kDatagramHeaderSize) {
+    return std::nullopt;
+  }
+  if (kind == DatagramKind::kData && len == 0) return std::nullopt;
+  if (kind == DatagramKind::kAck && len != 0) return std::nullopt;
+
+  DatagramView view;
+  view.header.version = p[0];
+  view.header.kind = kind;
+  view.header.from = read_le32(p + 2);
+  view.header.epoch = read_le32(p + 6);
+  view.header.seq = read_le64(p + 10);
+  view.header.ack = read_le64(p + 18);
+  view.payload = wire.subspan(kDatagramHeaderSize, len);
+  return view;
+}
+
+// ---- SenderChannel ----
+
+SenderChannel::SenderChannel(ServerId self, DatagramChannelConfig config)
+    : self_(self), config_(std::move(config)) {
+  assert(config_.mtu > kDatagramHeaderSize);
+  assert(config_.window_chunks > 0);
+}
+
+bool SenderChannel::offer(std::span<const std::uint8_t> frame) {
+  const std::size_t max_chunk = config_.mtu - kDatagramHeaderSize;
+  const std::size_t n_chunks = (frame.size() + max_chunk - 1) / max_chunk;
+  // All-or-nothing: a partially queued frame would poison the byte stream
+  // (the receiver's FrameDecoder would see a truncated frame followed by
+  // the next frame's header).
+  if (queue_.size() + n_chunks > config_.max_queued_chunks) {
+    ++stats_.frames_dropped;
+    return false;
+  }
+  for (std::size_t off = 0; off < frame.size(); off += max_chunk) {
+    const std::size_t take = std::min(max_chunk, frame.size() - off);
+    Chunk chunk;
+    chunk.seq = snd_nxt_++;
+    chunk.frame_end = off + take == frame.size();
+    DatagramHeader header;
+    header.kind = DatagramKind::kData;
+    header.from = self_;
+    header.epoch = epoch_;
+    header.seq = chunk.seq;
+    chunk.datagram = encode_datagram(header, frame.subspan(off, take));
+    queue_.push_back(std::move(chunk));
+  }
+  return true;
+}
+
+void SenderChannel::on_ack(std::uint32_t epoch, std::uint64_t ack) {
+  if (epoch != epoch_) return;  // acks a stream that no longer exists
+  while (!queue_.empty() && queue_.front().sent && queue_.front().seq < ack) {
+    if (queue_.front().frame_end) ++retired_frames_;
+    if (inflight_ > 0) --inflight_;
+    ++stats_.acked_chunks;
+    queue_.pop_front();
+  }
+}
+
+void SenderChannel::reset_channel() {
+  // The peer is unreachable beyond the retransmit budget. Abandon the
+  // whole stream — resuming mid-frame on a new epoch is impossible (the
+  // receiver discards its partial reassembly state on the epoch bump), and
+  // retrying forever would leak memory against a dead peer. Everything
+  // queued is transient loss; the gossip FWD path recovers the content.
+  for (const Chunk& chunk : queue_) {
+    if (chunk.frame_end) {
+      ++stats_.frames_dropped;
+      ++retired_frames_;
+    }
+  }
+  queue_.clear();
+  inflight_ = 0;
+  snd_nxt_ = 0;
+  ++epoch_;
+  ++stats_.resets;
+}
+
+std::size_t SenderChannel::poll(std::uint64_t now_ns, std::vector<Bytes>& out) {
+  std::size_t emitted = 0;
+  for (Chunk& chunk : queue_) {
+    if (!chunk.sent) {
+      if (inflight_ >= config_.window_chunks) break;
+      chunk.sent = true;
+      chunk.deadline_ns = now_ns + config_.initial_rto_ns;
+      ++inflight_;
+      ++stats_.chunks_sent;
+      out.push_back(chunk.datagram);
+      ++emitted;
+      continue;
+    }
+    if (chunk.deadline_ns > now_ns) continue;
+    if (chunk.retransmits >= config_.max_retransmits) {
+      reset_channel();
+      return emitted;  // iterator invalidated; fresh chunks go next poll
+    }
+    ++chunk.retransmits;
+    ++stats_.retransmits;
+    // Exponential backoff, capped: 20ms, 40ms, 80ms, ... max_rto.
+    const std::uint64_t shift =
+        chunk.retransmits < 63 ? chunk.retransmits : 63;
+    std::uint64_t rto = config_.initial_rto_ns;
+    if (shift < 63 && (rto << shift) >> shift == rto) rto <<= shift;
+    chunk.deadline_ns = now_ns + std::min(rto, config_.max_rto_ns);
+    out.push_back(chunk.datagram);
+    ++emitted;
+  }
+  return emitted;
+}
+
+std::uint64_t SenderChannel::next_deadline_ns() const {
+  std::uint64_t earliest = UINT64_MAX;
+  for (const Chunk& chunk : queue_) {
+    if (!chunk.sent) return 0;  // wants the wire immediately
+    earliest = std::min(earliest, chunk.deadline_ns);
+  }
+  return earliest;
+}
+
+std::size_t SenderChannel::pending_frames() const {
+  std::size_t n = 0;
+  for (const Chunk& chunk : queue_) {
+    if (chunk.frame_end) ++n;
+  }
+  return n;
+}
+
+std::uint64_t SenderChannel::take_retired_frames() {
+  const std::uint64_t n = retired_frames_;
+  retired_frames_ = 0;
+  return n;
+}
+
+// ---- ReceiverChannel ----
+
+ReceiverChannel::ReceiverChannel(DatagramChannelConfig config)
+    : config_(std::move(config)), decoder_(config_.max_frame_payload) {}
+
+void ReceiverChannel::on_data(const DatagramView& datagram,
+                              std::vector<Frame>& out) {
+  const DatagramHeader& h = datagram.header;
+  assert(h.kind == DatagramKind::kData);
+  if (h.epoch < epoch_) {
+    // A stale incarnation the sender already abandoned. Never acked: an
+    // ack would race the live epoch's sequence numbers.
+    ++stats_.duplicates;
+    return;
+  }
+  if (h.epoch > epoch_) {
+    // The sender reset (retransmit cap against us — we were partitioned
+    // away or slow). The old stream is gone mid-frame; start clean.
+    epoch_ = h.epoch;
+    rcv_nxt_ = 0;
+    reorder_.clear();
+    decoder_ = FrameDecoder(config_.max_frame_payload);
+    corrupt_ = false;
+    ++stats_.resets;
+  }
+  if (corrupt_) return;  // epoch poisoned; only a sender reset revives it
+  if (h.seq < rcv_nxt_) {
+    // Duplicate of a delivered chunk — the retransmitting peer has not
+    // seen our ack; re-arm it so the retransmissions stop.
+    ++stats_.duplicates;
+    ack_pending_ = true;
+    return;
+  }
+  if (h.seq >= rcv_nxt_ + config_.reorder_window) {
+    // A forged (or absurdly early) seq must never commit unbounded buffer
+    // space. Not acked, not buffered; an honest sender's window is smaller
+    // than the reorder window, so this is adversarial or badly delayed.
+    ++stats_.far_future_dropped;
+    return;
+  }
+  if (!reorder_.emplace(h.seq, Bytes(datagram.payload.begin(),
+                                     datagram.payload.end())).second) {
+    ++stats_.duplicates;
+    ack_pending_ = true;
+    return;
+  }
+  // Drain the in-order prefix into the frame decoder.
+  for (auto it = reorder_.find(rcv_nxt_); it != reorder_.end();
+       it = reorder_.find(rcv_nxt_)) {
+    decoder_.feed(it->second);
+    reorder_.erase(it);
+    ++rcv_nxt_;
+    ++stats_.chunks_delivered;
+    ack_pending_ = true;
+  }
+  while (auto frame = decoder_.next()) out.push_back(std::move(*frame));
+  if (decoder_.corrupt()) {
+    // Correctly sequenced chunks carrying a malformed frame stream: the
+    // sender is byzantine (or broken). Poison this epoch; stop buffering.
+    corrupt_ = true;
+    reorder_.clear();
+    ++stats_.corrupt_streams;
+  }
+}
+
+std::optional<Bytes> ReceiverChannel::take_ack(ServerId self) {
+  if (!ack_pending_) return std::nullopt;
+  ack_pending_ = false;
+  DatagramHeader header;
+  header.kind = DatagramKind::kAck;
+  header.from = self;
+  header.epoch = epoch_;
+  header.ack = rcv_nxt_;
+  return encode_datagram(header, {});
+}
+
+}  // namespace blockdag

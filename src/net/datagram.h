@@ -1,0 +1,234 @@
+// Reliable sequenced datagram channels: the wire discipline of the UDP
+// transport (DESIGN.md §9).
+//
+// UDP is the opposite failure model of TCP: datagram boundaries are
+// preserved, but the kernel promises nothing else — datagrams are dropped,
+// reordered and duplicated by the network (and, in this repository, by the
+// in-path FaultInjector of rt/udp_transport.h, deliberately). This layer
+// restores the Transport contract on top of that: each directed
+// (sender, receiver) pair is a *channel* carrying the same length-prefixed
+// frame stream TCP carries (net/frame.h), chopped into MTU-sized chunks.
+// Every chunk travels in one datagram under this header:
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//   0       1     version  kDatagramVersion; anything else is dropped
+//   1       1     kind     DatagramKind — kData (a stream chunk) or kAck
+//   2       4     from     u32 LE ServerId — transport metadata, exactly as
+//                          unauthenticated as a frame header's `from`
+//   6       4     epoch    u32 LE channel incarnation (see resets below)
+//   10      8     seq      u64 LE chunk sequence number (kData; 0 for kAck)
+//   18      8     ack      u64 LE cumulative ack: every chunk with
+//                          seq < ack arrived (kAck; 0 for kData)
+//   26      2     len      u16 LE payload byte count — must equal exactly
+//                          the bytes that follow, or the datagram is
+//                          malformed and dropped whole
+//   28      len   payload  one chunk of the framed byte stream
+//
+// Reliability machinery, all deterministic and sans-io (time is an explicit
+// nanosecond parameter, datagrams go in and out as byte vectors, so the
+// state machines unit-test against a fake clock — tests/net/
+// datagram_channel_test.cpp):
+//   * SenderChannel assigns consecutive seqs, keeps sent-unacked chunks,
+//     retransmits on an exponentially backed-off RTO, and caps retransmits
+//     per chunk: a chunk that exhausts its cap means the peer is dead or
+//     partitioned beyond patience, so the channel RESETS — the queue is
+//     discarded (transient loss, recovered by gossip FWD like a TCP
+//     reconnect) and `epoch` increments, never retrying forever.
+//   * ReceiverChannel keeps a bounded reorder/dedup window above the next
+//     expected seq: in-window chunks are buffered, duplicates and
+//     stale-epoch datagrams are counted and dropped, far-future seqs are
+//     dropped (bounding memory against a forged seq), and in-order chunks
+//     feed a FrameDecoder — the same armor TCP streams pass through — so a
+//     complete frame means exactly what it means on every other backend.
+//     A datagram with epoch above the current one resets the receive
+//     state (fresh decoder, seq 0): the sender gave up on the old stream.
+//   * Acks are explicit kAck datagrams and coalesce: any number of
+//     deliveries between two take_ack() calls produce one ack. Duplicates
+//     re-arm the ack (the peer is retransmitting; tell it to stop), but
+//     stale epochs and far-future seqs are never acked.
+//
+// Decode is allocation-free (the view aliases the input) and every
+// validation happens before any state is touched, so malformed datagrams —
+// truncations, bad version/kind bytes, length lies, garbage — are dropped
+// whole with no side effect (tests/net/datagram_fuzz_test.cpp sweeps them).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace blockdag {
+
+inline constexpr std::uint8_t kDatagramVersion = 1;
+inline constexpr std::size_t kDatagramHeaderSize = 28;
+// Conservative localhost/LAN-safe datagram ceiling (header + chunk): below
+// the classic 1280-byte IPv6 minimum MTU, so chunks never fragment at the
+// IP layer — IP fragmentation would multiply the loss rate per chunk.
+inline constexpr std::size_t kDefaultDatagramMtu = 1200;
+
+enum class DatagramKind : std::uint8_t {
+  kData = 0,  // one chunk of the framed byte stream
+  kAck = 1,   // cumulative ack, no payload
+  kCount,
+};
+
+struct DatagramHeader {
+  std::uint8_t version = kDatagramVersion;
+  DatagramKind kind = DatagramKind::kData;
+  ServerId from = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+};
+
+// A decoded datagram: header plus a payload view aliasing the input.
+struct DatagramView {
+  DatagramHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+// Encodes header + payload. kData requires a non-empty payload, kAck an
+// empty one; payload must fit the u16 length field.
+Bytes encode_datagram(const DatagramHeader& header,
+                      std::span<const std::uint8_t> payload);
+
+// Strict validation, no allocation, no partial results: nullopt on any
+// truncation, unknown version or kind byte, a length field that does not
+// match the actual byte count, a kData without payload or a kAck with one.
+std::optional<DatagramView> decode_datagram(std::span<const std::uint8_t> wire);
+
+// Tuning shared by both channel directions. Times are nanoseconds on
+// whatever clock the caller passes in (wall clock in rt/udp_transport,
+// a fake clock in unit tests).
+struct DatagramChannelConfig {
+  std::size_t mtu = kDefaultDatagramMtu;      // max datagram incl. header
+  std::uint64_t initial_rto_ns = 20'000'000;  // first retransmit after 20ms
+  std::uint64_t max_rto_ns = 320'000'000;     // backoff ceiling
+  std::uint32_t max_retransmits = 10;  // per chunk; beyond => channel reset
+  std::size_t window_chunks = 128;     // sent-unacked ceiling
+  // Total buffered chunks; offers beyond this drop the whole frame. The
+  // cap doubles as backpressure on a slow or lossy link: a paced sender
+  // can otherwise queue frames faster than a hostile wire drains them,
+  // growing an unbounded backlog that outlives the run. Overflow is the
+  // transient-loss class the gossip FWD path recovers — the same contract
+  // as a channel reset.
+  std::size_t max_queued_chunks = 1024;
+  std::size_t reorder_window = 256;    // receiver dedup/reorder span (chunks)
+  std::size_t max_frame_payload = kMaxFramePayload;
+};
+
+struct SenderChannelStats {
+  std::uint64_t chunks_sent = 0;        // first transmissions
+  std::uint64_t retransmits = 0;        // re-sends after an expired RTO
+  std::uint64_t acked_chunks = 0;
+  std::uint64_t resets = 0;             // retransmit cap exhausted
+  std::uint64_t frames_dropped = 0;     // queue overflow or reset casualties
+};
+
+// The sending half of one directed channel. Pure state machine: offer()
+// queues frames, poll() returns the encoded datagrams that should be on
+// the wire right now, on_ack() retires delivered chunks.
+class SenderChannel {
+ public:
+  SenderChannel(ServerId self, DatagramChannelConfig config);
+
+  // Chops one encoded frame (net/frame.h bytes) into chunks and queues
+  // them. False = buffer full, the whole frame is dropped (transient loss,
+  // counted in stats().frames_dropped).
+  bool offer(std::span<const std::uint8_t> frame);
+
+  // Cumulative ack from the peer. Acks for another epoch are ignored.
+  void on_ack(std::uint32_t epoch, std::uint64_t ack);
+
+  // Appends every datagram that should transmit at `now_ns`: unsent chunks
+  // within the in-flight window, then chunks whose RTO expired (backoff
+  // doubles per retransmit). A chunk exceeding max_retransmits triggers a
+  // channel reset: queue discarded, epoch incremented, nothing emitted for
+  // the dead stream. Returns the number of datagrams appended.
+  std::size_t poll(std::uint64_t now_ns, std::vector<Bytes>& out);
+
+  // Earliest time poll() has more work (UINT64_MAX when fully acked).
+  std::uint64_t next_deadline_ns() const;
+
+  // Chunks queued or in flight (0 ⇔ everything offered was acked/dropped).
+  std::size_t outstanding_chunks() const { return queue_.size(); }
+  // Frames still queued (their frame-end chunk unacked) — on teardown the
+  // transport releases these to the IdleTracker alongside the retired ones.
+  std::size_t pending_frames() const;
+  // Frame-end chunks retired (acked or dropped) since the last call —
+  // rt/udp_transport feeds these to the IdleTracker.
+  std::uint64_t take_retired_frames();
+
+  std::uint32_t epoch() const { return epoch_; }
+  const SenderChannelStats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::uint64_t seq = 0;
+    Bytes datagram;             // fully encoded, retransmitted byte-identical
+    bool frame_end = false;     // last chunk of its frame
+    bool sent = false;
+    std::uint32_t retransmits = 0;
+    std::uint64_t deadline_ns = 0;  // next (re)transmit due time once sent
+  };
+
+  void reset_channel();
+
+  ServerId self_;
+  DatagramChannelConfig config_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t snd_nxt_ = 0;          // next fresh seq
+  std::deque<Chunk> queue_;            // unacked prefix + unsent tail
+  std::size_t inflight_ = 0;           // sent-unacked chunks
+  std::uint64_t retired_frames_ = 0;
+  SenderChannelStats stats_;
+};
+
+struct ReceiverChannelStats {
+  std::uint64_t chunks_delivered = 0;   // fed to the FrameDecoder in order
+  std::uint64_t duplicates = 0;         // dedup-window hits + stale epochs
+  std::uint64_t far_future_dropped = 0; // seq beyond the reorder window
+  std::uint64_t resets = 0;             // epoch bumps adopted
+  std::uint64_t corrupt_streams = 0;    // FrameDecoder poisoned the epoch
+};
+
+// The receiving half: reorders, dedups, reassembles frames.
+class ReceiverChannel {
+ public:
+  explicit ReceiverChannel(DatagramChannelConfig config);
+
+  // Handles one validated kData datagram; appends any completed frames to
+  // `out`. Malformed *frames* inside a correctly sequenced stream poison
+  // the current epoch (corrupt_streams) — recovery requires the sender to
+  // reset, exactly like a TCP connection teardown on a corrupt stream.
+  void on_data(const DatagramView& datagram, std::vector<Frame>& out);
+
+  // The coalesced ack: one kAck datagram covering everything delivered
+  // since the last call, or nullopt when nothing new arrived. `self` is
+  // the acking server's id (the datagram's `from`).
+  std::optional<Bytes> take_ack(ServerId self);
+
+  std::uint64_t expected_seq() const { return rcv_nxt_; }
+  std::uint32_t epoch() const { return epoch_; }
+  std::size_t buffered_chunks() const { return reorder_.size(); }
+  const ReceiverChannelStats& stats() const { return stats_; }
+
+ private:
+  DatagramChannelConfig config_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, Bytes> reorder_;  // out-of-order chunks by seq
+  FrameDecoder decoder_;
+  bool corrupt_ = false;   // current epoch poisoned; await a sender reset
+  bool ack_pending_ = false;
+  ReceiverChannelStats stats_;
+};
+
+}  // namespace blockdag

@@ -9,8 +9,9 @@ namespace blockdag::rt {
 ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
                                  ThreadedConfig config)
     : config_(std::move(config)) {
-  local_ = config_.backend == TransportBackend::kTcp
-               ? config_.tcp.local_servers
+  local_ = config_.backend == TransportBackend::kTcp ? config_.tcp.local_servers
+           : config_.backend == TransportBackend::kUdp
+               ? config_.udp.local_servers
                : std::vector<ServerId>{};
   if (local_.empty()) {
     for (ServerId s = 0; s < config_.n_servers; ++s) local_.push_back(s);
@@ -34,6 +35,14 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
     auto transport =
         std::make_unique<TcpTransport>(std::move(tcp), std::move(mailboxes), &idle_);
     tcp_ = transport.get();
+    transport_ = std::move(transport);
+  } else if (config_.backend == TransportBackend::kUdp) {
+    UdpConfig udp = config_.udp;
+    udp.n_servers = config_.n_servers;
+    udp.local_servers = local_;
+    auto transport =
+        std::make_unique<UdpTransport>(std::move(udp), std::move(mailboxes), &idle_);
+    udp_ = transport.get();
     transport_ = std::move(transport);
   } else {
     assert(local_.size() == config_.n_servers &&
@@ -60,6 +69,24 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
   }
   // Sockets only move bytes once every handler is attached.
   if (tcp_) tcp_->start();
+  if (udp_) udp_->start();
+}
+
+bool ThreadedRuntime::transport_ok() const {
+  if (tcp_) return tcp_->ok();
+  if (udp_) return udp_->ok();
+  return true;
+}
+
+void ThreadedRuntime::set_control_handler(ServerId server,
+                                          Transport::Handler handler) {
+  if (tcp_) {
+    tcp_->set_control_handler(server, std::move(handler));
+  } else if (udp_) {
+    udp_->set_control_handler(server, std::move(handler));
+  } else {
+    assert(false && "the loopback backend has no control plane");
+  }
 }
 
 ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
@@ -95,6 +122,7 @@ void ThreadedRuntime::shutdown() {
   // then let every node drain and exit its loop.
   wheel_.stop();
   if (tcp_) tcp_->stop();
+  if (udp_) udp_->stop();
   for (const ServerId s : local_) nodes_[s]->mailbox->close();
   for (const ServerId s : local_) {
     if (nodes_[s]->thread.joinable()) nodes_[s]->thread.join();
@@ -123,11 +151,18 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
   // 7–11), so keep ticking until interpretation stops moving too.
   std::uint64_t last_progress = UINT64_MAX;
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    // On the TCP backend wait_idle() covers everything up to the kernel's
-    // socket buffers; give in-flight frames a beat to surface into
+    // On the socket backends wait_idle() covers everything up to the
+    // kernel's buffers; give in-flight frames a beat to surface into
     // mailboxes. Sampling early is safe (a latent frame implies some DAG
-    // is ahead of another, so the digests cannot agree), just slower.
-    if (tcp_) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // is ahead of another, so the digests cannot agree), just slower. UDP
+    // gets a longer beat: a frame is "idle" once acked at the sender, but
+    // its delivery may still be crossing the receiving mailbox, and
+    // injected delays hold datagrams back by design.
+    if (udp_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    } else if (tcp_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     bool converged = true;
     bool first = true;
     Bytes reference;

@@ -43,6 +43,7 @@
 #include "rt/mailbox.h"
 #include "rt/tcp_transport.h"
 #include "rt/timer_wheel.h"
+#include "rt/udp_transport.h"
 #include "shim/shim.h"
 
 namespace blockdag::rt {
@@ -50,6 +51,8 @@ namespace blockdag::rt {
 enum class TransportBackend {
   kLoopback,  // one mailbox push per delivery (rt/loopback_transport.h)
   kTcp,       // real TCP sockets framed by net/frame.h (rt/tcp_transport.h)
+  kUdp,       // UDP + userspace reliability + fault injection
+              // (rt/udp_transport.h); the adversarial real-socket backend
 };
 
 struct ThreadedConfig {
@@ -66,6 +69,9 @@ struct ThreadedConfig {
   // single-process `--runtime tcp` deployment). Loopback hosts all servers
   // by definition.
   TcpConfig tcp{};
+  // UDP backend settings, same conventions as `tcp` (n_servers filled in,
+  // udp.local_servers selects the hosted subset).
+  UdpConfig udp{};
 };
 
 class ThreadedRuntime {
@@ -83,6 +89,15 @@ class ThreadedRuntime {
   // Non-null iff backend == kTcp: bind status, ports, control plane,
   // connection-drop test hook.
   TcpTransport* tcp() { return tcp_; }
+  // Non-null iff backend == kUdp: bind status, ports, control plane, fault
+  // injection (loss/reorder/duplication/partition) and reliability stats.
+  UdpTransport* udp() { return udp_; }
+  // True when the backend's sockets bound successfully (vacuously true for
+  // loopback) — the backend-agnostic form of tcp()->ok() / udp()->ok().
+  bool transport_ok() const;
+  // Control-plane registration on whichever socket backend is active
+  // (asserts on loopback, which has no cross-process control plane).
+  void set_control_handler(ServerId server, Transport::Handler handler);
 
   // Starts / stops every hosted server's dissemination loop (posted to the
   // servers' threads; start() returns without waiting for the first beat).
@@ -173,6 +188,7 @@ class ThreadedRuntime {
   TimerWheel wheel_{idle_};
   std::unique_ptr<Transport> transport_;
   TcpTransport* tcp_ = nullptr;  // borrowed view of transport_ when kTcp
+  UdpTransport* udp_ = nullptr;  // borrowed view of transport_ when kUdp
   std::vector<std::unique_ptr<Node>> nodes_;
   bool shut_down_ = false;
 };

@@ -1,0 +1,330 @@
+// SenderChannel/ReceiverChannel state machines against a deterministic
+// fake clock — no sockets, no threads, no time.
+//
+// The channels are sans-io exactly so this test can exist: `now` is a
+// plain integer, datagrams go in and out as byte vectors, and every
+// retransmission deadline, backoff doubling, window stall and reset is
+// observable as a pure function of the call sequence. rt/udp_transport.h
+// adds only sockets and fault injection around these machines, so what is
+// proven here — the backoff schedule, the retransmit cap triggering an
+// epoch reset, ack coalescing, dedup-window eviction, flow control — is
+// proven for the live transport too.
+#include "net/datagram.h"
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+
+namespace blockdag {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+Bytes payload_of(std::size_t n, std::uint8_t seed) {
+  Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return p;
+}
+
+Bytes frame_of(std::size_t payload_size, std::uint8_t seed,
+               ServerId from = 1) {
+  return encode_frame(FrameHeader{kFrameVersion, WireKind::kBlock, from},
+                      payload_of(payload_size, seed));
+}
+
+DatagramChannelConfig test_config() {
+  DatagramChannelConfig config;
+  config.mtu = kDatagramHeaderSize + 100;  // 100-byte chunks
+  config.initial_rto_ns = 20 * kMs;
+  config.max_rto_ns = 320 * kMs;
+  config.max_retransmits = 4;
+  config.window_chunks = 4;
+  config.max_queued_chunks = 32;
+  config.reorder_window = 8;
+  return config;
+}
+
+std::vector<Bytes> poll_at(SenderChannel& sender, std::uint64_t now_ns) {
+  std::vector<Bytes> out;
+  sender.poll(now_ns, out);
+  return out;
+}
+
+DatagramView view_of(const Bytes& wire) {
+  const auto view = decode_datagram(wire);
+  EXPECT_TRUE(view.has_value());
+  return *view;
+}
+
+// Pipes a batch of datagrams into the receiver; returns completed frames.
+std::vector<Frame> feed(ReceiverChannel& receiver,
+                        const std::vector<Bytes>& datagrams) {
+  std::vector<Frame> frames;
+  for (const Bytes& d : datagrams) receiver.on_data(view_of(d), frames);
+  return frames;
+}
+
+TEST(DatagramChannel, FrameChunkingRoundTripsAcrossTheWire) {
+  SenderChannel sender(1, test_config());
+  ReceiverChannel receiver(test_config());
+  // 250 bytes of payload → 260-byte frame → 3 chunks of ≤ 100 bytes.
+  const Bytes frame = frame_of(250, 7);
+  ASSERT_TRUE(sender.offer(frame));
+  EXPECT_EQ(sender.outstanding_chunks(), 3u);
+  const auto wire = poll_at(sender, 0);
+  ASSERT_EQ(wire.size(), 3u);
+  for (const Bytes& d : wire) {
+    EXPECT_LE(d.size(), test_config().mtu);
+  }
+  const auto frames = feed(receiver, wire);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload_of(250, 7));
+  EXPECT_EQ(frames[0].header.from, 1u);
+
+  // The coalesced ack retires all three chunks at once.
+  const auto ack = receiver.take_ack(2);
+  ASSERT_TRUE(ack.has_value());
+  const auto ack_view = view_of(*ack);
+  EXPECT_EQ(ack_view.header.kind, DatagramKind::kAck);
+  EXPECT_EQ(ack_view.header.ack, 3u);
+  sender.on_ack(ack_view.header.epoch, ack_view.header.ack);
+  EXPECT_EQ(sender.outstanding_chunks(), 0u);
+  EXPECT_EQ(sender.take_retired_frames(), 1u);
+  EXPECT_EQ(sender.next_deadline_ns(), UINT64_MAX);  // fully idle
+}
+
+TEST(DatagramChannel, AcksCoalesceAcrossManyDeliveries) {
+  SenderChannel sender(1, test_config());
+  ReceiverChannel receiver(test_config());
+  // Three separate frames, one chunk each, delivered in one batch: exactly
+  // one ack covers them all, and a quiet receiver produces no ack at all.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(sender.offer(frame_of(10, i)));
+  feed(receiver, poll_at(sender, 0));
+  const auto ack = receiver.take_ack(2);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(view_of(*ack).header.ack, 3u);
+  EXPECT_FALSE(receiver.take_ack(2).has_value()) << "nothing new ⇒ no ack";
+  sender.on_ack(0, 3);
+  EXPECT_EQ(sender.take_retired_frames(), 3u);
+}
+
+TEST(DatagramChannel, BackoffScheduleDoublesUpToTheCap) {
+  // One chunk, never acked: the retransmit deadlines must follow
+  // 20ms, 40ms, 80ms, 160ms after each (re)send — doubling per attempt —
+  // and poll() between deadlines must emit nothing.
+  DatagramChannelConfig config = test_config();
+  config.max_retransmits = 10;  // cap high: this test watches the schedule
+  SenderChannel sender(1, config);
+  ASSERT_TRUE(sender.offer(frame_of(10, 1)));
+  std::uint64_t now = 0;
+  ASSERT_EQ(poll_at(sender, now).size(), 1u);  // first transmission
+  const std::uint64_t backoffs[] = {20 * kMs, 40 * kMs, 80 * kMs, 160 * kMs,
+                                    320 * kMs, 320 * kMs};  // capped at max
+  for (const std::uint64_t backoff : backoffs) {
+    EXPECT_EQ(sender.next_deadline_ns(), now + backoff);
+    EXPECT_EQ(poll_at(sender, now + backoff - 1).size(), 0u)
+        << "nothing due before the deadline";
+    now += backoff;
+    EXPECT_EQ(poll_at(sender, now).size(), 1u) << "retransmit at +" << backoff;
+  }
+  EXPECT_EQ(sender.stats().retransmits, 6u);
+  EXPECT_EQ(sender.stats().chunks_sent, 1u);  // first sends only
+}
+
+TEST(DatagramChannel, RetransmitCapResetsTheChannelInsteadOfRetryingForever) {
+  SenderChannel sender(1, test_config());  // max_retransmits = 4
+  ASSERT_TRUE(sender.offer(frame_of(10, 1)));
+  ASSERT_TRUE(sender.offer(frame_of(10, 2)));
+  std::uint64_t now = 0;
+  poll_at(sender, now);
+  // Burn through the budget: 4 retransmits, then the 5th expiry resets.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    now = sender.next_deadline_ns();
+    EXPECT_GT(poll_at(sender, now).size(), 0u);
+  }
+  EXPECT_EQ(sender.stats().resets, 0u);
+  now = sender.next_deadline_ns();
+  EXPECT_EQ(poll_at(sender, now).size(), 0u) << "the dead stream emits nothing";
+  EXPECT_EQ(sender.stats().resets, 1u);
+  EXPECT_EQ(sender.epoch(), 1u);
+  EXPECT_EQ(sender.outstanding_chunks(), 0u);
+  // Both queued frames died with the stream: transient loss, counted, and
+  // both released to the idle accounting.
+  EXPECT_EQ(sender.stats().frames_dropped, 2u);
+  EXPECT_EQ(sender.take_retired_frames(), 2u);
+
+  // The channel is immediately usable on the new epoch, from seq 0.
+  ASSERT_TRUE(sender.offer(frame_of(10, 3)));
+  const auto wire = poll_at(sender, now);
+  ASSERT_EQ(wire.size(), 1u);
+  const auto v = view_of(wire[0]);
+  EXPECT_EQ(v.header.epoch, 1u);
+  EXPECT_EQ(v.header.seq, 0u);
+}
+
+TEST(DatagramChannel, ReceiverAdoptsTheResetEpoch) {
+  SenderChannel sender(1, test_config());
+  ReceiverChannel receiver(test_config());
+  // Deliver one frame on epoch 0, then reset the sender by exhausting the
+  // retransmit cap on a second frame whose datagrams all "vanish".
+  ASSERT_TRUE(sender.offer(frame_of(10, 1)));
+  feed(receiver, poll_at(sender, 0));
+  const auto ack = receiver.take_ack(2);
+  ASSERT_TRUE(ack.has_value());
+  sender.on_ack(view_of(*ack).header.epoch, view_of(*ack).header.ack);
+
+  ASSERT_TRUE(sender.offer(frame_of(10, 2)));
+  std::uint64_t now = 1;
+  poll_at(sender, now);
+  while (sender.stats().resets == 0) {
+    now = sender.next_deadline_ns();
+    poll_at(sender, now);
+  }
+  // Post-reset traffic starts a fresh stream; the receiver must follow the
+  // epoch bump and deliver from seq 0 (not treat it as a stale duplicate).
+  ASSERT_TRUE(sender.offer(frame_of(10, 3)));
+  const auto frames = feed(receiver, poll_at(sender, now));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload_of(10, 3));
+  EXPECT_EQ(receiver.epoch(), 1u);
+  EXPECT_EQ(receiver.stats().resets, 1u);
+}
+
+TEST(DatagramChannel, WindowThrottlesUntilAcksOpenIt) {
+  // window_chunks = 4: a 6-chunk backlog transmits 4, stalls, and acks
+  // release the tail — flow control without any wall-clock involvement.
+  SenderChannel sender(1, test_config());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(sender.offer(frame_of(10, i)));
+  EXPECT_EQ(poll_at(sender, 0).size(), 4u);
+  EXPECT_EQ(poll_at(sender, 1).size(), 0u) << "window full, nothing new";
+  sender.on_ack(0, 2);  // two delivered
+  EXPECT_EQ(poll_at(sender, 2).size(), 2u) << "freed window admits the tail";
+  EXPECT_EQ(sender.stats().chunks_sent, 6u);
+}
+
+TEST(DatagramChannel, ReorderedChunksDeliverInOrder) {
+  SenderChannel sender(1, test_config());
+  ReceiverChannel receiver(test_config());
+  const Bytes frame = frame_of(250, 9);  // 3 chunks
+  ASSERT_TRUE(sender.offer(frame));
+  auto wire = poll_at(sender, 0);
+  ASSERT_EQ(wire.size(), 3u);
+  // Deliver 2, 0, 1: nothing completes until the in-order prefix closes.
+  std::vector<Frame> frames;
+  receiver.on_data(view_of(wire[2]), frames);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(receiver.buffered_chunks(), 1u);
+  EXPECT_FALSE(receiver.take_ack(2).has_value()) << "no progress, no ack";
+  receiver.on_data(view_of(wire[0]), frames);
+  EXPECT_TRUE(frames.empty());  // 0 delivered, 2 buffered, 1 missing
+  receiver.on_data(view_of(wire[1]), frames);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload_of(250, 9));
+  const auto ack = receiver.take_ack(2);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(view_of(*ack).header.ack, 3u);
+}
+
+TEST(DatagramChannel, DuplicatedRetransmissionsAreDedupedEverywhere) {
+  // Duplicates in every position: already-delivered (stale seq), buffered
+  // out-of-order (map hit) — each counted once, delivered zero extra times.
+  SenderChannel sender(1, test_config());
+  ReceiverChannel receiver(test_config());
+  const Bytes frame = frame_of(250, 4);  // 3 chunks
+  ASSERT_TRUE(sender.offer(frame));
+  const auto wire = poll_at(sender, 0);
+  std::vector<Frame> frames;
+  receiver.on_data(view_of(wire[1]), frames);  // buffered
+  receiver.on_data(view_of(wire[1]), frames);  // duplicate of buffered
+  receiver.on_data(view_of(wire[0]), frames);  // delivers 0 and 1
+  receiver.on_data(view_of(wire[0]), frames);  // duplicate of delivered
+  receiver.on_data(view_of(wire[2]), frames);  // completes the frame
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload_of(250, 4));
+  EXPECT_EQ(receiver.stats().duplicates, 2u);
+  EXPECT_EQ(receiver.stats().chunks_delivered, 3u);
+}
+
+TEST(DatagramChannel, DedupWindowEvictsWithTheAdvancingStream) {
+  // The dedup/reorder window is positional, not a cache: it spans exactly
+  // [rcv_nxt, rcv_nxt + reorder_window). As delivery advances, yesterday's
+  // far-future seq becomes buffarable and old seqs fall behind into the
+  // "stale duplicate" class — eviction is the window sliding, so memory
+  // stays bounded by reorder_window forever.
+  DatagramChannelConfig config = test_config();
+  SenderChannel sender(1, config);
+  ReceiverChannel receiver(config);
+  // 16 one-chunk frames → seqs 0..15 against a window of 8.
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(sender.offer(frame_of(10, i)));
+  std::vector<Bytes> wire;
+  std::uint64_t now = 0;
+  while (sender.outstanding_chunks() > 0) {
+    sender.poll(now, wire);  // window=4 paces the sends
+    sender.on_ack(0, wire.size());
+    now += config.initial_rto_ns;
+  }
+  ASSERT_EQ(wire.size(), 16u);
+
+  std::vector<Frame> frames;
+  receiver.on_data(view_of(wire[8]), frames);  // out of window: dropped
+  EXPECT_EQ(receiver.stats().far_future_dropped, 1u);
+  EXPECT_EQ(receiver.buffered_chunks(), 0u);
+  receiver.on_data(view_of(wire[7]), frames);  // last in-window seq: buffered
+  EXPECT_EQ(receiver.buffered_chunks(), 1u);
+  for (int i = 0; i < 4; ++i) receiver.on_data(view_of(wire[i]), frames);
+  EXPECT_EQ(frames.size(), 4u);  // stream advanced to seq 4 (7 still gapped)
+  receiver.on_data(view_of(wire[8]), frames);  // now within [4, 12): buffered
+  EXPECT_EQ(receiver.buffered_chunks(), 2u);
+  receiver.on_data(view_of(wire[0]), frames);  // fell behind: stale duplicate
+  EXPECT_EQ(receiver.stats().duplicates, 1u);
+  for (int i = 4; i < 16; ++i) receiver.on_data(view_of(wire[i]), frames);
+  EXPECT_EQ(frames.size(), 16u);
+  EXPECT_EQ(receiver.buffered_chunks(), 0u);
+  EXPECT_EQ(receiver.stats().duplicates, 3u);  // + replayed 7 and 8
+}
+
+TEST(DatagramChannel, OfferOverflowDropsTheWholeFrameNeverAPrefix) {
+  // max_queued_chunks = 32 with 100-byte chunks: a frame that does not fit
+  // whole is refused whole — a partial frame in the queue would poison the
+  // byte stream for every later frame.
+  SenderChannel sender(1, test_config());
+  const Bytes big = frame_of(100 * 30, 1);  // ~31 chunks: fits
+  ASSERT_TRUE(sender.offer(big));
+  const std::size_t queued = sender.outstanding_chunks();
+  const Bytes next = frame_of(100 * 3, 2);  // 4 chunks: would exceed 32
+  EXPECT_FALSE(sender.offer(next));
+  EXPECT_EQ(sender.outstanding_chunks(), queued) << "no partial enqueue";
+  EXPECT_EQ(sender.stats().frames_dropped, 1u);
+  EXPECT_EQ(sender.take_retired_frames(), 0u)
+      << "a refused frame was never offered to the idle accounting";
+}
+
+TEST(DatagramChannel, RetransmissionsAreByteIdentical)  {
+  // A retransmitted chunk must be byte-for-byte the original datagram:
+  // same seq, same epoch, same payload — the receiver's dedup depends on
+  // the identity, and a rebuilt datagram could differ after a reset race.
+  SenderChannel sender(1, test_config());
+  ASSERT_TRUE(sender.offer(frame_of(10, 6)));
+  const auto first = poll_at(sender, 0);
+  ASSERT_EQ(first.size(), 1u);
+  const auto again = poll_at(sender, sender.next_deadline_ns());
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(first[0], again[0]);
+  EXPECT_EQ(sender.stats().retransmits, 1u);
+}
+
+TEST(DatagramChannel, IdleSenderReportsNoDeadline) {
+  SenderChannel sender(1, test_config());
+  EXPECT_EQ(sender.next_deadline_ns(), UINT64_MAX);
+  ASSERT_TRUE(sender.offer(frame_of(10, 1)));
+  EXPECT_EQ(sender.next_deadline_ns(), 0u) << "unsent chunks want the wire now";
+  poll_at(sender, 5);
+  EXPECT_EQ(sender.next_deadline_ns(), 5 + test_config().initial_rto_ns);
+  sender.on_ack(0, 1);
+  EXPECT_EQ(sender.next_deadline_ns(), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace blockdag

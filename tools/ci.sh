@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # CI entry point: the tier-1 verify command on a Release build, explicit
-# socket-runtime smokes (`simctl run --runtime tcp` in one process, the
-# serve/join two-OS-process cluster), a bench harness smoke (every bench
-# runs seconds-scale and must emit parseable BENCH_*.json), an Asan build
-# running the tier1 ctest label, then a Tsan build running the
-# threaded-runtime and TCP-runtime convergence tests under
+# socket-runtime smokes (`simctl run --runtime tcp` and the lossy
+# `--runtime udp` in one process, plus both two-OS-process serve/join
+# clusters — clean TCP and 10%-loss UDP), a bench harness smoke (every
+# bench runs seconds-scale and must emit parseable BENCH_*.json), an Asan
+# build running the tier1 ctest label, then a Tsan build running the
+# threaded-runtime, TCP-runtime and UDP-runtime convergence tests under
 # ThreadSanitizer. Mirrors .github/workflows/ci.yml; see BUILDING.md for
 # the full command reference.
 set -eu
@@ -23,7 +24,11 @@ echo "==> Socket-runtime smoke (real localhost TCP, single process + multi-proce
 ./build-ci/simctl run --runtime tcp --n 4 --instances 4 --seconds 5 --interval 2
 sh tools/tcp_cluster_smoke.sh ./build-ci/simctl
 
-echo "==> Bench harness smoke (all twelve benches, JSON artifacts validated)"
+echo "==> Lossy-datagram smoke (real localhost UDP, 15% injected loss + two-process 10%-loss cluster)"
+./build-ci/simctl run --runtime udp --n 4 --instances 4 --seconds 5 --interval 2 --drop 0.15
+sh tools/udp_cluster_smoke.sh ./build-ci/simctl
+
+echo "==> Bench harness smoke (all thirteen benches, JSON artifacts validated)"
 sh tools/bench_all.sh -B build-ci --smoke
 
 echo "==> Asan build + tier1 label"
@@ -33,13 +38,14 @@ cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Asan \
 cmake --build build-ci-asan -j "$jobs"
 (cd build-ci-asan && ctest --output-on-failure -j "$jobs" -L tier1)
 
-echo "==> Tsan build + threaded/TCP runtime smoke (ThreadSanitizer)"
+echo "==> Tsan build + threaded/TCP/UDP runtime smoke (ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
       -DBLOCKDAG_BUILD_BENCHES=OFF -DBLOCKDAG_BUILD_EXAMPLES=OFF \
       -DBLOCKDAG_BUILD_TOOLS=OFF
 cmake --build build-ci-tsan -j "$jobs" \
-      --target rt_threaded_runtime_test rt_tcp_runtime_test rt_timer_wheel_test
+      --target rt_threaded_runtime_test rt_tcp_runtime_test \
+               rt_udp_runtime_test rt_timer_wheel_test
 (cd build-ci-tsan && ctest --output-on-failure \
-    -R '^rt/(threaded_runtime_test|tcp_runtime_test|timer_wheel_test)$')
+    -R '^rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test)$')
 
 echo "==> CI OK"

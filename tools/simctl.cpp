@@ -5,7 +5,7 @@
 // counts, interpretation stats, DAG audit. Meant for quick exploration
 // without writing code.
 //
-//   simctl [run] [--runtime sim|threads|tcp] [--n N]
+//   simctl [run] [--runtime sim|threads|tcp|udp] [--n N]
 //          [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
 //          [--instances K] [--interval MS] [--seed X] [--drop P]
 //          [--byzantine ID:KIND ...] [--wots] [--dot FILE]
@@ -18,15 +18,19 @@
 // clock) instead of the deterministic simulator; --seconds then bounds the
 // wall-clock run. --runtime tcp is the same deployment with every payload
 // crossing real localhost TCP sockets (ephemeral ports, n·(n−1) directed
-// connections) instead of the loopback mailbox transport. Fault injection
-// (--drop, --byzantine, partitions) and --wots are simulator-only for now.
+// connections) instead of the loopback mailbox transport. --runtime udp
+// moves the payloads over real UDP datagrams with userspace reliability
+// (net/datagram.h) and an in-path fault injector: --drop P injects P loss
+// on every directed link, live, at the wire (DESIGN.md §9). --byzantine
+// and --wots stay simulator-only.
 //
 // Multi-process clusters (DESIGN.md §8): every member runs the same
 // protocol stack in its own OS process, hosting exactly one server,
-// connected over TCP at 127.0.0.1:(PORT + id):
+// connected over 127.0.0.1:(PORT + id):
 //
-//   simctl serve --n N --port PORT [--protocol P] [--instances K]
-//                [--seconds S] [--interval MS] [--seed X]
+//   simctl serve --n N --port PORT [--runtime tcp|udp] [--loss P]
+//                [--protocol P] [--instances K] [--seconds S]
+//                [--interval MS] [--seed X]
 //   simctl join --id I --n N --port PORT [same options]
 //
 // `serve` hosts server 0, `join --id I` hosts server I (one process per
@@ -39,22 +43,30 @@
 //
 // Scenario engine (DESIGN.md §6) subcommands:
 //
-//   simctl fuzz --seeds A..B [--protocol P|mix] [--n N] [--instances K]
-//               [--duration S | --duration-ns NS] [--repro-file FILE]
+//   simctl fuzz --seeds A..B [--runtime sim|udp] [--protocol P|mix] [--n N]
+//               [--instances K] [--duration S | --duration-ns NS]
+//               [--repro-file FILE]
 //     Runs one seeded adversarial scenario per seed (randomized partitions,
 //     latency/drop regimes, crash/recovery churn, byzantine mixes, request
 //     bursts) with the property checkers always on. Every failure prints a
 //     one-line `simctl replay …` repro (also appended to --repro-file).
 //     With `--protocol mix` (default), protocol and cluster size rotate
-//     deterministically per seed.
+//     deterministically per seed. `--runtime udp` ports the grammar to real
+//     sockets: each seed derives a loss/reorder/duplication/geo-latency
+//     profile, asymmetric hostile links and an optional mid-run partition,
+//     injected live by the UDP transport's fault injector, with the same
+//     convergence/totality checkers at the end.
 //
-//   simctl replay --seed S [--protocol P] [--n N] [--instances K]
-//                 [--duration S | --duration-ns NS] [--trace FILE]
+//   simctl replay --seed S [--runtime sim|udp] [--protocol P] [--n N]
+//                 [--instances K] [--duration S | --duration-ns NS]
+//                 [--trace FILE]
 //     Re-runs exactly one scenario (same derivation as fuzz), prints the
 //     derived fault plan and the result, and optionally writes a JSON
-//     trace. Replays are exact: a scenario is a pure function of its
-//     configuration (repro lines carry the duration in integer ns so no
-//     decimal round-trip can perturb the derived plan).
+//     trace. Simulator replays are exact: a scenario is a pure function of
+//     its configuration (repro lines carry the duration in integer ns so
+//     no decimal round-trip can perturb the derived plan). UDP replays
+//     re-derive the exact same injected fault profile from the seed; the
+//     socket timing underneath is real and therefore not bit-identical.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -118,7 +130,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const std::string v =
           arg == "--runtime" ? (next() ? std::string(argv[i]) : std::string())
                              : arg.substr(std::string("--runtime=").size());
-      if (v != "sim" && v != "threads" && v != "tcp") return false;
+      if (v != "sim" && v != "threads" && v != "tcp" && v != "udp") return false;
       opt.runtime = v;
     } else if (arg == "--n") {
       const char* v = next();
@@ -188,11 +200,17 @@ Bytes make_request(const std::string& protocol, std::uint32_t i) {
 // Reports aggregate throughput instead of the simulator's virtual-time
 // report.
 int run_threaded(const Options& opt, const ProtocolFactory& factory) {
-  if (!opt.byzantine.empty() || opt.wots || opt.drop != 0.0) {
+  if (!opt.byzantine.empty() || opt.wots) {
     std::fprintf(stderr,
-                 "--runtime %s does not support --byzantine/--wots/--drop "
-                 "(fault injection is simulator-only for now)\n",
+                 "--runtime %s does not support --byzantine/--wots "
+                 "(protocol-level fault injection is simulator-only)\n",
                  opt.runtime.c_str());
+    return 2;
+  }
+  if (opt.drop != 0.0 && opt.runtime != "udp") {
+    std::fprintf(stderr,
+                 "--drop needs a lossy wire: use --runtime sim or "
+                 "--runtime udp\n");
     return 2;
   }
 
@@ -202,12 +220,19 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   cfg.pacing.interval = sim_ms(opt.interval_ms);
   if (opt.runtime == "tcp") {
     cfg.backend = rt::TransportBackend::kTcp;  // ephemeral localhost ports
+  } else if (opt.runtime == "udp") {
+    cfg.backend = rt::TransportBackend::kUdp;  // ephemeral localhost ports
+    cfg.udp.fault_seed = opt.seed;
+    cfg.udp.default_fault.drop = opt.drop;
+    // Fast RTOs: injected loss should cost milliseconds to recover.
+    cfg.udp.channel.initial_rto_ns = 5'000'000;
+    cfg.udp.channel.max_rto_ns = 80'000'000;
   }
 
   const auto t0 = std::chrono::steady_clock::now();
   rt::ThreadedRuntime runtime(factory, cfg);
-  if (runtime.tcp() && !runtime.tcp()->ok()) {
-    std::fprintf(stderr, "failed to bind TCP acceptors\n");
+  if (!runtime.transport_ok()) {
+    std::fprintf(stderr, "failed to bind %s sockets\n", opt.runtime.c_str());
     return 2;
   }
   runtime.start();
@@ -278,6 +303,44 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
                 static_cast<unsigned long long>(tcp.frames_received),
                 static_cast<unsigned long long>(tcp.resets));
   }
+  if (runtime.udp()) {
+    const rt::UdpStats udp = runtime.udp()->stats();
+    std::printf(
+        "sockets: %llu datagrams sent, %llu received, %llu frames sent, "
+        "%llu received\n"
+        "reliability: %llu retransmits, %llu channel resets, %llu dups "
+        "deduped, %llu injected drops, %llu injected dups\n",
+        static_cast<unsigned long long>(udp.datagrams_sent),
+        static_cast<unsigned long long>(udp.datagrams_received),
+        static_cast<unsigned long long>(udp.frames_sent),
+        static_cast<unsigned long long>(udp.frames_received),
+        static_cast<unsigned long long>(udp.retransmits),
+        static_cast<unsigned long long>(udp.channel_resets),
+        static_cast<unsigned long long>(udp.duplicates_dropped),
+        static_cast<unsigned long long>(udp.injected_drops),
+        static_cast<unsigned long long>(udp.injected_dups));
+    // Per-peer accounting, the DESIGN.md §9 counters: one row per directed
+    // link that carried traffic.
+    Table links({"link", "datagrams", "chunks", "rexmit", "resets", "dedup",
+                 "inj.drop", "inj.dup"});
+    for (ServerId a = 0; a < opt.n; ++a) {
+      for (ServerId b = 0; b < opt.n; ++b) {
+        if (a == b) continue;
+        const rt::UdpLinkStats link = runtime.udp()->link_stats(a, b);
+        if (link.datagrams_sent == 0 && link.chunks_delivered == 0) continue;
+        links.add_row({std::to_string(a) + "->" + std::to_string(b),
+                       Table::num(link.datagrams_sent),
+                       Table::num(link.chunks_delivered),
+                       Table::num(link.retransmits),
+                       Table::num(link.channel_resets),
+                       Table::num(link.duplicates_dropped),
+                       Table::num(link.injected_drops),
+                       Table::num(link.injected_dups)});
+      }
+    }
+    std::printf("\n");
+    links.print();
+  }
 
   // The Lemma 3.7 / 4.2 cross-check the threaded runtime must still pass.
   bool digests_equal = converged;
@@ -323,7 +386,7 @@ int run(const Options& opt) {
     return 2;
   }
 
-  if (opt.runtime == "threads" || opt.runtime == "tcp") {
+  if (opt.runtime == "threads" || opt.runtime == "tcp" || opt.runtime == "udp") {
     return run_threaded(opt, *factory);
   }
 
@@ -433,12 +496,14 @@ bool parse_duration(const char* s, double& out);
 struct MemberOptions {
   ServerId id = 0;  // serve: 0; join: --id
   std::uint32_t n = 2;
+  std::string runtime = "tcp";  // tcp | udp
   std::string protocol = "brb";
   std::uint32_t instances = 4;
   std::uint64_t interval_ms = 5;
   std::uint64_t seed = 1;
   double seconds = 30.0;  // wall-clock budget for the whole run
   std::uint16_t port = 0; // base port: server s listens on 127.0.0.1:(port+s)
+  double loss = 0.0;      // udp only: injected drop rate on outbound links
 };
 
 bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
@@ -477,11 +542,24 @@ bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
       double s = 0;
       if (!v || !parse_duration(v, s)) return false;
       opt.seconds = s;
+    } else if (arg == "--runtime") {
+      if (!v) return false;
+      opt.runtime = v;
+      if (opt.runtime != "tcp" && opt.runtime != "udp") return false;
+    } else if (arg == "--loss") {
+      if (!v) return false;
+      try {
+        opt.loss = std::stod(v);
+      } catch (...) {
+        return false;
+      }
+      if (opt.loss < 0.0 || opt.loss >= 1.0) return false;
     } else {
       return false;
     }
     ++i;
   }
+  if (opt.loss != 0.0 && opt.runtime != "udp") return false;
   // The whole cluster's ports (base .. base + n − 1) must fit in 16 bits.
   return seen_port && (!join || seen_id) && opt.id < opt.n &&
          static_cast<std::uint32_t>(opt.port) + opt.n - 1 <= 65535;
@@ -499,11 +577,14 @@ Bytes encode_digest_beat(const Bytes& dag, const Bytes& interp, bool done) {
 }
 
 // One member of a multi-OS-process cluster: hosts exactly one server on
-// the TCP transport, issues its share of the workload, then settles via
-// digest exchange. The acceptance criterion of DESIGN.md §8: exit 0 iff
-// every server in the cluster reports the identical DAG digest and the
-// identical per-block interpretation digest (Lemma 3.7 / Lemma 4.2) and
-// every instance was delivered locally.
+// a real-socket transport (TCP by default, lossy UDP with --runtime udp),
+// issues its share of the workload, then settles via digest exchange. The
+// acceptance criterion of DESIGN.md §8: exit 0 iff every server in the
+// cluster reports the identical DAG digest and the identical per-block
+// interpretation digest (Lemma 3.7 / Lemma 4.2) and every instance was
+// delivered locally. Over UDP with --loss the digest beats themselves ride
+// the retransmitting channels, so agreement doubles as a liveness check of
+// the reliability layer across process boundaries.
 int run_member(const MemberOptions& opt, const char* role) {
   const ProtocolFactory* factory = factory_for(opt.protocol);
   if (!factory) return 2;
@@ -513,9 +594,19 @@ int run_member(const MemberOptions& opt, const char* role) {
   cfg.seed = opt.seed;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
   cfg.gossip.fwd_retry_delay = sim_ms(20);
-  cfg.backend = rt::TransportBackend::kTcp;
-  cfg.tcp.base_port = opt.port;
-  cfg.tcp.local_servers = {opt.id};
+  if (opt.runtime == "udp") {
+    cfg.backend = rt::TransportBackend::kUdp;
+    cfg.udp.base_port = opt.port;
+    cfg.udp.local_servers = {opt.id};
+    cfg.udp.fault_seed = opt.seed + opt.id;  // distinct decision streams
+    cfg.udp.default_fault.drop = opt.loss;   // applied to outbound datagrams
+    cfg.udp.channel.initial_rto_ns = 5'000'000;
+    cfg.udp.channel.max_rto_ns = 80'000'000;
+  } else {
+    cfg.backend = rt::TransportBackend::kTcp;
+    cfg.tcp.base_port = opt.port;
+    cfg.tcp.local_servers = {opt.id};
+  }
 
   // Latest digest beat per peer. Written by the control handler on the
   // hosted server's thread, read by this (harness) thread. Declared
@@ -531,14 +622,23 @@ int run_member(const MemberOptions& opt, const char* role) {
   std::vector<PeerView> peers(opt.n);
 
   rt::ThreadedRuntime runtime(*factory, cfg);
-  if (!runtime.tcp()->ok()) {
+  if (!runtime.transport_ok()) {
     std::fprintf(stderr,
                  "simctl %s: failed to bind 127.0.0.1:%u (port in use or "
                  "port range exceeds 65535?)\n",
                  role, opt.port + opt.id);
     return 2;
   }
-  runtime.tcp()->set_control_handler(
+  // Control-plane sender, transport-agnostic: kControl frames bypass the
+  // protocol handler on both socket backends.
+  const auto send_control = [&runtime, &opt](ServerId to, Bytes beat) {
+    if (runtime.udp()) {
+      runtime.udp()->send(opt.id, to, WireKind::kControl, std::move(beat));
+    } else {
+      runtime.tcp()->send(opt.id, to, WireKind::kControl, std::move(beat));
+    }
+  };
+  runtime.set_control_handler(
       opt.id, [&peers_mu, &peers](ServerId from, const Bytes& payload) {
         Reader r(payload);
         const auto version = r.u8();
@@ -551,9 +651,10 @@ int run_member(const MemberOptions& opt, const char* role) {
         peers[from] = PeerView{*dag, *interp, *done != 0, true};
       });
 
-  std::printf("simctl %s — server %u of %u, protocol=%s, 127.0.0.1:%u..%u\n",
-              role, opt.id, opt.n, opt.protocol.c_str(), opt.port,
-              opt.port + opt.n - 1);
+  std::printf("simctl %s — server %u of %u, protocol=%s, %s 127.0.0.1:%u..%u%s\n",
+              role, opt.id, opt.n, opt.protocol.c_str(), opt.runtime.c_str(),
+              opt.port, opt.port + opt.n - 1,
+              opt.loss > 0.0 ? " (lossy)" : "");
   runtime.start();
 
   // This process's share of the workload: the member hosting the issuing
@@ -614,9 +715,7 @@ int run_member(const MemberOptions& opt, const char* role) {
 
     const Bytes beat = encode_digest_beat(dag, interp, self_done);
     for (ServerId s = 0; s < opt.n; ++s) {
-      if (s != opt.id) {
-        runtime.tcp()->send(opt.id, s, WireKind::kControl, Bytes(beat));
-      }
+      if (s != opt.id) send_control(s, Bytes(beat));
     }
 
     bool cluster_done = self_done;
@@ -636,9 +735,7 @@ int run_member(const MemberOptions& opt, const char* role) {
       for (int i = 0; i < 3; ++i) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         for (ServerId s = 0; s < opt.n; ++s) {
-          if (s != opt.id) {
-            runtime.tcp()->send(opt.id, s, WireKind::kControl, Bytes(beat));
-          }
+          if (s != opt.id) send_control(s, Bytes(beat));
         }
       }
       exit_code = 0;
@@ -650,15 +747,25 @@ int run_member(const MemberOptions& opt, const char* role) {
   const std::uint64_t blocks = runtime.call(opt.id, [](Shim& shim) {
     return shim.gossip().stats().blocks_inserted;
   });
-  const rt::TcpStats tcp = runtime.tcp()->stats();
   std::printf("server %u: %llu blocks, dag=%s interp=%s\n", opt.id,
               static_cast<unsigned long long>(blocks),
               to_hex(last_dag).substr(0, 16).c_str(),
               to_hex(last_interp).substr(0, 16).c_str());
-  std::printf("sockets: %llu connects, %llu frames sent, %llu received\n",
-              static_cast<unsigned long long>(tcp.connects),
-              static_cast<unsigned long long>(tcp.frames_sent),
-              static_cast<unsigned long long>(tcp.frames_received));
+  if (runtime.udp()) {
+    const rt::UdpStats udp = runtime.udp()->stats();
+    std::printf("sockets: %llu datagrams sent, %llu received, "
+                "%llu retransmits, %llu injected drops\n",
+                static_cast<unsigned long long>(udp.datagrams_sent),
+                static_cast<unsigned long long>(udp.datagrams_received),
+                static_cast<unsigned long long>(udp.retransmits),
+                static_cast<unsigned long long>(udp.injected_drops));
+  } else {
+    const rt::TcpStats tcp = runtime.tcp()->stats();
+    std::printf("sockets: %llu connects, %llu frames sent, %llu received\n",
+                static_cast<unsigned long long>(tcp.connects),
+                static_cast<unsigned long long>(tcp.frames_sent),
+                static_cast<unsigned long long>(tcp.frames_received));
+  }
   std::printf("%s\n", exit_code == 0
                           ? "OK — cluster-wide identical DAG + interpretation digests"
                           : "TIMEOUT — cluster did not reach digest agreement");
@@ -669,9 +776,11 @@ int cmd_member(int argc, char** argv, bool join) {
   MemberOptions opt;
   if (!parse_member_args(argc, argv, opt, join)) {
     std::fprintf(stderr,
-                 "usage: simctl serve --n N --port PORT [--protocol P] "
-                 "[--instances K]\n"
-                 "                    [--seconds S] [--interval MS] [--seed X]\n"
+                 "usage: simctl serve --n N --port PORT [--runtime tcp|udp] "
+                 "[--loss P]\n"
+                 "                    [--protocol P] [--instances K] "
+                 "[--seconds S]\n"
+                 "                    [--interval MS] [--seed X]\n"
                  "       simctl join --id I --n N --port PORT [same options]\n");
     return 2;
   }
@@ -683,6 +792,7 @@ int cmd_member(int argc, char** argv, bool join) {
 struct FuzzOptions {
   std::uint64_t first_seed = 0;
   std::uint64_t last_seed = 0;
+  std::string runtime = "sim";   // sim | udp (real sockets, live injection)
   std::string protocol = "mix";
   std::uint32_t n = 0;           // 0 = rotate per seed
   std::uint32_t instances = 6;
@@ -721,6 +831,189 @@ std::string repro_line(const ScenarioConfig& cfg) {
                 cfg.n_servers, cfg.instances,
                 static_cast<unsigned long long>(effective_duration(cfg)));
   return buf;
+}
+
+// ---- UDP fuzz: the faultplan grammar ported to real sockets ----
+
+// One seed, one wire-fault profile, derived exactly the same way by fuzz
+// and replay. Cluster sizes rotate smaller than the simulator's (these are
+// live clusters with one OS thread per server, fifty-plus per CI run);
+// the grammar is otherwise the simulator's: a baseline loss/reorder/
+// duplication regime, a geo-latency band, a few asymmetric hostile links,
+// and (half the seeds) a mid-run partition healed before settle. The
+// injected profile is a pure function of the seed; the socket timing
+// underneath is real, which is the point.
+struct UdpScenario {
+  std::uint64_t seed = 0;
+  std::string protocol;
+  std::uint32_t n = 4;
+  std::uint32_t instances = 6;
+  std::uint64_t duration_ns = 0;
+  rt::LinkFault base;
+  struct Override {
+    ServerId from = 0;
+    ServerId to = 0;
+    rt::LinkFault fault;
+  };
+  std::vector<Override> overrides;
+  bool partition = false;
+  ServerId isolated = 0;  // {isolated} vs rest, the middle third of the run
+};
+
+UdpScenario udp_scenario_for_seed(std::uint64_t seed, const FuzzOptions& opt) {
+  static const char* kProtocols[] = {"brb", "bcb", "fifo", "pbft", "beacon"};
+  static const std::uint32_t kSizes[] = {3, 4, 5};
+  UdpScenario sc;
+  sc.seed = seed;
+  sc.protocol = opt.protocol == "mix" ? kProtocols[seed % 5] : opt.protocol;
+  sc.n = opt.n != 0 ? opt.n : kSizes[(seed / 5) % 3];
+  sc.instances = opt.instances;
+  sc.duration_ns = opt.duration_ns != 0
+                       ? opt.duration_ns
+                       : static_cast<std::uint64_t>(opt.duration_s * 1e9);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // distinct from the injector's RNG
+  sc.base.drop = 0.25 * rng.unit();
+  sc.base.reorder = 0.30 * rng.unit();
+  sc.base.duplicate = 0.20 * rng.unit();
+  switch (rng.below(3)) {  // geo-latency band
+    case 0: break;  // same rack: no added delay
+    case 1:
+      sc.base.delay_min_us = 100;
+      sc.base.delay_max_us = 2000;
+      break;
+    case 2:
+      sc.base.delay_min_us = 1000;
+      sc.base.delay_max_us = 8000;
+      break;
+  }
+  // Asymmetric hostility: up to n−1 directed links markedly worse than the
+  // baseline (loss is not symmetric in real networks; acks die too).
+  const std::uint64_t hostile = rng.below(sc.n);
+  for (std::uint64_t k = 0; k < hostile; ++k) {
+    const auto from = static_cast<ServerId>(rng.below(sc.n));
+    auto to = static_cast<ServerId>(rng.below(sc.n));
+    if (to == from) to = (to + 1) % sc.n;
+    rt::LinkFault fault = sc.base;
+    fault.drop = 0.20 + 0.20 * rng.unit();
+    sc.overrides.push_back({from, to, fault});
+  }
+  sc.partition = rng.chance(0.5);
+  sc.isolated = static_cast<ServerId>(rng.below(sc.n));
+  return sc;
+}
+
+std::string udp_repro_line(const UdpScenario& sc) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "simctl replay --runtime udp --seed %llu --protocol %s --n %u "
+                "--instances %u --duration-ns %llu",
+                static_cast<unsigned long long>(sc.seed), sc.protocol.c_str(),
+                sc.n, sc.instances,
+                static_cast<unsigned long long>(sc.duration_ns));
+  return buf;
+}
+
+void print_udp_plan(const UdpScenario& sc) {
+  std::printf("---- wire-fault profile ----\n");
+  std::printf("base: drop=%.3f reorder=%.3f dup=%.3f delay=%u..%u us\n",
+              sc.base.drop, sc.base.reorder, sc.base.duplicate,
+              sc.base.delay_min_us, sc.base.delay_max_us);
+  for (const auto& o : sc.overrides) {
+    std::printf("hostile link %u->%u: drop=%.3f\n", o.from, o.to,
+                o.fault.drop);
+  }
+  if (sc.partition) {
+    std::printf("partition: {%u} | rest, middle third, healed before settle\n",
+                sc.isolated);
+  }
+}
+
+// Runs one derived scenario on live UDP sockets with the fault injector in
+// path, then applies the same always-on checkers the simulator engine
+// uses: convergence (Lemma 3.7 joint DAG + Lemma 4.2 interpretation),
+// totality (every instance indicated everywhere), and injection sanity
+// (the profile really fired; nothing corrupted a frame stream). Lossy
+// faults stay active through settle — only partitions heal; retransmission
+// and the gossip FWD path are what must close the gap.
+std::vector<std::string> run_udp_scenario(const UdpScenario& sc) {
+  std::vector<std::string> violations;
+  const ProtocolFactory* factory = factory_for(sc.protocol);
+  if (!factory) return {"unknown protocol '" + sc.protocol + "'"};
+
+  rt::ThreadedConfig cfg;
+  cfg.n_servers = sc.n;
+  cfg.seed = sc.seed;
+  cfg.pacing.interval = sim_ms(2);
+  cfg.gossip.fwd_retry_delay = sim_ms(5);
+  cfg.backend = rt::TransportBackend::kUdp;  // ephemeral ports
+  cfg.udp.fault_seed = sc.seed;
+  cfg.udp.default_fault = sc.base;
+  cfg.udp.channel.initial_rto_ns = 5'000'000;
+  cfg.udp.channel.max_rto_ns = 80'000'000;
+  rt::ThreadedRuntime runtime(*factory, cfg);
+  if (!runtime.transport_ok()) return {"failed to bind UDP sockets"};
+  for (const auto& o : sc.overrides) {
+    runtime.udp()->set_link_fault(o.from, o.to, o.fault);
+  }
+  runtime.start();
+
+  for (std::uint32_t i = 0; i < sc.instances; ++i) {
+    if (sc.protocol == "beacon") {
+      const std::uint32_t needed = plausibility_quorum(sc.n);
+      for (std::uint32_t c = 0; c < needed && c < sc.n; ++c) {
+        runtime.request(c, 1 + i, beacon::make_contribute(0x1234 + i * 31 + c));
+      }
+    } else {
+      const ServerId target = sc.protocol == "pbft" ? 0 : i % sc.n;
+      runtime.request(target, 1 + i, make_request(sc.protocol, i));
+    }
+  }
+
+  std::vector<ServerId> rest;
+  for (ServerId s = 0; s < sc.n; ++s) {
+    if (s != sc.isolated) rest.push_back(s);
+  }
+  const auto third = std::chrono::nanoseconds(sc.duration_ns / 3);
+  std::this_thread::sleep_for(third);
+  if (sc.partition) runtime.udp()->set_partition({sc.isolated}, rest, true);
+  std::this_thread::sleep_for(third);
+  if (sc.partition) runtime.udp()->set_partition({sc.isolated}, rest, false);
+  std::this_thread::sleep_for(third);
+
+  if (!runtime.quiesce_and_converge()) {
+    violations.push_back("cluster did not quiesce to a converged DAG");
+  }
+  const Bytes dag0 = runtime.dag_digest(0);
+  const Bytes interp0 = runtime.interpretation_digest(0);
+  for (ServerId s = 1; s < sc.n; ++s) {
+    if (runtime.dag_digest(s) != dag0) {
+      violations.push_back("DAG digest mismatch at server " + std::to_string(s));
+    }
+    if (runtime.interpretation_digest(s) != interp0) {
+      violations.push_back("interpretation digest mismatch at server " +
+                           std::to_string(s));
+    }
+  }
+  for (std::uint32_t i = 0; i < sc.instances; ++i) {
+    if (runtime.indicated_count(1 + i) != sc.n) {
+      violations.push_back("instance " + std::to_string(1 + i) +
+                           " not indicated everywhere");
+    }
+  }
+  const rt::UdpStats stats = runtime.udp()->stats();
+  if (sc.base.drop > 0.01 && stats.injected_drops == 0) {
+    violations.push_back("drop profile never fired (injector no-op?)");
+  }
+  if (sc.base.duplicate > 0.01 && stats.injected_dups == 0) {
+    violations.push_back("duplicate profile never fired (injector no-op?)");
+  }
+  if (stats.corrupt_streams != 0) {
+    violations.push_back("corrupt frame stream on a reliable channel");
+  }
+  if (stats.malformed_dropped != 0) {
+    violations.push_back("malformed datagrams between honest endpoints");
+  }
+  return violations;
 }
 
 bool parse_u64(const std::string& s, std::uint64_t& out) {
@@ -785,6 +1078,10 @@ bool parse_fuzz_args(int argc, char** argv, FuzzOptions& opt, bool replay) {
     } else if (arg == "--seed" && replay) {
       if (!(v = next()) || !parse_seed_range(v, opt)) return false;
       seen_seed = true;
+    } else if (arg == "--runtime") {
+      if (!(v = next())) return false;
+      opt.runtime = v;
+      if (opt.runtime != "sim" && opt.runtime != "udp") return false;
     } else if (arg == "--protocol") {
       if (!(v = next())) return false;
       opt.protocol = v;
@@ -816,8 +1113,8 @@ int cmd_fuzz(int argc, char** argv) {
   FuzzOptions opt;
   if (!parse_fuzz_args(argc, argv, opt, /*replay=*/false)) {
     std::fprintf(stderr,
-                 "usage: simctl fuzz --seeds A..B [--protocol brb|bcb|fifo|pbft|"
-                 "beacon|mix]\n"
+                 "usage: simctl fuzz --seeds A..B [--runtime sim|udp]\n"
+                 "                   [--protocol brb|bcb|fifo|pbft|beacon|mix]\n"
                  "                   [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
                  "                   [--repro-file FILE]\n");
@@ -825,17 +1122,37 @@ int cmd_fuzz(int argc, char** argv) {
   }
   std::size_t passed = 0, failed = 0;
   for (std::uint64_t seed = opt.first_seed; seed <= opt.last_seed; ++seed) {
-    const ScenarioConfig cfg = scenario_for_seed(seed, opt);
-    const ScenarioResult result = run_scenario(cfg);
-    if (result.ok()) {
-      ++passed;
-      continue;
+    std::string first_violation;
+    std::string repro;
+    std::string protocol;
+    std::uint32_t n = 0;
+    if (opt.runtime == "udp") {
+      const UdpScenario sc = udp_scenario_for_seed(seed, opt);
+      const std::vector<std::string> violations = run_udp_scenario(sc);
+      if (violations.empty()) {
+        ++passed;
+        continue;
+      }
+      first_violation = violations.front();
+      repro = udp_repro_line(sc);
+      protocol = sc.protocol;
+      n = sc.n;
+    } else {
+      const ScenarioConfig cfg = scenario_for_seed(seed, opt);
+      const ScenarioResult result = run_scenario(cfg);
+      if (result.ok()) {
+        ++passed;
+        continue;
+      }
+      first_violation = result.violations.front();
+      repro = repro_line(cfg);
+      protocol = cfg.protocol;
+      n = cfg.n_servers;
     }
     ++failed;
     std::printf("FAIL seed=%llu protocol=%s n=%u: %s\n",
-                static_cast<unsigned long long>(seed), cfg.protocol.c_str(),
-                cfg.n_servers, result.violations.front().c_str());
-    const std::string repro = repro_line(cfg);
+                static_cast<unsigned long long>(seed), protocol.c_str(), n,
+                first_violation.c_str());
     std::printf("  repro: %s\n", repro.c_str());
     if (!opt.repro_file.empty()) {
       std::ofstream out(opt.repro_file, std::ios::app);
@@ -852,12 +1169,34 @@ int cmd_replay(int argc, char** argv) {
   FuzzOptions opt;
   if (!parse_fuzz_args(argc, argv, opt, /*replay=*/true)) {
     std::fprintf(stderr,
-                 "usage: simctl replay --seed S [--protocol brb|bcb|fifo|pbft|"
+                 "usage: simctl replay --seed S [--runtime sim|udp]\n"
+                 "                     [--protocol brb|bcb|fifo|pbft|"
                  "beacon|mix]\n"
                  "                     [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
                  "                     [--trace FILE]\n");
     return 2;
+  }
+  if (opt.runtime == "udp") {
+    if (!opt.trace_file.empty()) {
+      std::fprintf(stderr, "--trace is simulator-only (the UDP runtime has "
+                           "no virtual-time event log)\n");
+      return 2;
+    }
+    const UdpScenario sc = udp_scenario_for_seed(opt.first_seed, opt);
+    std::printf(
+        "scenario seed=%llu runtime=udp protocol=%s n=%u instances=%u "
+        "duration=%.3fs\n",
+        static_cast<unsigned long long>(sc.seed), sc.protocol.c_str(), sc.n,
+        sc.instances, static_cast<double>(sc.duration_ns) / 1e9);
+    print_udp_plan(sc);
+    const std::vector<std::string> violations = run_udp_scenario(sc);
+    std::printf("---- result ----\n");
+    for (const std::string& violation : violations) {
+      std::printf("VIOLATION: %s\n", violation.c_str());
+    }
+    if (violations.empty()) std::printf("OK — no violations\n");
+    return violations.empty() ? 0 : 1;
   }
   const ScenarioConfig cfg = scenario_for_seed(opt.first_seed, opt);
   const FaultPlan plan = derive_fault_plan(cfg);
@@ -904,7 +1243,7 @@ int main(int argc, char** argv) {
   if (!parse_args(explicit_run ? argc - 1 : argc,
                   explicit_run ? argv + 1 : argv, opt)) {
     std::fprintf(stderr,
-                 "usage: simctl [run] [--runtime sim|threads|tcp] [--n N]\n"
+                 "usage: simctl [run] [--runtime sim|threads|tcp|udp] [--n N]\n"
                  "              [--protocol brb|bcb|fifo|pbft|beacon]\n"
                  "              [--seconds S] [--instances K] [--interval MS]\n"
                  "              [--seed X] [--drop P] [--byzantine ID:KIND ...]\n"

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Two-OS-process cluster smoke over lossy UDP (DESIGN.md §9): `simctl
+# serve` + `simctl join` in separate processes, every payload crossing
+# real datagram sockets with the userspace reliability layer underneath
+# and each process's fault injector dropping 10% of its outbound
+# datagrams — data, acks and the digest-exchange control beats alike.
+# Both must still exit 0: identical DAG digests and identical per-block
+# interpretation digests (Lemma 3.7 / Lemma 4.2) plus full delivery,
+# recovered by retransmission across a process boundary.
+#
+# Usage: tools/udp_cluster_smoke.sh <path-to-simctl>
+#
+# Ports: base ports are derived from this shell's PID and retried a few
+# times on bind collision (simctl exits 2 when a socket cannot bind),
+# so parallel ctest invocations do not trample each other.
+set -u
+
+simctl="${1:?usage: udp_cluster_smoke.sh <path-to-simctl>}"
+
+attempt=0
+while [ "$attempt" -lt 5 ]; do
+  # Offset from the TCP smoke's port formula so the two smokes never
+  # race each other for the same pair inside one ctest run.
+  port=$(( 20013 + ($$ + 127 + attempt * 613) % 40000 ))
+  echo "==> attempt $((attempt + 1)): two-process lossy-UDP BRB cluster on 127.0.0.1:$port"
+
+  "$simctl" join --id 1 --n 2 --port "$port" --runtime udp --loss 0.10 \
+    --instances 6 --seconds 30 &
+  join_pid=$!
+  "$simctl" serve --n 2 --port "$port" --runtime udp --loss 0.10 \
+    --instances 6 --seconds 30
+  serve_rc=$?
+  wait "$join_pid"
+  join_rc=$?
+
+  if [ "$serve_rc" -eq 0 ] && [ "$join_rc" -eq 0 ]; then
+    echo "==> OK: digest agreement across processes despite 10% injected loss"
+    exit 0
+  fi
+  # Exit code 2 = bind failure (port collision): retry on different ports.
+  if [ "$serve_rc" -ne 2 ] && [ "$join_rc" -ne 2 ]; then
+    echo "==> FAIL: serve exit $serve_rc, join exit $join_rc" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+done
+
+echo "==> FAIL: could not find a free port pair after $attempt attempts" >&2
+exit 1
