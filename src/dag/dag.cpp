@@ -7,7 +7,10 @@ namespace blockdag {
 
 bool BlockDag::insert(BlockPtr block) {
   const Hash256& ref = block->ref();
-  if (index_.count(ref)) return true;  // Lemma 2.2(1): idempotent
+  // Lemma 2.2(1): idempotent — including re-delivery of since-pruned
+  // blocks (their tombstones keep the index entry), which state sync can
+  // legitimately replay.
+  if (index_.count(ref)) return true;
 
   // Resolve preds to dense indices up front; a missing pred aborts before
   // any mutation (Definition 3.4 precondition). Duplicates collapse — the
@@ -28,7 +31,9 @@ bool BlockDag::insert(BlockPtr block) {
   if (!block->is_genesis()) {
     for (BlockIdx p : preds) {
       const BlockPtr& cand = nodes_[p].block;
-      if (cand->n() == block->n() && cand->k() < block->k()) {
+      // Preds may be registered tombstones (register_pruned) after a
+      // checkpoint restore; a tombstone cannot be the parent.
+      if (cand && cand->n() == block->n() && cand->k() < block->k()) {
         parent = p;
         break;
       }
@@ -170,12 +175,64 @@ std::size_t BlockDag::prune_below(const std::vector<Hash256>& checkpoints) {
     for (BlockIdx p : nodes_[cur].preds) mark(p);
   }
 
-  // Tombstone the doomed slots. The doomed set is ancestor-closed, so every
-  // pred of a doomed block is itself doomed. Hence every edge incident to a
-  // doomed block is an *out*-edge of some doomed block (doomed → doomed or
-  // doomed → survivor), and no surviving child list references a doomed
-  // block. Survivors' pred lists may keep tombstone indices — consumers
-  // check alive().
+  return tombstone_doomed(doomed);
+}
+
+std::size_t BlockDag::prune_common_ancestors(const std::vector<Hash256>& tips) {
+  if (tips.empty()) return 0;
+  // Per-tip ancestor sweeps accumulated into a counter; a block is doomed
+  // iff it is a proper ancestor of EVERY tip. Each tip's proper-ancestor
+  // set is ancestor-closed, so the intersection is ancestor-closed too —
+  // the precondition of the tombstone pass.
+  std::vector<std::uint32_t> hits(nodes_.size(), 0);
+  std::vector<char> visited(nodes_.size(), 0);
+  std::deque<BlockIdx> frontier;
+  for (const Hash256& t : tips) {
+    const BlockIdx ti = index_of(t);
+    // All tips must be live blocks of this DAG; anything else means the
+    // caller's tip census is stale — refuse to prune rather than guess.
+    if (ti == kNoBlockIdx || !alive(ti)) return 0;
+    std::fill(visited.begin(), visited.end(), 0);
+    const auto mark = [&](BlockIdx p) {
+      if (alive(p) && !visited[p]) {
+        visited[p] = 1;
+        ++hits[p];
+        frontier.push_back(p);
+      }
+    };
+    for (BlockIdx p : nodes_[ti].preds) mark(p);
+    while (!frontier.empty()) {
+      const BlockIdx cur = frontier.front();
+      frontier.pop_front();
+      for (BlockIdx p : nodes_[cur].preds) mark(p);
+    }
+  }
+  std::vector<char> doomed(nodes_.size(), 0);
+  bool any = false;
+  for (BlockIdx i = 0; i < nodes_.size(); ++i) {
+    if (hits[i] == tips.size()) {
+      doomed[i] = 1;
+      any = true;
+    }
+  }
+  return any ? tombstone_doomed(doomed) : 0;
+}
+
+BlockIdx BlockDag::register_pruned(const Hash256& ref) {
+  const auto it = index_.find(ref);
+  if (it != index_.end()) return it->second;
+  const BlockIdx idx = static_cast<BlockIdx>(nodes_.size());
+  nodes_.emplace_back();  // block == nullptr ⇒ tombstone from birth
+  index_.emplace(ref, idx);
+  return idx;
+}
+
+std::size_t BlockDag::tombstone_doomed(const std::vector<char>& doomed) {
+  // The doomed set is ancestor-closed, so every pred of a doomed block is
+  // itself doomed. Hence every edge incident to a doomed block is an
+  // *out*-edge of some doomed block (doomed → doomed or doomed → survivor),
+  // and no surviving child list references a doomed block. Survivors' pred
+  // lists may keep tombstone indices — consumers check alive().
   std::size_t removed = 0;
   order_.erase(std::remove_if(order_.begin(), order_.end(),
                               [&](const BlockPtr& b) {
@@ -187,7 +244,9 @@ std::size_t BlockDag::prune_below(const std::vector<Hash256>& checkpoints) {
     if (!doomed[i]) continue;
     Node& node = nodes_[i];
     edge_count_ -= node.children.size();
-    index_.erase(node.block->ref());
+    // The index entry stays: a pruned ref remains known(), so gossip can
+    // drop replayed history instead of FWD-chasing it. The tombstone shell
+    // was already part of the §7 memory model; the map entry adds O(1).
     node.block.reset();
     node.preds = {};
     node.children = {};

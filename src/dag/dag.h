@@ -51,10 +51,20 @@ class BlockDag {
   // duplicate-reference byzantine behaviour harmless.
   bool insert(BlockPtr block);
 
-  bool contains(const Hash256& ref) const { return index_.count(ref) > 0; }
+  // True iff `ref` is a LIVE block of this DAG (pruned blocks are gone).
+  bool contains(const Hash256& ref) const {
+    const auto it = index_.find(ref);
+    return it != index_.end() && alive(it->second);
+  }
+  // True iff `ref` was ever inserted (live or since pruned) or registered
+  // as a pruned tombstone. Gossip uses this to drop re-deliveries of
+  // pruned history (state sync can replay old blocks) without re-accepting
+  // or FWD-requesting them.
+  bool known(const Hash256& ref) const { return index_.count(ref) > 0; }
   BlockPtr get(const Hash256& ref) const;
 
-  // Dense index of `ref`, kNoBlockIdx if absent (never inserted or pruned).
+  // Dense index of `ref`, kNoBlockIdx if never present. Pruned blocks keep
+  // their (tombstone) slot and index entry.
   BlockIdx index_of(const Hash256& ref) const;
 
   // ------------------------------------------------------------------
@@ -112,7 +122,26 @@ class BlockDag {
   // unchanged.
   std::size_t prune_below(const std::vector<Hash256>& checkpoints);
 
+  // Removes exactly the blocks that are proper ancestors of EVERY tip —
+  // the epoch-GC rule (src/sync): once all n servers' latest blocks sit
+  // above a block, every server has referenced it exactly once (Lemma A.6)
+  // and no crash-fault execution can reference it again. Returns the number
+  // of blocks removed; returns 0 (and prunes nothing) if any tip is missing
+  // or dead. Tips themselves are never pruned (a block is not its own
+  // proper ancestor).
+  std::size_t prune_common_ancestors(const std::vector<Hash256>& tips);
+
+  // Registers `ref` as a pruned tombstone without ever having held the
+  // block: checkpoint restore uses this for horizon refs (pruned preds of
+  // live blocks) so that re-inserted live blocks resolve all their preds.
+  // Idempotent; returns the (possibly pre-existing) slot index.
+  BlockIdx register_pruned(const Hash256& ref);
+
  private:
+  // Shared tombstone pass of the prune operations. `doomed` must be
+  // ancestor-closed over live blocks.
+  std::size_t tombstone_doomed(const std::vector<char>& doomed);
+
   struct Node {
     BlockPtr block;  // nullptr ⇒ pruned tombstone
     std::vector<BlockIdx> preds;

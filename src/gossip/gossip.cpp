@@ -1,6 +1,8 @@
 #include "gossip/gossip.h"
 
+#include <algorithm>
 #include <cassert>
+#include <optional>
 #include <utility>
 
 #include "util/serialize.h"
@@ -34,7 +36,9 @@ void GossipServer::handle_block(Block&& block) {
   ++stats_.blocks_received;
   const Hash256 ref = block.ref();
   // Line 4: only blocks not already in G (nor already buffered/rejected).
-  if (dag_.contains(ref) || pending_.count(ref) || rejected_.count(ref)) return;
+  // known() rather than contains(): re-deliveries of since-pruned history
+  // (state sync replays old blocks) are dropped instead of re-accepted.
+  if (dag_.known(ref) || pending_.count(ref) || rejected_.count(ref)) return;
 
   // Definition 3.3(i) can be checked immediately; a bad signature can never
   // become valid, so reject outright.
@@ -58,8 +62,19 @@ void GossipServer::try_insert_pending() {
       const BlockPtr& cand = it->second;
       // σ was verified once at ingress (handle_block); only the structural
       // conditions can change as the DAG grows.
+      // A pred that was pruned can never come back: in crash-fault runs
+      // every direct referencer of a pruned block was already in the DAG
+      // when GC ran (the tip-closure argument in collect_garbage), so a
+      // *new* block referencing pruned history can only be byzantine-built
+      // — reject it instead of FWD-chasing a block nobody stores anymore.
+      const bool pruned_pred =
+          std::any_of(cand->preds().begin(), cand->preds().end(),
+                      [this](const Hash256& p) {
+                        return dag_.known(p) && !dag_.contains(p);
+                      });
       const ValidityError err =
-          validator_.check(*cand, dag_, /*skip_signature=*/true);
+          pruned_pred ? ValidityError::kNoParent
+                      : validator_.check(*cand, dag_, /*skip_signature=*/true);
       if (err == ValidityError::kMissingPred) {
         ++it;
         continue;
@@ -109,7 +124,12 @@ void GossipServer::schedule_fwd(const Hash256& missing, ServerId ask) {
 
 void GossipServer::fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t attempt) {
   if (halted_) return;
-  if (dag_.contains(missing) || pending_.count(missing)) {
+  // known(), not contains(): the block may have arrived (e.g. via state
+  // sync) and *already been pruned* by a checkpoint-epoch GC before this
+  // timer fired. Re-requesting pruned history would loop forever — every
+  // reply is idempotently dropped as known-pruned — pinning a timer that
+  // keeps the runtime from ever going idle.
+  if (dag_.known(missing) || pending_.count(missing)) {
     fwd_armed_.erase(missing);
     return;  // resolved meanwhile
   }
@@ -168,6 +188,69 @@ void GossipServer::disseminate(bool even_if_empty) {
   // Line 18: start the next block with the parent reference.
   ++next_k_;
   building_preds_.assign(1, ref);
+}
+
+std::size_t GossipServer::collect_garbage(std::uint32_t n_servers) {
+  if (n_servers == 0) return 0;
+  // Tip census: the highest-seqno live block per builder. Correctness of
+  // the prune rule rests on correct servers referencing *everything they
+  // hold* when building (Algorithm 1 line 14): a correct server's block
+  // therefore ancestor-covers its builder's whole DAG at build time, so a
+  // block below every tip has been referenced exactly once by every server
+  // — no future block or FWD request can mention it again.
+  std::vector<std::optional<std::pair<SeqNo, Hash256>>> best(n_servers);
+  for (const BlockPtr& b : dag_.topological_order()) {
+    if (b->n() >= n_servers) continue;  // out-of-range builder: never a tip
+    auto& slot = best[b->n()];
+    if (!slot || b->k() > slot->first) slot.emplace(b->k(), b->ref());
+  }
+  std::vector<Hash256> tips;
+  tips.reserve(n_servers);
+  for (const auto& slot : best) {
+    if (!slot) return 0;  // some server has no block yet: GC must wait
+    tips.push_back(slot->second);
+  }
+  const std::size_t removed = dag_.prune_common_ancestors(tips);
+  if (removed != 0) {
+    ++stats_.gc_runs;
+    stats_.blocks_pruned += removed;
+  }
+  return removed;
+}
+
+bool GossipServer::restore_parts(const std::vector<Hash256>& horizon,
+                                 const std::vector<BlockPtr>& blocks,
+                                 SeqNo next_k,
+                                 std::vector<Hash256> building_preds) {
+  if (dag_.size() != 0) return false;
+  BlockDag staged;
+  for (const Hash256& h : horizon) staged.register_pruned(h);
+  for (const BlockPtr& b : blocks) {
+    // Signature/validity were checked before the checkpoint was signed;
+    // structurally every pred must resolve (live or horizon tombstone).
+    if (!b || !staged.insert(b)) return false;
+  }
+  if (staged.size() != blocks.size()) return false;  // duplicate entries
+  dag_ = std::move(staged);
+  next_k_ = next_k;
+  building_preds_ = std::move(building_preds);
+  if (on_inserted_) {
+    for (const BlockPtr& b : dag_.topological_order()) on_inserted_(b);
+  }
+  return true;
+}
+
+bool GossipServer::restore_own_block(const BlockPtr& block) {
+  if (!block || block->n() != self_) return false;
+  if (dag_.known(block->ref())) return false;  // log/checkpoint overlap
+  if (!dag_.insert(block)) return false;
+  ++stats_.blocks_built;
+  ++stats_.blocks_inserted;
+  if (on_inserted_) on_inserted_(block);
+  // Line 18, replayed: the next block after B starts at (k+1, [ref(B)]).
+  next_k_ = block->k() + 1;
+  building_preds_.assign(1, block->ref());
+  return true;
 }
 
 Bytes GossipServer::snapshot() const {

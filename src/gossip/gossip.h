@@ -45,6 +45,8 @@ struct GossipStats {
   std::uint64_t blocks_rejected = 0;  // permanently invalid
   std::uint64_t fwd_requests_sent = 0;
   std::uint64_t fwd_replies_sent = 0;
+  std::uint64_t gc_runs = 0;          // collect_garbage calls that pruned
+  std::uint64_t blocks_pruned = 0;    // blocks removed by collect_garbage
 };
 
 class GossipServer {
@@ -85,6 +87,28 @@ class GossipServer {
   // Number of buffered (not yet valid) blocks — the `blks` set.
   std::size_t pending_blocks() const { return pending_.size(); }
 
+  // Construction state of the block being built (checkpointing reads these;
+  // see the crash-recovery note below for why they must be persisted).
+  SeqNo next_seq() const { return next_k_; }
+  const std::vector<Hash256>& building_preds() const { return building_preds_; }
+
+  // Feeds a block obtained out-of-band (state sync) through the exact
+  // receive path used for network blocks: signature verification, pending
+  // buffering, reference-once accounting. Idempotent for blocks already
+  // held — including pruned history a provider may replay.
+  void ingest(Block&& block) { handle_block(std::move(block)); }
+
+  // Epoch GC: prunes every block that is a proper ancestor of ALL n
+  // servers' tips (highest-seqno live block per builder). Once every
+  // server's tip sits above a block, every server has referenced it exactly
+  // once (Lemma A.6) and no crash-fault execution references it again — so
+  // the block can never be needed for future interpretation or FWD replies.
+  // No-op (returns 0) until every one of the n servers has a block in the
+  // local DAG; in particular a fresh joiner that has not yet disseminated
+  // holds GC back cluster-wide, which is what guarantees it can still fetch
+  // the full DAG. Callers must pair this with Interpreter::forget_pruned().
+  std::size_t collect_garbage(std::uint32_t n_servers);
+
   // --- Crash recovery (§7 Limitations) ---
   //
   // A crash-recovering server must persist (and restore) its gossip state:
@@ -105,6 +129,27 @@ class GossipServer {
   // corrupted bytes anywhere in the snapshot) leaves the server exactly as
   // it was — a fresh construction can retry with a better snapshot.
   bool restore(const Bytes& snapshot);
+
+  // Checkpoint restore (src/sync): rebuilds the DAG from a checkpoint's
+  // horizon (refs of pruned preds of live blocks, registered as
+  // tombstones), its live blocks (topological order, validated before the
+  // checkpoint was signed), and the persisted construction state. Only
+  // callable on a fresh server; all-or-nothing like restore(). Replays
+  // on_inserted_ for every live block so the interpreter's slot table
+  // covers them (the shim suppresses interpretation during restore — the
+  // states come from the checkpoint, not from replay).
+  bool restore_parts(const std::vector<Hash256>& horizon,
+                     const std::vector<BlockPtr>& blocks, SeqNo next_k,
+                     std::vector<Hash256> building_preds);
+
+  // Replays one of this server's own blocks from the durable block log:
+  // inserts it and — unlike the receive path — re-runs the line-18 side of
+  // its original dissemination, resetting the block under construction to
+  // (k+1, [ref]). Replaying own blocks through handle_block instead would
+  // *append* the ref to building_preds, so the recovered server's next
+  // block would re-reference everything its pre-crash blocks already
+  // referenced — double deliveries, violating reference-once (Lemma A.6).
+  bool restore_own_block(const BlockPtr& block);
 
   // Crashes this server: it permanently stops sending and reacting. Pending
   // scheduler events (the FWD retry timers) that still reference this object

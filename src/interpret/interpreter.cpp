@@ -212,8 +212,36 @@ void Interpreter::interpret_block(BlockIdx idx) {
   }
 }
 
+bool Interpreter::restore_block(
+    const Hash256& ref, Bytes cached_digest,
+    ActiveLabelSet::Handle active_labels,
+    FlatMap<Label, std::vector<Message>> ms_out,
+    const std::vector<std::pair<Label, Bytes>>& pis_serialized) {
+  sync_states();
+  const BlockIdx idx = dag_.index_of(ref);
+  if (idx == kNoBlockIdx || !dag_.alive(idx) || states_[idx].interpreted) {
+    return false;
+  }
+  BlockInterpretation st;
+  const ServerId owner = dag_.block_at(idx)->n();
+  for (const auto& [label, bytes] : pis_serialized) {
+    auto instance = factory_.deserialize(label, owner, n_servers_, bytes);
+    if (!instance) return false;
+    st.pis[label] = std::shared_ptr<const Process>(std::move(instance));
+  }
+  st.ms_out = std::move(ms_out);
+  st.active_labels = ActiveLabelSet(std::move(active_labels));
+  st.cached_digest = std::move(cached_digest);
+  st.interpreted = true;
+  states_[idx] = std::move(st);
+  return true;
+}
+
 Bytes Interpreter::digest_of(const Hash256& ref) const {
   const BlockInterpretation* st = state_of(ref);
+  // Checkpoint-restored blocks return the digest computed at first
+  // interpretation verbatim (ms_in was consumed, not checkpointed).
+  if (st && !st->cached_digest.empty()) return st->cached_digest;
   Writer w;
   w.u8(st && st->interpreted ? 1 : 0);
   if (st) {

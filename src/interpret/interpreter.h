@@ -92,6 +92,12 @@ struct BlockInterpretation {
   // Labels with a request at some ancestor (incl. B itself): the set that
   // line 7 quantifies over. Shared copy-on-write down the DAG.
   ActiveLabelSet active_labels;
+
+  // Checkpoint-restored blocks carry the digest_of() output computed when
+  // the block was first interpreted instead of re-derivable state (ms_in is
+  // not checkpointed); digest_of returns it verbatim. Empty for blocks
+  // interpreted live.
+  Bytes cached_digest;
 };
 
 struct InterpreterStats {
@@ -139,6 +145,18 @@ class Interpreter {
   Bytes digest_of(const Hash256& ref) const;
 
   const InterpreterStats& stats() const { return stats_; }
+
+  // Checkpoint restore (src/sync): marks `ref` as interpreted with its
+  // saved post-interpretation artifacts instead of re-running P over it.
+  // `pis_serialized` holds Process::serialize() outputs and may be empty —
+  // only per-builder tip blocks ever have their instance states read again
+  // (line 4 copies from the parent, and only tips become parents of new
+  // blocks). Returns false — without mutating state — if the block is not
+  // live, already interpreted, or an instance fails to deserialize.
+  bool restore_block(const Hash256& ref, Bytes cached_digest,
+                     ActiveLabelSet::Handle active_labels,
+                     FlatMap<Label, std::vector<Message>> ms_out,
+                     const std::vector<std::pair<Label, Bytes>>& pis_serialized);
 
   // Drops interpretation state of blocks no longer in the DAG (pruning
   // extension §7; pairs with BlockDag::prune_below). BlockIdx slots are

@@ -1,0 +1,38 @@
+// Deterministic retry-delay jitter.
+//
+// Both socket backends retry with fixed-base backoff (TCP reconnects every
+// reconnect_delay, the datagram layer doubles its RTO per retransmit). When
+// many endpoints enter backoff at the same instant — exactly what the
+// kill/restart fault injector produces by SIGKILLing a member every peer is
+// streaming to — fixed delays make every survivor retry in lockstep,
+// hammering the recovering process with synchronized waves. Spreading each
+// delay uniformly over ±jitter_pct de-correlates the retries while keeping
+// the expected delay unchanged.
+//
+// The jitter stream is seeded, not drawn from a global RNG: every transport
+// decision in this repository must be reproducible from its config seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace blockdag {
+
+// `base` scaled by a uniform factor in [1 - jitter_pct, 1 + jitter_pct],
+// advancing `prng_state` (splitmix64). jitter_pct outside (0, 1) — off or
+// nonsensical — returns `base` unchanged and does not advance the stream,
+// so runs with jitter disabled are bit-identical to pre-jitter builds.
+inline std::uint64_t jittered_delay(std::uint64_t base, double jitter_pct,
+                                    std::uint64_t& prng_state) {
+  if (!(jitter_pct > 0.0) || jitter_pct >= 1.0 || base == 0) return base;
+  SplitMix64 sm(prng_state);
+  const std::uint64_t draw = sm.next();
+  prng_state = draw;  // chain the stream deterministically
+  // Uniform in [-1, 1] from the top 53 bits (exactly representable).
+  const double unit = static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+  const double factor = 1.0 + jitter_pct * (2.0 * unit - 1.0);
+  return static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+}
+
+}  // namespace blockdag

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/backoff.h"
+
 namespace blockdag {
 
 namespace {
@@ -90,6 +92,9 @@ SenderChannel::SenderChannel(ServerId self, DatagramChannelConfig config)
     : self_(self), config_(std::move(config)) {
   assert(config_.mtu > kDatagramHeaderSize);
   assert(config_.window_chunks > 0);
+  // Decorrelate per-channel jitter streams: two channels with the same seed
+  // would retransmit in lockstep, defeating the point.
+  rto_prng_ = config_.rto_jitter_seed ^ (0x9e3779b97f4a7c15ULL * (self_ + 1));
 }
 
 bool SenderChannel::offer(std::span<const std::uint8_t> frame) {
@@ -172,7 +177,9 @@ std::size_t SenderChannel::poll(std::uint64_t now_ns, std::vector<Bytes>& out) {
         chunk.retransmits < 63 ? chunk.retransmits : 63;
     std::uint64_t rto = config_.initial_rto_ns;
     if (shift < 63 && (rto << shift) >> shift == rto) rto <<= shift;
-    chunk.deadline_ns = now_ns + std::min(rto, config_.max_rto_ns);
+    chunk.deadline_ns =
+        now_ns + jittered_delay(std::min(rto, config_.max_rto_ns),
+                                config_.rto_jitter, rto_prng_);
     out.push_back(chunk.datagram);
     ++emitted;
   }

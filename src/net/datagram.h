@@ -111,6 +111,11 @@ struct DatagramChannelConfig {
   std::size_t mtu = kDefaultDatagramMtu;      // max datagram incl. header
   std::uint64_t initial_rto_ns = 20'000'000;  // first retransmit after 20ms
   std::uint64_t max_rto_ns = 320'000'000;     // backoff ceiling
+  // ± fraction applied to each retransmission deadline so channels that
+  // lost traffic to the same event (a SIGKILLed peer) do not re-fire in
+  // lockstep once it returns. 0 disables (tests pinning the RTO schedule).
+  double rto_jitter = 0.25;
+  std::uint64_t rto_jitter_seed = 0xd47a6e4aULL;
   std::uint32_t max_retransmits = 10;  // per chunk; beyond => channel reset
   std::size_t window_chunks = 128;     // sent-unacked ceiling
   // Total buffered chunks; offers beyond this drop the whole frame. The
@@ -188,6 +193,7 @@ class SenderChannel {
   std::deque<Chunk> queue_;            // unacked prefix + unsent tail
   std::size_t inflight_ = 0;           // sent-unacked chunks
   std::uint64_t retired_frames_ = 0;
+  std::uint64_t rto_prng_;             // net/backoff.h jitter stream
   SenderChannelStats stats_;
 };
 

@@ -11,6 +11,10 @@ const char* wire_kind_name(WireKind kind) {
     case WireKind::kFwdReply: return "fwd_reply";
     case WireKind::kProtocol: return "protocol";
     case WireKind::kControl: return "control";
+    case WireKind::kSyncRequest: return "sync_request";
+    case WireKind::kSyncManifest: return "sync_manifest";
+    case WireKind::kSyncChunk: return "sync_chunk";
+    case WireKind::kSyncDone: return "sync_done";
     case WireKind::kCount: break;
   }
   return "?";

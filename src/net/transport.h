@@ -38,6 +38,10 @@ enum class WireKind : std::uint8_t {
   kProtocol,       // baseline protocols' direct messages
   kControl,        // runtime control plane (multi-process digest exchange);
                    // never delivered to the protocol stack
+  kSyncRequest,    // state sync: "send me your checkpoint + recent blocks"
+  kSyncManifest,   // state sync: payload size/hash announcement
+  kSyncChunk,      // state sync: one chunk of the sync payload
+  kSyncDone,       // state sync: provider has no more chunks / refusal
   kCount,
 };
 

@@ -15,6 +15,14 @@ Bytes Message::canonical() const {
   return std::move(w).take();
 }
 
+std::optional<Message> Message::decode_canonical(Reader& r) {
+  const auto sender = r.u32();
+  const auto receiver = r.u32();
+  auto payload = r.bytes();
+  if (!sender || !receiver || !payload) return std::nullopt;
+  return Message{*sender, *receiver, std::move(*payload)};
+}
+
 Bytes Message::order_key() const {
   // Big-endian fixed-width fields, then a big-endian length prefix, then
   // the payload: lexicographic comparison of these bytes is exactly the

@@ -20,12 +20,15 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 
 #include "util/types.h"
 
 namespace blockdag {
+
+class Reader;
 
 struct Message {
   ServerId sender = kInvalidServer;
@@ -35,6 +38,10 @@ struct Message {
   // Canonical encoding (little-endian, length-prefixed): injective, used
   // for hashing and wire framing.
   Bytes canonical() const;
+
+  // Decodes one canonical() encoding from `r` (checkpoint storage of the
+  // Ms[out] buffers); nullopt on truncated/malformed bytes.
+  static std::optional<Message> decode_canonical(Reader& r);
 
   // Ordering witness encoding (big-endian, length-prefixed): injective,
   // and its lexicographic order equals MessageOrder. Only used by tests

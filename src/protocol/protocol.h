@@ -57,6 +57,14 @@ class Process {
   // Deterministic digest of the instance state; used by tests asserting
   // Lemma 4.2 (server-independent interpretation) bit-for-bit.
   virtual Bytes state_digest() const = 0;
+
+  // Canonical serialization of the full instance state for checkpointing
+  // (src/sync): ProtocolFactory::deserialize must rebuild an instance whose
+  // state_digest() and future behaviour are byte-identical. The default —
+  // empty bytes — marks the instance non-serializable; checkpointing is
+  // only available for protocols that override it (all shipped ones do;
+  // minimal test Processes need not).
+  virtual Bytes serialize() const { return {}; }
 };
 
 // Creates fresh process instances: one per (label, simulated server).
@@ -67,6 +75,19 @@ class ProtocolFactory {
 
   virtual std::unique_ptr<Process> create(Label label, ServerId self,
                                           std::uint32_t n_servers) const = 0;
+
+  // Rebuilds an instance from Process::serialize() output. Returns nullptr
+  // on malformed bytes or when the protocol does not support serialization
+  // (the default) — checkpoint restore treats nullptr as a clean failure.
+  virtual std::unique_ptr<Process> deserialize(Label label, ServerId self,
+                                               std::uint32_t n_servers,
+                                               const Bytes& state) const {
+    (void)label;
+    (void)self;
+    (void)n_servers;
+    (void)state;
+    return nullptr;
+  }
 
   // Human-readable protocol name (diagnostics, bench labels).
   virtual const char* name() const = 0;

@@ -1,5 +1,7 @@
 #include "protocols/bcb.h"
 
+#include "protocol/state_codec.h"
+
 #include "crypto/sha256.h"
 #include "util/serialize.h"
 
@@ -102,6 +104,23 @@ Bytes BcbProcess::state_digest() const {
   }
   const auto d = Sha256::digest(w.data());
   return Bytes(d.begin(), d.end());
+}
+
+Bytes BcbProcess::serialize() const {
+  using state_codec::put;
+  Writer w;
+  put(w, sent_);
+  put(w, echoed_);
+  put(w, delivered_);
+  put(w, echos_);
+  return std::move(w).take();
+}
+
+bool BcbProcess::restore(const Bytes& state) {
+  using state_codec::get;
+  Reader r(state);
+  return get(r, sent_) && get(r, echoed_) && get(r, delivered_) &&
+         get(r, echos_) && r.remaining() == 0;
 }
 
 }  // namespace blockdag::bcb

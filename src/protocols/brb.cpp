@@ -1,5 +1,7 @@
 #include "protocols/brb.h"
 
+#include "protocol/state_codec.h"
+
 #include "crypto/sha256.h"
 #include "util/serialize.h"
 
@@ -139,6 +141,24 @@ Bytes BrbProcess::state_digest() const {
   put(readies_);
   const auto d = Sha256::digest(w.data());
   return Bytes(d.begin(), d.end());
+}
+
+Bytes BrbProcess::serialize() const {
+  using state_codec::put;
+  Writer w;
+  put(w, echoed_);
+  put(w, readied_);
+  put(w, delivered_);
+  put(w, echos_);
+  put(w, readies_);
+  return std::move(w).take();
+}
+
+bool BrbProcess::restore(const Bytes& state) {
+  using state_codec::get;
+  Reader r(state);
+  return get(r, echoed_) && get(r, readied_) && get(r, delivered_) &&
+         get(r, echos_) && get(r, readies_) && r.remaining() == 0;
 }
 
 }  // namespace blockdag::brb

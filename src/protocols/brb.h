@@ -58,6 +58,10 @@ class BrbProcess final : public Process {
   StepResult on_request(const Bytes& request) override;
   StepResult on_message(const Message& message) override;
   Bytes state_digest() const override;
+  Bytes serialize() const override;
+  // Rebuilds the private state from serialize() output; false on malformed
+  // bytes (the instance is then unusable — callers discard it).
+  bool restore(const Bytes& state);
 
   bool delivered() const { return delivered_; }
 
@@ -82,6 +86,12 @@ class BrbFactory final : public ProtocolFactory {
   std::unique_ptr<Process> create(Label, ServerId self,
                                   std::uint32_t n_servers) const override {
     return std::make_unique<BrbProcess>(self, n_servers);
+  }
+  std::unique_ptr<Process> deserialize(Label, ServerId self,
+                                       std::uint32_t n_servers,
+                                       const Bytes& state) const override {
+    auto p = std::make_unique<BrbProcess>(self, n_servers);
+    return p->restore(state) ? std::move(p) : nullptr;
   }
   const char* name() const override { return "brb"; }
 };

@@ -1,5 +1,7 @@
 #include "protocols/coin_beacon.h"
 
+#include "protocol/state_codec.h"
+
 #include "crypto/sha256.h"
 #include "util/serialize.h"
 
@@ -91,6 +93,22 @@ Bytes BeaconProcess::state_digest() const {
   }
   const auto d = Sha256::digest(w.data());
   return Bytes(d.begin(), d.end());
+}
+
+Bytes BeaconProcess::serialize() const {
+  using state_codec::put;
+  Writer w;
+  put(w, contributed_);
+  put(w, emitted_);
+  put(w, shares_);
+  return std::move(w).take();
+}
+
+bool BeaconProcess::restore(const Bytes& state) {
+  using state_codec::get;
+  Reader r(state);
+  return get(r, contributed_) && get(r, emitted_) && get(r, shares_) &&
+         r.remaining() == 0;
 }
 
 }  // namespace blockdag::beacon

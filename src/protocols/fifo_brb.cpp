@@ -1,5 +1,7 @@
 #include "protocols/fifo_brb.h"
 
+#include "protocol/state_codec.h"
+
 #include "crypto/sha256.h"
 #include "util/serialize.h"
 
@@ -170,6 +172,47 @@ Bytes FifoBrbProcess::state_digest() const {
   }
   const auto d = Sha256::digest(w.data());
   return Bytes(d.begin(), d.end());
+}
+
+Bytes FifoBrbProcess::serialize() const {
+  using state_codec::put;
+  Writer w;
+  put(w, next_own_seq_);
+  // slots_ encoded inline — Slot is a private aggregate, so the generic
+  // map helper cannot name it from namespace scope.
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [key, slot] : slots_) {
+    put(w, key);
+    put(w, slot.echoed);
+    put(w, slot.readied);
+    put(w, slot.delivered);
+    put(w, slot.echos);
+    put(w, slot.readies);
+  }
+  put(w, ready_to_deliver_);
+  put(w, next_deliver_seq_);
+  return std::move(w).take();
+}
+
+bool FifoBrbProcess::restore(const Bytes& state) {
+  using state_codec::get;
+  Reader r(state);
+  if (!get(r, next_own_seq_)) return false;
+  const auto count = r.u32();
+  if (!count || *count > r.remaining()) return false;
+  slots_.clear();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    SlotKey key{};
+    Slot slot;
+    if (!get(r, key) || !get(r, slot.echoed) || !get(r, slot.readied) ||
+        !get(r, slot.delivered) || !get(r, slot.echos) ||
+        !get(r, slot.readies)) {
+      return false;
+    }
+    if (!slots_.emplace(key, std::move(slot)).second) return false;
+  }
+  return get(r, ready_to_deliver_) && get(r, next_deliver_seq_) &&
+         r.remaining() == 0;
 }
 
 }  // namespace blockdag::fifo

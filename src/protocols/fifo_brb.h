@@ -42,6 +42,8 @@ class FifoBrbProcess final : public Process {
   StepResult on_request(const Bytes& request) override;
   StepResult on_message(const Message& message) override;
   Bytes state_digest() const override;
+  Bytes serialize() const override;
+  bool restore(const Bytes& state);
 
  private:
   struct Slot {
@@ -73,6 +75,12 @@ class FifoBrbFactory final : public ProtocolFactory {
   std::unique_ptr<Process> create(Label, ServerId self,
                                   std::uint32_t n_servers) const override {
     return std::make_unique<FifoBrbProcess>(self, n_servers);
+  }
+  std::unique_ptr<Process> deserialize(Label, ServerId self,
+                                       std::uint32_t n_servers,
+                                       const Bytes& state) const override {
+    auto p = std::make_unique<FifoBrbProcess>(self, n_servers);
+    return p->restore(state) ? std::move(p) : nullptr;
   }
   const char* name() const override { return "fifo_brb"; }
 };

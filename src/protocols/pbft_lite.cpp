@@ -1,5 +1,7 @@
 #include "protocols/pbft_lite.h"
 
+#include "protocol/state_codec.h"
+
 #include "crypto/sha256.h"
 #include "util/serialize.h"
 
@@ -269,6 +271,36 @@ Bytes PbftProcess::state_digest() const {
   }
   const auto d = Sha256::digest(w.data());
   return Bytes(d.begin(), d.end());
+}
+
+Bytes PbftProcess::serialize() const {
+  using state_codec::put;
+  Writer w;
+  put(w, view_);
+  put(w, my_proposal_);
+  put(w, decided_);
+  put(w, locked_value_);
+  put(w, lock_view_);
+  put(w, preprepared_views_);
+  put(w, prepared_views_);
+  put(w, committed_views_);
+  put(w, complained_views_);
+  put(w, prepares_);
+  put(w, commits_);
+  put(w, complaints_);
+  put(w, buffered_preprepares_);
+  return std::move(w).take();
+}
+
+bool PbftProcess::restore(const Bytes& state) {
+  using state_codec::get;
+  Reader r(state);
+  return get(r, view_) && get(r, my_proposal_) && get(r, decided_) &&
+         get(r, locked_value_) && get(r, lock_view_) &&
+         get(r, preprepared_views_) && get(r, prepared_views_) &&
+         get(r, committed_views_) && get(r, complained_views_) &&
+         get(r, prepares_) && get(r, commits_) && get(r, complaints_) &&
+         get(r, buffered_preprepares_) && r.remaining() == 0;
 }
 
 }  // namespace blockdag::pbft

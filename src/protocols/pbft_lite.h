@@ -51,6 +51,8 @@ class PbftProcess final : public Process {
   StepResult on_request(const Bytes& request) override;
   StepResult on_message(const Message& message) override;
   Bytes state_digest() const override;
+  Bytes serialize() const override;
+  bool restore(const Bytes& state);
 
   std::uint64_t view() const { return view_; }
   bool decided() const { return decided_; }
@@ -98,6 +100,12 @@ class PbftFactory final : public ProtocolFactory {
   std::unique_ptr<Process> create(Label, ServerId self,
                                   std::uint32_t n_servers) const override {
     return std::make_unique<PbftProcess>(self, n_servers);
+  }
+  std::unique_ptr<Process> deserialize(Label, ServerId self,
+                                       std::uint32_t n_servers,
+                                       const Bytes& state) const override {
+    auto p = std::make_unique<PbftProcess>(self, n_servers);
+    return p->restore(state) ? std::move(p) : nullptr;
   }
   const char* name() const override { return "pbft_lite"; }
 };

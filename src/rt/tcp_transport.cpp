@@ -13,6 +13,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/backoff.h"
+
 namespace blockdag::rt {
 
 namespace {
@@ -46,7 +48,8 @@ TcpTransport::TcpTransport(TcpConfig config, std::vector<Mailbox*> mailboxes,
       mailboxes_(std::move(mailboxes)),
       idle_(idle),
       handlers_(config_.n_servers),
-      control_(config_.n_servers) {
+      control_(config_.n_servers),
+      reconnect_prng_(config_.reconnect_jitter_seed) {
   assert(mailboxes_.size() == config_.n_servers);
   if (config_.local_servers.empty()) {
     for (ServerId s = 0; s < config_.n_servers; ++s) {
@@ -274,6 +277,18 @@ void TcpTransport::wake() {
   }
 }
 
+// Next re-dial delay: reconnect_delay spread by ±reconnect_jitter so peers
+// whose connections died together (one member SIGKILLed) do not hammer the
+// restarted listener in lockstep. Caller holds mu_ (all re-dial decisions
+// happen on the poll thread or under the send-path lock).
+std::chrono::steady_clock::duration TcpTransport::reconnect_backoff() {
+  const auto base = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      config_.reconnect_delay);
+  return std::chrono::nanoseconds(
+      jittered_delay(static_cast<std::uint64_t>(base.count()),
+                     config_.reconnect_jitter, reconnect_prng_));
+}
+
 void TcpTransport::dial(ServerId from, ServerId to, OutConn& out) {
   ++stats_.dials;
   struct in_addr addr {};
@@ -282,7 +297,7 @@ void TcpTransport::dial(ServerId from, ServerId to, OutConn& out) {
   if (fd < 0 || !set_nonblocking(fd)) {
     if (fd >= 0) ::close(fd);
     out.state = OutConn::State::kBackoff;
-    out.retry_at = Clock::now() + config_.reconnect_delay;
+    out.retry_at = Clock::now() + reconnect_backoff();
     return;
   }
   struct sockaddr_in sa {};
@@ -300,7 +315,7 @@ void TcpTransport::dial(ServerId from, ServerId to, OutConn& out) {
   } else {
     close_fd(out.fd);
     out.state = OutConn::State::kBackoff;
-    out.retry_at = Clock::now() + config_.reconnect_delay;
+    out.retry_at = Clock::now() + reconnect_backoff();
   }
   (void)from;
 }
@@ -319,7 +334,7 @@ void TcpTransport::fail_out(OutConn& out) {
     if (idle_) idle_->sub();
   }
   out.state = OutConn::State::kBackoff;
-  out.retry_at = Clock::now() + config_.reconnect_delay;
+  out.retry_at = Clock::now() + reconnect_backoff();
 }
 
 void TcpTransport::flush_out(OutConn& out) {
@@ -507,7 +522,7 @@ void TcpTransport::poll_loop() {
             } else {
               close_fd(out.fd);
               out.state = OutConn::State::kBackoff;
-              out.retry_at = Clock::now() + config_.reconnect_delay;
+              out.retry_at = Clock::now() + reconnect_backoff();
             }
           } else if (out.state == OutConn::State::kConnected) {
             if (revents & (POLLERR | POLLHUP)) {

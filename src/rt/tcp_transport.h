@@ -60,6 +60,12 @@ struct TcpConfig {
   // Delay before re-dialing a failed or refused connection. Retries repeat
   // forever while traffic is queued: a joining process may come up later.
   std::chrono::milliseconds reconnect_delay{25};
+  // ± fraction applied to every reconnect delay so links that failed
+  // together (e.g. a peer process SIGKILLed mid-run) do not re-dial in
+  // lockstep against the reborn listener. 0 disables (tests that pin the
+  // retry schedule). See net/backoff.h.
+  double reconnect_jitter = 0.25;
+  std::uint64_t reconnect_jitter_seed = 0x7c0ffee5ULL;
   // Per-peer send queue ceiling; beyond it new frames are dropped (counted
   // in WireMetrics::dropped) — transient loss, recovered by gossip FWD.
   std::size_t max_queued_frames_per_peer = 16384;
@@ -148,6 +154,7 @@ class TcpTransport final : public Transport {
   void fail_out(OutConn& out);
   void service_in(InConn& in);
   void flush_out(OutConn& out);
+  std::chrono::steady_clock::duration reconnect_backoff();
 
   TcpConfig config_;
   std::vector<Mailbox*> mailboxes_;
@@ -166,6 +173,7 @@ class TcpTransport final : public Transport {
   std::vector<std::unique_ptr<InConn>> in_;
   std::vector<std::shared_ptr<const Handler>> handlers_;
   std::vector<std::shared_ptr<const Handler>> control_;
+  std::uint64_t reconnect_prng_;  // jitter stream; guarded by mu_
   WireMetrics metrics_;
   TcpStats stats_;
 };

@@ -8,7 +8,7 @@ namespace blockdag::rt {
 
 ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
                                  ThreadedConfig config)
-    : config_(std::move(config)) {
+    : factory_(factory), config_(std::move(config)) {
   local_ = config_.backend == TransportBackend::kTcp ? config_.tcp.local_servers
            : config_.backend == TransportBackend::kUdp
                ? config_.udp.local_servers
@@ -55,14 +55,23 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
     node.timers = std::make_unique<NodeTimerService>(wheel_, *node.mailbox);
     node.sigs =
         std::make_unique<IdealSignatureProvider>(config_.n_servers, config_.seed);
-    // The Shim constructor attaches the server's network handler; all of
-    // this happens before any thread runs, so no synchronization beyond
-    // thread creation is needed.
-    node.shim = std::make_unique<Shim>(s, *node.timers, *transport_, *node.sigs,
-                                       factory, config_.n_servers, config_.gossip,
-                                       config_.pacing, config_.seq_mode);
+    node.storage = config_.storage ? config_.storage(s) : nullptr;
+    // mount_node attaches the server's network handler; all of this
+    // happens before any thread runs, so no synchronization beyond thread
+    // creation is needed.
+    mount_node(s);
   }
   wheel_.start();
+  // Resume from durable state before any thread or socket moves: restore
+  // must see exactly what the checkpoint + log describe, not a DAG that
+  // live traffic already started growing.
+  for (const ServerId s : local_) {
+    Node& node = *nodes_[s];
+    if (node.checkpointer && !node.checkpointer->restore_from_storage()) {
+      restore_failures_.push_back(s);
+      node.shim->halt();  // never run a half-restored server
+    }
+  }
   for (const ServerId s : local_) {
     Mailbox* mailbox = nodes_[s]->mailbox.get();
     nodes_[s]->thread = std::thread([mailbox] { node_loop(*mailbox); });
@@ -70,6 +79,27 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
   // Sockets only move bytes once every handler is attached.
   if (tcp_) tcp_->start();
   if (udp_) udp_->start();
+}
+
+void ThreadedRuntime::mount_node(ServerId server) {
+  Node& node = *nodes_[server];
+  // The previous incarnation (if any) must already be retired — resetting
+  // it here would free objects that in-flight timers still point at.
+  assert(!node.shim && !node.checkpointer && !node.sync_engine);
+  node.shim = std::make_unique<Shim>(server, *node.timers, *transport_,
+                                     *node.sigs, factory_, config_.n_servers,
+                                     config_.gossip, config_.pacing,
+                                     config_.seq_mode);
+  if (node.storage != nullptr || config_.checkpoint.epoch_blocks != 0) {
+    node.checkpointer = std::make_unique<blockdag::sync::Checkpointer>(
+        *node.shim, *node.sigs, config_.n_servers, node.storage,
+        config_.checkpoint);
+  }
+  if (config_.enable_state_sync) {
+    node.sync_engine = std::make_unique<blockdag::sync::SyncEngine>(
+        *node.shim, *node.timers, *transport_, *node.sigs, config_.n_servers,
+        config_.sync);
+  }
 }
 
 bool ThreadedRuntime::transport_ok() const {
@@ -101,6 +131,7 @@ void ThreadedRuntime::node_loop(Mailbox& mailbox) {
 }
 
 void ThreadedRuntime::start() {
+  running_ = true;
   for (const ServerId s : local_) {
     Shim* shim = nodes_[s]->shim.get();
     nodes_[s]->mailbox->push([shim] { shim->start(); });
@@ -108,10 +139,80 @@ void ThreadedRuntime::start() {
 }
 
 void ThreadedRuntime::stop() {
+  running_ = false;
   for (const ServerId s : local_) {
     Shim* shim = nodes_[s]->shim.get();
     nodes_[s]->mailbox->push([shim] { shim->stop(); });
   }
+}
+
+void ThreadedRuntime::crash(ServerId server) {
+  assert(hosts(server));
+  Node* node = nodes_[server].get();
+  call(server, [node](Shim& shim) {
+    shim.halt();
+    if (node->sync_engine) node->sync_engine->halt();
+  });
+}
+
+bool ThreadedRuntime::restart(ServerId server) {
+  assert(hosts(server));
+  Node* node = nodes_[server].get();
+  const bool start_now = running_;
+  return call(server, [this, node, server, start_now](Shim& old_shim) {
+    // Make sure the old incarnation is inert (restart without a prior
+    // crash() is allowed), then retire it: wheel timers and queued tasks
+    // still hold raw pointers into it, so it must outlive them.
+    old_shim.halt();
+    if (node->sync_engine) {
+      node->sync_engine->halt();
+      node->retired_sync.push_back(std::move(node->sync_engine));
+    }
+    if (node->checkpointer) {
+      node->retired_checkpointers.push_back(std::move(node->checkpointer));
+    }
+    node->retired_shims.push_back(std::move(node->shim));
+    // Fresh incarnation over the same mailbox, timers, keys and storage
+    // sink — exactly what a process restart on the same data dir gets.
+    mount_node(server);
+    if (node->checkpointer && !node->checkpointer->restore_from_storage()) {
+      node->shim->halt();
+      return false;
+    }
+    if (start_now) node->shim->start();
+    // Fetch whatever the cluster built while this server was down.
+    if (node->sync_engine) node->sync_engine->start();
+    return true;
+  });
+}
+
+void ThreadedRuntime::start_sync(ServerId server) {
+  assert(hosts(server));
+  Node* node = nodes_[server].get();
+  call(server, [node](Shim&) {
+    assert(node->sync_engine && "enable_state_sync not set");
+    if (node->sync_engine) node->sync_engine->start();
+  });
+}
+
+ThreadedRuntime::SyncSnapshot ThreadedRuntime::sync_snapshot(ServerId server) {
+  assert(hosts(server));
+  Node* node = nodes_[server].get();
+  return call(server, [node](Shim& shim) {
+    SyncSnapshot snap;
+    if (node->checkpointer) {
+      snap.checkpointer = node->checkpointer->stats();
+      snap.restore = node->checkpointer->restore_stats();
+      snap.epoch = node->checkpointer->epoch();
+    }
+    if (node->sync_engine) {
+      snap.sync = node->sync_engine->stats();
+      snap.sync_active = node->sync_engine->syncing();
+      snap.sync_completed = node->sync_engine->completed();
+    }
+    snap.blocks_interpreted = shim.interpreter().stats().blocks_interpreted;
+    return snap;
+  });
 }
 
 void ThreadedRuntime::shutdown() {
@@ -167,8 +268,15 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
     bool first = true;
     Bytes reference;
     std::uint64_t progress = 0;
+    // Under checkpointing each server GCs on its own epoch cadence, so two
+    // servers with the same joint DAG can hold different *live* sets at
+    // sample time. Forcing a GC pass right before sampling makes the live
+    // set a pure function of the DAG again (prune everything below all n
+    // tips), restoring digest comparability.
+    const bool force_gc = config_.checkpoint.epoch_blocks != 0;
     for (const ServerId s : local_) {
-      const auto [digest, moved] = call(s, [](Shim& shim) {
+      const auto [digest, moved] = call(s, [force_gc](Shim& shim) {
+        if (force_gc) shim.collect_garbage();
         const InterpreterStats& stats = shim.interpreter().stats();
         return std::make_pair(blockdag::rt::dag_digest(shim.dag()),
                               stats.messages_delivered +

@@ -32,6 +32,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -45,6 +46,9 @@
 #include "rt/timer_wheel.h"
 #include "rt/udp_transport.h"
 #include "shim/shim.h"
+#include "sync/checkpointer.h"
+#include "sync/state_sync.h"
+#include "sync/storage.h"
 
 namespace blockdag::rt {
 
@@ -72,6 +76,23 @@ struct ThreadedConfig {
   // UDP backend settings, same conventions as `tcp` (n_servers filled in,
   // udp.local_servers selects the hosted subset).
   UdpConfig udp{};
+
+  // --- Durable crash recovery (src/sync, DESIGN.md §10) ---
+  // Per-server storage sink factory; a null function (or a null return for
+  // a given server) means that server runs without persistence. Sinks are
+  // NOT owned and must outlive the runtime — durable state surviving
+  // crash()/restart() is the whole point.
+  std::function<blockdag::sync::StorageSink*(ServerId)> storage;
+  // Epoch checkpoint cadence; epoch_blocks == 0 disables checkpoint/GC
+  // epochs (the block log still accumulates when a sink is attached).
+  // Crash-fault deployments only: GC's tip census trusts claimed builders.
+  blockdag::sync::CheckpointerConfig checkpoint{};
+  // Mount a state-sync engine per hosted server. The provider side answers
+  // peers' catch-up requests from construction on; the requester side runs
+  // only when kicked — restart() does so automatically, fresh late joiners
+  // use start_sync().
+  bool enable_state_sync = false;
+  blockdag::sync::SyncConfig sync{};
 };
 
 class ThreadedRuntime {
@@ -163,6 +184,41 @@ class ThreadedRuntime {
   std::uint64_t total_blocks_inserted();
   WireMetrics wire_metrics() const { return transport_->wire_metrics(); }
 
+  // --- Crash-fault injection (hosted servers only) ---
+  // Kills `server` in place, on its own thread: the shim halts (sends
+  // nothing, drops every delivery) and state sync stops. The process, its
+  // mailbox and its storage sink stay alive — this models the instant
+  // after a SIGKILL, before the operator restarts the binary.
+  void crash(ServerId server);
+  // Builds a fresh incarnation of `server` over the same mailbox/thread/
+  // storage sink: new Shim + Checkpointer + SyncEngine, restored from the
+  // sink's newest checkpoint + block log, started if the runtime is
+  // running, then kicked into state sync to fetch what it missed while
+  // down. Returns false if the durable state failed to restore (corrupt or
+  // alien storage) — the incarnation is left halted in that case.
+  bool restart(ServerId server);
+  // Kicks the requester side of `server`'s sync engine (fresh late joiner
+  // with nothing on disk). restart() does this automatically.
+  void start_sync(ServerId server);
+  // Servers whose constructor-time restore failed (corrupt storage). The
+  // affected shims are halted; `simctl serve` maps non-empty to exit 3.
+  const std::vector<ServerId>& restore_failures() const {
+    return restore_failures_;
+  }
+
+  // Thread-safe by-value copy of one hosted server's recovery/sync
+  // counters (taken on the server's thread, like every state read).
+  struct SyncSnapshot {
+    blockdag::sync::CheckpointerStats checkpointer;
+    blockdag::sync::RestoreStats restore;
+    blockdag::sync::SyncStats sync;
+    std::uint64_t epoch = 0;           // newest stored checkpoint epoch
+    bool sync_active = false;
+    bool sync_completed = false;
+    std::uint64_t blocks_interpreted = 0;
+  };
+  SyncSnapshot sync_snapshot(ServerId server);
+
  private:
   struct Node {
     std::unique_ptr<Mailbox> mailbox;
@@ -172,6 +228,18 @@ class ThreadedRuntime {
     // threads.
     std::unique_ptr<IdealSignatureProvider> sigs;
     std::unique_ptr<Shim> shim;
+    // Recovery plumbing (null when not configured). `storage` is borrowed
+    // from ThreadedConfig::storage and survives restarts — it IS the
+    // durable state.
+    blockdag::sync::StorageSink* storage = nullptr;
+    std::unique_ptr<blockdag::sync::Checkpointer> checkpointer;
+    std::unique_ptr<blockdag::sync::SyncEngine> sync_engine;
+    // Crashed incarnations are retired here, not freed: in-flight wheel
+    // timers and queued mailbox tasks still hold raw pointers into them
+    // (they are halted, so firing into one is a no-op). Freed at shutdown.
+    std::vector<std::unique_ptr<Shim>> retired_shims;
+    std::vector<std::unique_ptr<blockdag::sync::Checkpointer>> retired_checkpointers;
+    std::vector<std::unique_ptr<blockdag::sync::SyncEngine>> retired_sync;
     std::thread thread;
   };
 
@@ -181,9 +249,16 @@ class ThreadedRuntime {
   }
   Mailbox& mailbox_of(ServerId server) { return *nodes_[server]->mailbox; }
   static void node_loop(Mailbox& mailbox);
+  // (Re)builds `server`'s protocol stack: Shim + recovery plumbing. Must
+  // run with no concurrent access to the node — the constructor (before
+  // threads exist) or the node's own thread (restart()).
+  void mount_node(ServerId server);
 
+  const ProtocolFactory& factory_;
   ThreadedConfig config_;
   std::vector<ServerId> local_;
+  std::vector<ServerId> restore_failures_;
+  bool running_ = false;
   IdleTracker idle_;
   TimerWheel wheel_{idle_};
   std::unique_ptr<Transport> transport_;

@@ -8,8 +8,11 @@ Shim::Shim(ServerId self, TimerService& timers, Transport& net, SignatureProvide
     : timers_(timers),
       gossip_(self, timers, net, sigs, rqsts_, gossip_config, seq_mode),
       interpreter_(gossip_.dag(), factory, n_servers),
-      pacing_(pacing) {
+      pacing_(pacing),
+      n_servers_(n_servers) {
   net.attach(self, [this](ServerId from, const Bytes& wire) {
+    // Aux traffic (state sync) is consumed before gossip sees it.
+    if (aux_ && aux_(from, wire)) return;
     gossip_.on_network(from, wire);
   });
   gossip_.set_block_inserted_handler(
@@ -36,7 +39,13 @@ void Shim::request(Label label, Bytes request) {
   }
 }
 
-void Shim::on_block_inserted(const BlockPtr&) {
+void Shim::on_block_inserted(const BlockPtr& block) {
+  // During a checkpoint restore the interpretation states come from the
+  // checkpoint records, not from replay — interpreting here would race the
+  // restore_block pass (and silently replay history). The block sink stays
+  // quiet too: replayed blocks are already in the log they came from.
+  if (restoring_) return;
+  if (block_sink_) block_sink_(block);
   // The DAG grew: interpret newly eligible blocks. Interpretation is
   // decoupled in the paper (it could run entirely off-line, Section 4);
   // running it inline keeps indication latency measurements tight while
@@ -44,9 +53,16 @@ void Shim::on_block_inserted(const BlockPtr&) {
   interpreter_.run();
 }
 
+std::size_t Shim::collect_garbage() {
+  const std::size_t removed = gossip_.collect_garbage(n_servers_);
+  if (removed != 0) interpreter_.forget_pruned();
+  return removed;
+}
+
 void Shim::tick() {
   gossip_.disseminate(!pacing_.skip_empty);
   interpreter_.run();
+  if (maintenance_) maintenance_();
 }
 
 void Shim::schedule_next_dissemination() {
@@ -73,10 +89,12 @@ void Shim::halt() {
 
 bool Shim::restore(const Bytes& snapshot) {
   restoring_ = true;
-  // GossipServer::restore replays the insert notification per block, which
-  // drives the incremental interpreter over the whole persisted DAG —
-  // interpretation state and indications() come back deterministically.
+  // GossipServer::restore replays the insert notification per block to
+  // grow the interpreter's slot table; the explicit run() below then
+  // recomputes interpretation state and indications() deterministically
+  // (restoring_ keeps the inserted→interpret trigger quiet meanwhile).
   const bool ok = gossip_.restore(snapshot);
+  if (ok) interpreter_.run();
   restoring_ = false;
   return ok;
 }

@@ -33,6 +33,16 @@ struct UserIndication {
 class Shim {
  public:
   using IndicationHandler = std::function<void(Label, const Bytes&)>;
+  // First look at incoming wire traffic; return true to consume the
+  // message, false to pass it to gossip. State sync (src/sync) mounts its
+  // WireKinds here without gossip knowing about them.
+  using AuxHandler = std::function<bool(ServerId, const Bytes&)>;
+  // Invoked after every tick()'s interpretation step; the checkpointer
+  // (src/sync) hooks epoch checkpoint + GC cadence here.
+  using MaintenanceHook = std::function<void()>;
+  // Invoked for every block entering the DAG (own and received) outside of
+  // restore replay; the checkpointer appends each to the durable block log.
+  using BlockSink = std::function<void(const BlockPtr&)>;
 
   // Sans-io: the shim reaches its environment only through the Transport /
   // TimerService seam, so one Shim implementation serves both the
@@ -56,6 +66,18 @@ class Shim {
   void set_indication_handler(IndicationHandler handler) {
     on_indication_ = std::move(handler);
   }
+
+  void set_aux_handler(AuxHandler handler) { aux_ = std::move(handler); }
+  void set_maintenance_hook(MaintenanceHook hook) {
+    maintenance_ = std::move(hook);
+  }
+  void set_block_sink(BlockSink sink) { block_sink_ = std::move(sink); }
+
+  // Epoch GC: prunes blocks below every server's tip from the DAG and
+  // drops their interpretation state. Returns blocks removed. Safe only in
+  // crash-fault deployments (equivocation breaks the deterministic tip
+  // census); callers gate it the same way checkpointing is gated.
+  std::size_t collect_garbage();
 
   // Starts the periodic dissemination loop (lines 10–11).
   void start();
@@ -83,6 +105,24 @@ class Shim {
   // malformed bytes. `at` timestamps of replayed indications are the
   // restore time, not the original delivery time.
   bool restore(const Bytes& snapshot);
+
+  // --- Checkpoint restore plumbing (src/sync drives these) ---
+  //
+  // A checkpoint restore runs in three phases on a fresh Shim: (1) rebuild
+  // the DAG (gossip().restore_parts) and mark the checkpointed blocks
+  // interpreted from their saved records (interpreter().restore_block);
+  // (2) re-seed the indication log from the checkpoint; (3) replay the
+  // post-checkpoint block log through the normal receive path. All three
+  // happen inside begin_restore()/end_restore(), which suppresses both the
+  // external indication handler (the pre-crash incarnation already
+  // surfaced those indications) and the inserted→interpret trigger (phase
+  // 1 states come from the checkpoint, not from replay).
+  void begin_restore() { restoring_ = true; }
+  void end_restore() { restoring_ = false; }
+  bool restoring() const { return restoring_; }
+  void restore_indications(std::vector<UserIndication> log) {
+    delivered_ = std::move(log);
+  }
 
   // Crash: stops the dissemination loop and permanently halts gossip (no
   // sends, no reactions, pending timers become no-ops). The object stays
@@ -116,9 +156,13 @@ class Shim {
   GossipServer gossip_;
   Interpreter interpreter_;
   PacingConfig pacing_;
+  std::uint32_t n_servers_;
   bool started_ = false;
   bool restoring_ = false;
   IndicationHandler on_indication_;
+  AuxHandler aux_;
+  MaintenanceHook maintenance_;
+  BlockSink block_sink_;
   std::vector<UserIndication> delivered_;
 };
 

@@ -1,0 +1,124 @@
+#include "sync/checkpointer.h"
+
+#include <utility>
+
+#include "sync/checkpoint.h"
+
+namespace blockdag::sync {
+
+Checkpointer::Checkpointer(Shim& shim, SignatureProvider& sigs,
+                           std::uint32_t n_servers, StorageSink* storage,
+                           CheckpointerConfig config)
+    : shim_(shim),
+      sigs_(sigs),
+      n_servers_(n_servers),
+      storage_(storage),
+      config_(config) {
+  next_checkpoint_at_ = config_.epoch_blocks;
+  shim_.set_maintenance_hook([this] { on_tick(); });
+  shim_.set_block_sink([this](const BlockPtr& block) { on_block(block); });
+}
+
+void Checkpointer::on_block(const BlockPtr& block) {
+  if (!storage_) return;
+  const LogKind kind = block->n() == shim_.self() ? LogKind::kOwnBlock
+                                                  : LogKind::kRecvBlock;
+  if (storage_->append_block(kind, block->encode())) {
+    ++stats_.blocks_logged;
+  } else {
+    ++stats_.store_failures;
+  }
+}
+
+void Checkpointer::on_tick() {
+  if (config_.epoch_blocks == 0) return;
+  if (shim_.interpreter().stats().blocks_interpreted < next_checkpoint_at_) {
+    return;
+  }
+  // Epoch step: GC first so the checkpoint captures the already-pruned
+  // live set (and so memory is reclaimed even if the build is skipped).
+  shim_.collect_garbage();
+  auto cp = build_checkpoint(shim_, epoch_ + 1, n_servers_);
+  if (!cp) {
+    // Not at an interpretation fixpoint (some live block's preds are still
+    // in flight). Retry on the next tick rather than forcing one.
+    ++stats_.checkpoints_skipped;
+    return;
+  }
+  if (storage_ != nullptr) {
+    const Bytes wire = encode_signed_checkpoint(*cp, sigs_);
+    if (!storage_->store_checkpoint(epoch_ + 1, wire)) {
+      ++stats_.store_failures;
+      return;  // keep the old epoch; the log keeps accumulating
+    }
+  }
+  ++epoch_;
+  ++stats_.checkpoints_stored;
+  next_checkpoint_at_ =
+      shim_.interpreter().stats().blocks_interpreted + config_.epoch_blocks;
+}
+
+bool Checkpointer::restore_from_storage() {
+  restore_stats_ = RestoreStats{};
+  if (!storage_) return true;
+  std::uint64_t epoch = 0;
+  Bytes ckpt_wire;
+  std::vector<LogRecord> log;
+  if (!storage_->load_latest(epoch, ckpt_wire, log)) return false;
+  if (ckpt_wire.empty() && log.empty()) return true;  // fresh data dir
+
+  shim_.begin_restore();
+  bool ok = true;
+  if (!ckpt_wire.empty()) {
+    // The signature check is what rejects a checkpoint file copied in from
+    // another server's data dir (wrong signer) on top of the storage CRC.
+    auto cp = decode_signed_checkpoint(ckpt_wire, &sigs_, shim_.self());
+    if (cp && cp->n_servers == n_servers_ && cp->epoch == epoch &&
+        restore_checkpoint(shim_, *cp)) {
+      epoch_ = cp->epoch;
+      restore_stats_.checkpoint_epoch = cp->epoch;
+      restore_stats_.blocks_from_checkpoint = cp->blocks.size();
+    } else {
+      ok = false;
+    }
+  }
+  for (std::size_t i = 0; ok && i < log.size(); ++i) {
+    auto block = Block::decode(log[i].payload);
+    // The log passed its per-record CRCs; bytes that then fail to decode
+    // as a block (or re-apply) mean corrupted storage, not a torn tail —
+    // refuse the whole restore instead of resuming from a silent gap in
+    // our own blocks (which would make the server equivocate on rebuild).
+    if (!block) {
+      ok = false;
+      break;
+    }
+    if (log[i].kind == LogKind::kOwnBlock) {
+      auto ptr = std::make_shared<const Block>(std::move(*block));
+      if (ptr->n() != shim_.self() ||
+          !shim_.gossip().restore_own_block(ptr)) {
+        ok = false;
+        break;
+      }
+      ++restore_stats_.own_blocks_from_log;
+    } else {
+      shim_.gossip().ingest(std::move(*block));
+      ++restore_stats_.recv_blocks_from_log;
+    }
+  }
+  // One interpreter pass over the replayed suffix (checkpointed blocks are
+  // already marked interpreted, so only log blocks run) — still inside the
+  // restore window, so indications rebuild the log without re-firing the
+  // user handler.
+  if (ok) shim_.interpreter().run();
+  shim_.end_restore();
+  if (!ok) return false;
+
+  restore_stats_.restored = true;
+  if (config_.epoch_blocks != 0) {
+    next_checkpoint_at_ =
+        shim_.interpreter().stats().blocks_interpreted + config_.epoch_blocks;
+  }
+  return true;
+}
+
+}  // namespace blockdag::sync

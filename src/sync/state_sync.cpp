@@ -1,0 +1,373 @@
+#include "sync/state_sync.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dag/block.h"
+#include "net/backoff.h"
+#include "net/codec.h"
+#include "util/serialize.h"
+
+namespace blockdag::sync {
+
+namespace {
+
+constexpr std::size_t kServedCacheSize = 4;
+
+std::uint32_t chunk_count(std::uint64_t total_bytes, std::size_t chunk_bytes) {
+  return static_cast<std::uint32_t>((total_bytes + chunk_bytes - 1) /
+                                    chunk_bytes);
+}
+
+}  // namespace
+
+SyncEngine::SyncEngine(Shim& shim, TimerService& timers, Transport& net,
+                       SignatureProvider& sigs, std::uint32_t n_servers,
+                       SyncConfig config)
+    : shim_(shim),
+      timers_(timers),
+      net_(net),
+      sigs_(sigs),
+      n_servers_(n_servers),
+      config_(config),
+      self_(shim.self()),
+      jitter_state_(config.jitter_seed ^
+                    (static_cast<std::uint64_t>(shim.self()) << 32)) {
+  shim_.set_aux_handler(
+      [this](ServerId from, const Bytes& wire) { return on_wire(from, wire); });
+}
+
+bool SyncEngine::on_wire(ServerId from, const Bytes& wire) {
+  const auto tagged = split_tagged(wire);
+  if (!tagged) return false;
+  switch (tagged->kind) {
+    case WireKind::kSyncRequest:
+      if (!halted_) handle_request(from, tagged->body);
+      return true;
+    case WireKind::kSyncManifest:
+      if (!halted_) handle_manifest(from, tagged->body);
+      return true;
+    case WireKind::kSyncChunk:
+      if (!halted_) handle_chunk(from, tagged->body);
+      return true;
+    case WireKind::kSyncDone:
+      if (!halted_) handle_done(from, tagged->body);
+      return true;
+    default:
+      return false;  // gossip traffic
+  }
+}
+
+// ---------------------------------------------------------------- provider
+
+Bytes SyncEngine::build_payload() const {
+  Writer body;
+  const auto& order = shim_.dag().topological_order();
+  body.u32(static_cast<std::uint32_t>(order.size()));
+  for (const BlockPtr& b : order) body.bytes(b->encode());
+  Bytes body_bytes = std::move(body).take();
+  Bytes sigma = sigs_.sign(self_, body_bytes);
+  Writer w;
+  w.bytes(body_bytes);
+  w.bytes(sigma);
+  return std::move(w).take();
+}
+
+const Bytes& SyncEngine::payload_for(std::uint64_t token) {
+  for (const auto& [tok, payload] : served_) {
+    if (tok == token) return payload;
+  }
+  // Cache per token so a resumed transfer (from_chunk > 0) slices the same
+  // bytes the manifest hash promised, even if our DAG grew meanwhile.
+  served_.emplace_back(token, build_payload());
+  if (served_.size() > kServedCacheSize) served_.pop_front();
+  return served_.back().second;
+}
+
+void SyncEngine::handle_request(ServerId from,
+                                std::span<const std::uint8_t> body) {
+  Reader r(body);
+  const auto token = r.u64();
+  const auto from_chunk = r.u32();
+  if (!token || !from_chunk || !r.done()) return;
+  if (from == self_ || from >= n_servers_) return;
+  ++stats_.requests_served;
+
+  if (shim_.dag().size() == 0) {
+    // Nothing to offer (we are fresh ourselves): tell the requester so it
+    // rotates to another peer immediately instead of waiting out a timeout.
+    Writer w;
+    w.u64(*token);
+    w.u8(1);
+    net_.send(self_, from, WireKind::kSyncDone,
+              encode_tagged(WireKind::kSyncDone, std::move(w).take()));
+    return;
+  }
+
+  const Bytes& payload = payload_for(*token);
+  const std::uint32_t total =
+      chunk_count(payload.size(), config_.chunk_bytes);
+  {
+    Writer w;
+    w.u64(*token);
+    w.u32(total);
+    w.u64(payload.size());
+    w.raw(Hash256::of(payload).span());
+    net_.send(self_, from, WireKind::kSyncManifest,
+              encode_tagged(WireKind::kSyncManifest, std::move(w).take()));
+  }
+  for (std::uint32_t i = *from_chunk; i < total; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * config_.chunk_bytes;
+    const std::size_t len = std::min(config_.chunk_bytes, payload.size() - off);
+    Writer w;
+    w.u64(*token);
+    w.u32(i);
+    w.bytes(Bytes(payload.begin() + off, payload.begin() + off + len));
+    net_.send(self_, from, WireKind::kSyncChunk,
+              encode_tagged(WireKind::kSyncChunk, std::move(w).take()));
+    ++stats_.chunks_sent;
+  }
+}
+
+// --------------------------------------------------------------- requester
+
+void SyncEngine::start() {
+  if (halted_ || active_) return;
+  completed_ = false;
+  if (n_servers_ < 2) {
+    completed_ = true;  // nobody to sync from; vacuously caught up
+    return;
+  }
+  active_ = true;
+  peer_ = (self_ + 1) % n_servers_;
+  attempt_ = 0;
+  token_ = (static_cast<std::uint64_t>(self_) << 40) ^
+           (timers_.now() + ++token_counter_);
+  have_manifest_ = false;
+  chunks_.clear();
+  chunks_have_ = 0;
+  total_bytes_ = 0;
+  send_request();
+}
+
+void SyncEngine::halt() {
+  halted_ = true;
+  active_ = false;
+  cancel_timers();
+}
+
+void SyncEngine::cancel_timers() {
+  if (progress_timer_ != TimerService::kInvalidTimer) {
+    timers_.cancel(progress_timer_);
+    progress_timer_ = TimerService::kInvalidTimer;
+  }
+  if (retry_timer_ != TimerService::kInvalidTimer) {
+    timers_.cancel(retry_timer_);
+    retry_timer_ = TimerService::kInvalidTimer;
+  }
+}
+
+std::uint32_t SyncEngine::first_missing_chunk() const {
+  if (!have_manifest_) return 0;
+  for (std::uint32_t i = 0; i < chunks_.size(); ++i) {
+    if (chunks_[i].empty()) return i;
+  }
+  return static_cast<std::uint32_t>(chunks_.size());
+}
+
+void SyncEngine::send_request() {
+  Writer w;
+  w.u64(token_);
+  w.u32(first_missing_chunk());
+  ++stats_.requests_sent;
+  net_.send(self_, peer_, WireKind::kSyncRequest,
+            encode_tagged(WireKind::kSyncRequest, std::move(w).take()));
+  arm_progress_timer();
+}
+
+void SyncEngine::arm_progress_timer() {
+  if (progress_timer_ != TimerService::kInvalidTimer) {
+    timers_.cancel(progress_timer_);
+  }
+  progress_timer_ =
+      timers_.schedule_after(config_.progress_timeout, [this, tok = token_] {
+        progress_timer_ = TimerService::kInvalidTimer;
+        if (halted_ || !active_ || tok != token_) return;
+        // Stalled: the request, the provider, or some chunks got lost (or
+        // the link is down and reconnecting). Back off, then re-request
+        // from the first missing chunk — the resume path.
+        ++stats_.retries;
+        ++attempt_;
+        bool fresh = false;
+        if (attempt_ >= config_.attempts_per_peer) {
+          rotate_peer();
+          fresh = true;
+        }
+        schedule_retry(fresh);
+      });
+}
+
+void SyncEngine::schedule_retry(bool fresh_payload) {
+  SimTime delay = config_.retry_base;
+  for (std::uint32_t i = 0; i < attempt_ && delay < config_.retry_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, config_.retry_max);
+  delay = jittered_delay(delay, config_.retry_jitter, jitter_state_);
+  if (retry_timer_ != TimerService::kInvalidTimer) timers_.cancel(retry_timer_);
+  retry_timer_ = timers_.schedule_after(delay, [this, fresh_payload] {
+    retry_timer_ = TimerService::kInvalidTimer;
+    if (halted_ || !active_) return;
+    if (fresh_payload) {
+      token_ = (static_cast<std::uint64_t>(self_) << 40) ^
+               (timers_.now() + ++token_counter_);
+      have_manifest_ = false;
+      chunks_.clear();
+      chunks_have_ = 0;
+      total_bytes_ = 0;
+    }
+    send_request();
+  });
+}
+
+void SyncEngine::rotate_peer() {
+  ++stats_.peer_rotations;
+  attempt_ = 0;
+  peer_ = (peer_ + 1) % n_servers_;
+  if (peer_ == self_) peer_ = (peer_ + 1) % n_servers_;
+}
+
+void SyncEngine::handle_manifest(ServerId from,
+                                 std::span<const std::uint8_t> body) {
+  if (!active_ || from != peer_) return;
+  Reader r(body);
+  const auto token = r.u64();
+  const auto total_chunks = r.u32();
+  const auto total_bytes = r.u64();
+  const auto hash_raw = r.raw(Hash256::kSize);
+  if (!token || !total_chunks || !total_bytes || !hash_raw || !r.done()) return;
+  if (*token != token_) return;
+  ++stats_.manifests_received;
+  if (*total_bytes == 0 || *total_bytes > config_.max_payload_bytes ||
+      *total_chunks != chunk_count(*total_bytes, config_.chunk_bytes)) {
+    fail_payload();  // absurd manifest: this peer is not going to work out
+    return;
+  }
+  Sha256::Digest d;
+  std::copy(hash_raw->begin(), hash_raw->end(), d.begin());
+  const Hash256 hash(d);
+  if (have_manifest_ && hash == payload_hash_ &&
+      *total_bytes == total_bytes_) {
+    arm_progress_timer();  // resume: same payload, chunks on the way
+    return;
+  }
+  have_manifest_ = true;
+  payload_hash_ = hash;
+  total_bytes_ = *total_bytes;
+  chunks_.assign(*total_chunks, Bytes{});
+  chunks_have_ = 0;
+  arm_progress_timer();
+}
+
+void SyncEngine::handle_chunk(ServerId from,
+                              std::span<const std::uint8_t> body) {
+  if (!active_ || from != peer_) return;
+  Reader r(body);
+  const auto token = r.u64();
+  const auto index = r.u32();
+  auto data = r.bytes();
+  if (!token || !index || !data || !r.done()) return;
+  if (*token != token_) return;
+  // A chunk racing ahead of its manifest (transports may reorder) is
+  // dropped; the progress timeout re-requests and the resend finds the
+  // manifest already in place.
+  if (!have_manifest_ || *index >= chunks_.size()) return;
+  const std::size_t expected =
+      *index + 1 == chunks_.size()
+          ? total_bytes_ - static_cast<std::uint64_t>(*index) * config_.chunk_bytes
+          : config_.chunk_bytes;
+  if (data->size() != expected) return;
+  if (chunks_[*index].empty()) {
+    ++stats_.chunks_received;
+    stats_.bytes_received += data->size();
+    chunks_[*index] = std::move(*data);
+    ++chunks_have_;
+  }
+  if (chunks_have_ == chunks_.size()) {
+    finish_payload();
+  } else {
+    arm_progress_timer();
+  }
+}
+
+void SyncEngine::handle_done(ServerId from,
+                             std::span<const std::uint8_t> body) {
+  if (!active_ || from != peer_) return;
+  Reader r(body);
+  const auto token = r.u64();
+  const auto status = r.u8();
+  if (!token || !status || !r.done() || *token != token_) return;
+  // The peer has nothing for us (fresh itself). Try the next one.
+  cancel_timers();
+  rotate_peer();
+  schedule_retry(/*fresh_payload=*/true);
+}
+
+void SyncEngine::fail_payload() {
+  ++stats_.payloads_rejected;
+  cancel_timers();
+  rotate_peer();
+  schedule_retry(/*fresh_payload=*/true);
+}
+
+void SyncEngine::finish_payload() {
+  cancel_timers();
+  Bytes payload;
+  payload.reserve(total_bytes_);
+  for (const Bytes& c : chunks_) {
+    payload.insert(payload.end(), c.begin(), c.end());
+  }
+  if (Hash256::of(payload) != payload_hash_) {
+    fail_payload();
+    return;
+  }
+  Reader r(payload);
+  auto body = r.bytes();
+  auto sigma = r.bytes();
+  if (!body || !sigma || !r.done() ||
+      !sigs_.verify(peer_, *body, *sigma)) {
+    fail_payload();
+    return;
+  }
+  Reader br(*body);
+  const auto count = br.u32();
+  if (!count || *count > br.remaining()) {
+    fail_payload();
+    return;
+  }
+  const std::uint64_t inserted_before = shim_.gossip().stats().blocks_inserted;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto wire = br.bytes();
+    if (!wire) {
+      fail_payload();
+      return;
+    }
+    auto block = Block::decode(*wire);
+    if (!block) {
+      fail_payload();
+      return;
+    }
+    // The normal receive path: builder-signature check, duplicate and
+    // pruned-history drops, pending buffering for out-of-order refs.
+    shim_.gossip().ingest(std::move(*block));
+    ++stats_.blocks_ingested;
+  }
+  stats_.blocks_added +=
+      shim_.gossip().stats().blocks_inserted - inserted_before;
+  shim_.interpreter().run();
+  ++stats_.completions;
+  completed_ = true;
+  active_ = false;
+}
+
+}  // namespace blockdag::sync

@@ -1,0 +1,151 @@
+// State sync: catch-up transfer of a peer's live DAG over the existing
+// Transport, for fresh late joiners and restarted servers that missed
+// traffic while down.
+//
+// Protocol (four WireKinds, mounted on the Shim's aux handler so gossip
+// never sees them):
+//   requester → provider   kSyncRequest  { token, from_chunk }
+//   provider  → requester  kSyncManifest { token, total_chunks,
+//                                          total_bytes, payload hash }
+//                          kSyncChunk    { token, index, bytes } ...
+//                          kSyncDone     { token, status }   (nothing to offer)
+//
+// The payload is the provider's live blocks in topological order, signed
+// by the provider; each block additionally re-verifies its builder's own
+// signature when fed through the normal gossip receive path (ingest), so
+// a lying provider can at worst waste bandwidth. Chunks are fixed-size
+// slices; the requester reassembles by index (transports may reorder),
+// checks the manifest hash, then ingests. Blocks the requester already
+// holds — live or pruned — are dropped idempotently by gossip, which is
+// what makes sync a plain merge for a restarted server.
+//
+// Loss/crash handling: a progress timer re-sends the request with
+// from_chunk = first missing index (resume after reconnect; the provider
+// caches payloads per token so a resumed transfer stays byte-identical).
+// Retries back off exponentially with ±jitter (net/backoff.h); after a
+// few attempts the requester rotates to the next peer with a fresh token.
+//
+// Why a requester never needs the provider's pruned history: GC only
+// prunes blocks below every server's tip. A fresh joiner that has never
+// disseminated has no tip anywhere, so no peer has GC'd — the payload is
+// the full DAG and full (deterministic) replay reconstructs everything. A
+// restarted server's stale tip T bounded every peer's GC while it was
+// down, and T ancestor-covers the server's entire pre-crash DAG — so
+// every block a peer pruned is one the checkpoint/log already restored.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "shim/shim.h"
+
+namespace blockdag::sync {
+
+struct SyncConfig {
+  std::size_t chunk_bytes = 64 * 1024;
+  // Progress timeout: re-request if no manifest/chunk arrives for this long.
+  SimTime progress_timeout = sim_ms(250);
+  // Retry backoff: base doubles per attempt up to max, then ±jitter.
+  SimTime retry_base = sim_ms(50);
+  SimTime retry_max = sim_sec(2);
+  double retry_jitter = 0.25;
+  std::uint32_t attempts_per_peer = 3;  // then rotate to the next peer
+  std::uint64_t max_payload_bytes = 64ull << 20;  // refuse larger manifests
+  std::uint64_t jitter_seed = 0x7a11b0cULL;
+};
+
+struct SyncStats {
+  // Requester side.
+  std::uint64_t requests_sent = 0;
+  std::uint64_t manifests_received = 0;
+  std::uint64_t chunks_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t peer_rotations = 0;
+  std::uint64_t payloads_rejected = 0;  // bad hash / signature / decode
+  std::uint64_t completions = 0;
+  std::uint64_t blocks_ingested = 0;  // blocks fed to gossip from payloads
+  std::uint64_t blocks_added = 0;     // of those, newly inserted in the DAG
+  // Provider side.
+  std::uint64_t requests_served = 0;
+  std::uint64_t chunks_sent = 0;
+};
+
+// One engine per server; serves peers' requests from construction on and
+// runs at most one outgoing catch-up transfer at a time.
+class SyncEngine {
+ public:
+  // Installs itself as `shim`'s aux wire handler. Outlives none of the
+  // references.
+  SyncEngine(Shim& shim, TimerService& timers, Transport& net,
+             SignatureProvider& sigs, std::uint32_t n_servers,
+             SyncConfig config = {});
+
+  // Begins catching up from a peer (no-op while a transfer is running).
+  // Completion is observable via completed()/stats().completions; the
+  // engine keeps retrying with backoff until it succeeds or halt().
+  void start();
+
+  // Stops all activity (crash injection): pending timers become no-ops and
+  // incoming traffic is ignored (but still consumed, not leaked to gossip).
+  void halt();
+
+  bool syncing() const { return active_; }
+  bool completed() const { return completed_; }
+  const SyncStats& stats() const { return stats_; }
+
+ private:
+  bool on_wire(ServerId from, const Bytes& wire);
+  void handle_request(ServerId from, std::span<const std::uint8_t> body);
+  void handle_manifest(ServerId from, std::span<const std::uint8_t> body);
+  void handle_chunk(ServerId from, std::span<const std::uint8_t> body);
+  void handle_done(ServerId from, std::span<const std::uint8_t> body);
+
+  void send_request();
+  void arm_progress_timer();
+  void cancel_timers();
+  void schedule_retry(bool fresh_payload);
+  void rotate_peer();
+  void finish_payload();
+  void fail_payload();  // reject assembled bytes, rotate, retry fresh
+  std::uint32_t first_missing_chunk() const;
+
+  const Bytes& payload_for(std::uint64_t token);
+  Bytes build_payload() const;
+
+  Shim& shim_;
+  TimerService& timers_;
+  Transport& net_;
+  SignatureProvider& sigs_;
+  std::uint32_t n_servers_;
+  SyncConfig config_;
+  ServerId self_;
+  bool halted_ = false;
+
+  // Requester state.
+  bool active_ = false;
+  bool completed_ = false;
+  ServerId peer_ = kInvalidServer;
+  std::uint32_t attempt_ = 0;  // attempts against the current peer
+  std::uint64_t token_ = 0;
+  std::uint64_t token_counter_ = 0;
+  bool have_manifest_ = false;
+  std::uint64_t total_bytes_ = 0;
+  Hash256 payload_hash_{};
+  std::vector<Bytes> chunks_;  // indexed; empty slot = not yet received
+  std::uint32_t chunks_have_ = 0;
+  TimerService::TimerId progress_timer_ = TimerService::kInvalidTimer;
+  TimerService::TimerId retry_timer_ = TimerService::kInvalidTimer;
+  std::uint64_t jitter_state_;
+
+  // Provider state: per-token payload cache so resumed transfers are
+  // byte-identical (small FIFO; tokens are per-transfer nonces).
+  std::deque<std::pair<std::uint64_t, Bytes>> served_;
+
+  SyncStats stats_;
+};
+
+}  // namespace blockdag::sync

@@ -1,0 +1,221 @@
+#include "sync/storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/serialize.h"
+
+namespace blockdag::sync {
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'B', 'D', 'C', 'K'};
+
+std::string ckpt_path(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/checkpoint-" + std::to_string(epoch) + ".ckpt";
+}
+
+std::string log_path(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/blocks-" + std::to_string(epoch) + ".log";
+}
+
+bool read_file(const std::string& path, Bytes& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+// write-tmp → fsync(file) → rename → fsync(dir): the rename is atomic, so
+// a kill at any point leaves either no file or a complete one.
+bool write_file_durably(const std::string& dir, const std::string& path,
+                        const Bytes& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes encode_checkpoint_file(const Bytes& signed_checkpoint) {
+  Writer w;
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kCheckpointMagic), 4));
+  w.u8(kStorageVersion);
+  w.u32(crc32(signed_checkpoint));
+  w.bytes(signed_checkpoint);
+  return std::move(w).take();
+}
+
+std::optional<Bytes> decode_checkpoint_file(const Bytes& file) {
+  Reader r(file);
+  const auto magic = r.raw(4);
+  if (!magic || std::memcmp(magic->data(), kCheckpointMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  const auto version = r.u8();
+  if (!version || *version != kStorageVersion) return std::nullopt;
+  const auto crc = r.u32();
+  auto payload = r.bytes();
+  if (!crc || !payload || !r.done()) return std::nullopt;
+  if (crc32(*payload) != *crc) return std::nullopt;
+  return payload;
+}
+
+Bytes encode_log_record(LogKind kind, const Bytes& payload) {
+  // u32 length | u8 version | u8 kind | u32 crc | payload. The length
+  // covers everything after itself, so one read tells a replayer whether
+  // the record is complete (torn-tail detection before the CRC check).
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(1 + 1 + 4 + payload.size()));
+  w.u8(kStorageVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(crc32(payload));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::vector<LogRecord> decode_log(const Bytes& file) {
+  std::vector<LogRecord> out;
+  Reader r(file);
+  while (r.remaining() > 0) {
+    const auto len = r.u32();
+    if (!len || *len < 6 || *len > r.remaining()) break;  // torn tail
+    const auto version = r.u8();
+    const auto kind = r.u8();
+    const auto crc = r.u32();
+    auto payload = r.raw(*len - 6);
+    if (!version || !kind || !crc || !payload) break;
+    if (*version != kStorageVersion) break;
+    if (*kind != static_cast<std::uint8_t>(LogKind::kOwnBlock) &&
+        *kind != static_cast<std::uint8_t>(LogKind::kRecvBlock)) {
+      break;
+    }
+    if (crc32(*payload) != *crc) break;  // torn or corrupt: stop replaying
+    out.push_back(LogRecord{static_cast<LogKind>(*kind), std::move(*payload)});
+  }
+  return out;
+}
+
+DataDir::DataDir(std::string dir, DataDirConfig config)
+    : dir_(std::move(dir)), config_(config) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) return;
+  ok_ = true;
+}
+
+DataDir::~DataDir() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+bool DataDir::open_log(std::uint64_t epoch, bool truncate) {
+  if (log_fd_ >= 0) {
+    ::close(log_fd_);
+    log_fd_ = -1;
+  }
+  const int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+  log_fd_ = ::open(log_path(dir_, epoch).c_str(), flags, 0644);
+  if (log_fd_ < 0) return false;
+  epoch_ = epoch;
+  return true;
+}
+
+bool DataDir::store_checkpoint(std::uint64_t epoch, const Bytes& bytes) {
+  if (!ok_) return false;
+  if (!write_file_durably(dir_, ckpt_path(dir_, epoch),
+                          encode_checkpoint_file(bytes))) {
+    return false;
+  }
+  // Rotation: start epoch's log fresh, then drop everything older — the
+  // new checkpoint subsumes it. Unlink failures are ignored (stale files
+  // waste space but load_latest picks the newest checkpoint anyway).
+  if (!open_log(epoch, /*truncate=*/true)) return false;
+  for (std::uint64_t e = 0; e < epoch; ++e) {
+    ::unlink(ckpt_path(dir_, e).c_str());
+    ::unlink(log_path(dir_, e).c_str());
+  }
+  return true;
+}
+
+bool DataDir::append_block(LogKind kind, const Bytes& payload) {
+  if (!ok_) return false;
+  if (log_fd_ < 0 && !open_log(epoch_, /*truncate=*/false)) return false;
+  const Bytes rec = encode_log_record(kind, payload);
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ::ssize_t n = ::write(log_fd_, rec.data() + off, rec.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  if (config_.fsync_appends && ::fsync(log_fd_) != 0) return false;
+  return true;
+}
+
+bool DataDir::load_latest(std::uint64_t& epoch, Bytes& checkpoint,
+                          std::vector<LogRecord>& log) {
+  if (!ok_) return false;
+  epoch = 0;
+  checkpoint.clear();
+  log.clear();
+  // Epochs are dense from 1 (0 = "no checkpoint yet") and rotation keeps
+  // only the newest files, so scan forward until a gap. A corrupt newest
+  // checkpoint falls back to the previous one if it still exists.
+  std::vector<std::uint64_t> present;
+  for (std::uint64_t e = 1, misses = 0; misses < 4; ++e) {
+    Bytes file;
+    if (read_file(ckpt_path(dir_, e), file)) {
+      misses = 0;
+      present.push_back(e);
+    } else {
+      ++misses;
+    }
+  }
+  for (auto it = present.rbegin(); it != present.rend(); ++it) {
+    Bytes file;
+    if (!read_file(ckpt_path(dir_, *it), file)) continue;
+    if (auto payload = decode_checkpoint_file(file)) {
+      epoch = *it;
+      checkpoint = std::move(*payload);
+      break;
+    }
+  }
+  Bytes log_file;
+  if (read_file(log_path(dir_, epoch), log_file)) {
+    log = decode_log(log_file);
+  }
+  epoch_ = epoch;
+  return true;
+}
+
+}  // namespace blockdag::sync

@@ -1,0 +1,132 @@
+// Durable per-server storage: checkpoints plus an append-only block log.
+//
+// Two record families per epoch e:
+//   checkpoint-<e>.ckpt  — magic "BDCK", format version, CRC32, then the
+//                          signed checkpoint bytes. Written write-tmp →
+//                          fsync → rename, so a kill mid-write leaves
+//                          either the old checkpoint or the new one,
+//                          never a torn file.
+//   blocks-<e>.log       — append-only records of every block inserted
+//                          since checkpoint e, in insertion order:
+//                          u32 length | u8 version | u8 kind | u32 crc |
+//                          payload. A SIGKILL can tear the tail; replay
+//                          stops at the first record whose length or CRC
+//                          does not check out and discards the rest (the
+//                          cluster re-delivers anything lost via state
+//                          sync).
+// After checkpoint e is durably stored, files of epochs < e are deleted —
+// the checkpoint subsumes them. Appends are NOT fsynced by default: a
+// SIGKILL (the fault the kill/restart harness injects) never loses page
+// cache, only a power failure does, and the state-sync path recovers from
+// that too. Set DataDirConfig::fsync_appends for the paranoid mode.
+//
+// StorageSink is the seam: DataDir is the on-disk implementation the
+// multi-process runtime uses; MemStore backs in-process crash/restart
+// tests (and fuzzing) without touching a filesystem.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace blockdag::sync {
+
+inline constexpr std::uint8_t kStorageVersion = 1;
+
+// Block-log record kinds. The builder is recoverable from the block bytes;
+// the kind byte keeps replay independent of decode order and versionable.
+enum class LogKind : std::uint8_t {
+  kOwnBlock = 1,   // built by this server (replay restores next_k/preds)
+  kRecvBlock = 2,  // received from a peer
+};
+
+struct LogRecord {
+  LogKind kind;
+  Bytes payload;
+};
+
+class StorageSink {
+ public:
+  virtual ~StorageSink() = default;
+
+  // Durably stores the signed checkpoint for `epoch` and rotates: older
+  // epochs' files are dropped, subsequent appends go to epoch's log.
+  virtual bool store_checkpoint(std::uint64_t epoch, const Bytes& bytes) = 0;
+
+  // Appends one block record to the current epoch's log.
+  virtual bool append_block(LogKind kind, const Bytes& payload) = 0;
+
+  // Loads the newest valid checkpoint (empty bytes if none was ever
+  // stored) and the log records appended after it, tolerating a torn
+  // tail. False only on unreadable storage (distinct from "empty").
+  virtual bool load_latest(std::uint64_t& epoch, Bytes& checkpoint,
+                           std::vector<LogRecord>& log) = 0;
+};
+
+struct DataDirConfig {
+  bool fsync_appends = false;
+};
+
+// Filesystem-backed sink rooted at `dir` (created if missing).
+class DataDir final : public StorageSink {
+ public:
+  explicit DataDir(std::string dir, DataDirConfig config = {});
+  ~DataDir() override;
+
+  // False if the directory could not be created/opened.
+  bool ok() const { return ok_; }
+
+  bool store_checkpoint(std::uint64_t epoch, const Bytes& bytes) override;
+  bool append_block(LogKind kind, const Bytes& payload) override;
+  bool load_latest(std::uint64_t& epoch, Bytes& checkpoint,
+                   std::vector<LogRecord>& log) override;
+
+ private:
+  bool open_log(std::uint64_t epoch, bool truncate);
+
+  std::string dir_;
+  DataDirConfig config_;
+  bool ok_ = false;
+  std::uint64_t epoch_ = 0;  // epoch the open log belongs to
+  int log_fd_ = -1;
+};
+
+// In-memory sink for in-process crash/restart tests and fuzzing.
+class MemStore final : public StorageSink {
+ public:
+  bool store_checkpoint(std::uint64_t epoch, const Bytes& bytes) override {
+    checkpoint_epoch_ = epoch;
+    checkpoint_ = bytes;
+    log_.clear();
+    return true;
+  }
+  bool append_block(LogKind kind, const Bytes& payload) override {
+    log_.push_back(LogRecord{kind, payload});
+    return true;
+  }
+  bool load_latest(std::uint64_t& epoch, Bytes& checkpoint,
+                   std::vector<LogRecord>& log) override {
+    epoch = checkpoint_epoch_;
+    checkpoint = checkpoint_;
+    log = log_;
+    return true;
+  }
+
+ private:
+  std::uint64_t checkpoint_epoch_ = 0;
+  Bytes checkpoint_;
+  std::vector<LogRecord> log_;
+};
+
+// Serialization of the two on-disk formats, exposed for tests/fuzzing.
+Bytes encode_checkpoint_file(const Bytes& signed_checkpoint);
+std::optional<Bytes> decode_checkpoint_file(const Bytes& file);
+Bytes encode_log_record(LogKind kind, const Bytes& payload);
+// Parses records until the bytes run out or a record fails its length or
+// CRC check (torn tail): everything before the tear is returned.
+std::vector<LogRecord> decode_log(const Bytes& file);
+
+}  // namespace blockdag::sync

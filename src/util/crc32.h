@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the durable-storage layer (src/sync/storage) to frame on-disk
+// records: a kill can truncate the tail of an append-only log or tear a
+// checkpoint mid-write, and the CRC is what separates "valid record" from
+// "stop replaying here". It is an integrity check against torn writes and
+// bit rot, not an authenticator — checkpoints carry a signature for that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace blockdag {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace blockdag

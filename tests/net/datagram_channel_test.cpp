@@ -43,6 +43,7 @@ DatagramChannelConfig test_config() {
   config.window_chunks = 4;
   config.max_queued_chunks = 32;
   config.reorder_window = 8;
+  config.rto_jitter = 0;  // these tests pin the exact RTO schedule
   return config;
 }
 

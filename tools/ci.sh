@@ -2,7 +2,8 @@
 # CI entry point: the tier-1 verify command on a Release build, explicit
 # socket-runtime smokes (`simctl run --runtime tcp` and the lossy
 # `--runtime udp` in one process, plus both two-OS-process serve/join
-# clusters — clean TCP and 10%-loss UDP), a bench harness smoke (every
+# clusters — clean TCP and 10%-loss UDP — plus the three-process durable
+# crash/recovery smoke and a crash-churn fuzz slice), a bench harness smoke (every
 # bench runs seconds-scale and must emit parseable BENCH_*.json), an Asan
 # build running the tier1 ctest label, then a Tsan build running the
 # threaded-runtime, TCP-runtime and UDP-runtime convergence tests under
@@ -24,6 +25,12 @@ echo "==> Socket-runtime smoke (real localhost TCP, single process + multi-proce
 ./build-ci/simctl run --runtime tcp --n 4 --instances 4 --seconds 5 --interval 2
 sh tools/tcp_cluster_smoke.sh ./build-ci/simctl
 
+echo "==> Crash-recovery smoke (three-process durable cluster, SIGKILL + restart)"
+sh tools/crash_cluster_smoke.sh ./build-ci/simctl
+
+echo "==> Crash-churn fuzz slice (kill/restart plans on the threaded runtime)"
+./build-ci/simctl fuzz --runtime threads --seeds 1..8
+
 echo "==> Lossy-datagram smoke (real localhost UDP, 15% injected loss + two-process 10%-loss cluster)"
 ./build-ci/simctl run --runtime udp --n 4 --instances 4 --seconds 5 --interval 2 --drop 0.15
 sh tools/udp_cluster_smoke.sh ./build-ci/simctl
@@ -44,8 +51,8 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
       -DBLOCKDAG_BUILD_TOOLS=OFF
 cmake --build build-ci-tsan -j "$jobs" \
       --target rt_threaded_runtime_test rt_tcp_runtime_test \
-               rt_udp_runtime_test rt_timer_wheel_test
+               rt_udp_runtime_test rt_timer_wheel_test rt_crash_restart_test
 (cd build-ci-tsan && ctest --output-on-failure \
-    -R '^rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test)$')
+    -R '^rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test|crash_restart_test)$')
 
 echo "==> CI OK"

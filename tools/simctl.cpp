@@ -31,7 +31,20 @@
 //   simctl serve --n N --port PORT [--runtime tcp|udp] [--loss P]
 //                [--protocol P] [--instances K] [--seconds S]
 //                [--interval MS] [--seed X]
+//                [--data-dir DIR] [--checkpoint K]
 //   simctl join --id I --n N --port PORT [same options]
+//
+// With --data-dir the member persists epoch checkpoints plus an
+// append-only block log under DIR (checkpoint every K interpreted blocks,
+// default 32), restores from them on startup and state-syncs the history
+// it missed while down — a SIGKILLed member restarted on the same
+// directory rejoins without re-interpreting checkpointed history
+// (tools/crash_cluster_smoke.sh drives exactly that). Exit codes: 0 =
+// converged, 1 = settle timeout, 2 = bind/usage failure, 3 = corrupt
+// durable state (the member refuses to run half-restored). All members of
+// one cluster must agree on whether --data-dir is in use: checkpoint
+// epochs prune the DAG, and the settle protocol then compares GC'd live
+// sets.
 //
 // `serve` hosts server 0, `join --id I` hosts server I (one process per
 // server, started in any order — connects retry until peers appear). Each
@@ -43,7 +56,8 @@
 //
 // Scenario engine (DESIGN.md §6) subcommands:
 //
-//   simctl fuzz --seeds A..B [--runtime sim|udp] [--protocol P|mix] [--n N]
+//   simctl fuzz --seeds A..B [--runtime sim|udp|threads|tcp]
+//               [--protocol P|mix] [--n N]
 //               [--instances K] [--duration S | --duration-ns NS]
 //               [--repro-file FILE]
 //     Runs one seeded adversarial scenario per seed (randomized partitions,
@@ -57,8 +71,14 @@
 //     injected live by the UDP transport's fault injector, with the same
 //     convergence/totality checkers at the end.
 //
-//   simctl replay --seed S [--runtime sim|udp] [--protocol P] [--n N]
-//                 [--instances K] [--duration S | --duration-ns NS]
+//     `--runtime threads` (or tcp) runs seeded crash-churn instead: durable
+//     storage and checkpoint epochs on, servers SIGKILL-crashed mid-run and
+//     restarted over their surviving (or deliberately wiped) storage, with
+//     the same convergence/totality checkers plus recovery sanity at the
+//     end.
+//
+//   simctl replay --seed S [--runtime sim|udp|threads|tcp] [--protocol P]
+//                 [--n N] [--instances K] [--duration S | --duration-ns NS]
 //                 [--trace FILE]
 //     Re-runs exactly one scenario (same derivation as fuzz), prints the
 //     derived fault plan and the result, and optionally writes a JSON
@@ -504,6 +524,14 @@ struct MemberOptions {
   double seconds = 30.0;  // wall-clock budget for the whole run
   std::uint16_t port = 0; // base port: server s listens on 127.0.0.1:(port+s)
   double loss = 0.0;      // udp only: injected drop rate on outbound links
+  // Durable crash recovery (DESIGN.md §10): when set, this member persists
+  // checkpoints + a block log under the directory, restores from it on
+  // startup (exit 3 if the durable state is corrupt) and mounts a
+  // state-sync engine to catch up on history it missed while down. All
+  // members of a cluster must agree on whether checkpoints are on — epoch
+  // GC changes the live set the digest settle compares.
+  std::string data_dir;
+  std::uint64_t checkpoint_blocks = 32;  // epoch cadence (with --data-dir)
 };
 
 bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
@@ -554,6 +582,13 @@ bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
         return false;
       }
       if (opt.loss < 0.0 || opt.loss >= 1.0) return false;
+    } else if (arg == "--data-dir") {
+      if (!v || *v == '\0') return false;
+      opt.data_dir = v;
+    } else if (arg == "--checkpoint") {
+      std::uint64_t k = 0;
+      if (!v || !parse_u64(v, k) || k == 0) return false;
+      opt.checkpoint_blocks = k;
     } else {
       return false;
     }
@@ -608,6 +643,26 @@ int run_member(const MemberOptions& opt, const char* role) {
     cfg.tcp.local_servers = {opt.id};
   }
 
+  // Durable recovery: a --data-dir member checkpoints every K interpreted
+  // blocks (rotating its block log), restores on startup and state-syncs
+  // whatever it missed while down. Declared before the runtime — the
+  // storage sink must outlive it.
+  std::optional<blockdag::sync::DataDir> store;
+  if (!opt.data_dir.empty()) {
+    store.emplace(opt.data_dir);
+    if (!store->ok()) {
+      std::fprintf(stderr,
+                   "simctl %s: cannot open --data-dir %s (mkdir failed?)\n",
+                   role, opt.data_dir.c_str());
+      return 3;
+    }
+    cfg.storage = [&store](ServerId) { return &*store; };
+    cfg.checkpoint.epoch_blocks = opt.checkpoint_blocks;
+    cfg.enable_state_sync = true;
+    cfg.sync.progress_timeout = sim_ms(200);
+    cfg.sync.retry_base = sim_ms(50);
+  }
+
   // Latest digest beat per peer. Written by the control handler on the
   // hosted server's thread, read by this (harness) thread. Declared
   // *before* the runtime: the handler may still run (a lingering peer
@@ -628,6 +683,16 @@ int run_member(const MemberOptions& opt, const char* role) {
                  "port range exceeds 65535?)\n",
                  role, opt.port + opt.id);
     return 2;
+  }
+  if (!runtime.restore_failures().empty()) {
+    // Distinct from a settle timeout (1) and a bind failure (2): the
+    // durable state exists but will not restore — running on would risk
+    // equivocation (a lost own-block means a reused sequence number).
+    std::fprintf(stderr,
+                 "simctl %s: corrupt durable state in --data-dir %s — refusing "
+                 "to run half-restored (wipe the directory to rejoin fresh)\n",
+                 role, opt.data_dir.c_str());
+    return 3;
   }
   // Control-plane sender, transport-agnostic: kControl frames bypass the
   // protocol handler on both socket backends.
@@ -656,12 +721,23 @@ int run_member(const MemberOptions& opt, const char* role) {
               opt.port, opt.port + opt.n - 1,
               opt.loss > 0.0 ? " (lossy)" : "");
   runtime.start();
+  if (store) {
+    // Catch up on history missed while down (restart over an existing data
+    // dir) or never seen (fresh dir joining a running cluster). For a
+    // cluster starting together this is a cheap no-op round: peers answer
+    // from near-empty DAGs and gossip dedup drops the overlap.
+    runtime.start_sync(opt.id);
+  }
 
   // This process's share of the workload: the member hosting the issuing
   // server of instance i makes the request (the same routing rule as
   // `simctl run`: round-robin, PBFT proposals through the view-0 leader,
-  // beacon contributions from the first f+1 servers).
+  // beacon contributions from the first f+1 servers). A restored member
+  // skips instances its pre-crash incarnation already delivered — the
+  // indication log survives the crash, and re-issuing a completed instance
+  // would double-deliver it.
   for (std::uint32_t i = 0; i < opt.instances; ++i) {
+    if (runtime.indicated_count(1 + i) != 0) continue;
     if (opt.protocol == "beacon") {
       const std::uint32_t needed = plausibility_quorum(opt.n);
       if (opt.id < needed) {
@@ -700,9 +776,15 @@ int run_member(const MemberOptions& opt, const char* role) {
   Bytes last_dag, last_interp;
   int stable = 0;
   while (std::chrono::steady_clock::now() < deadline) {
+    const bool force_gc = cfg.checkpoint.epoch_blocks != 0;
     const auto [dag, interp, pending] =
-        runtime.call(opt.id, [](Shim& shim) {
+        runtime.call(opt.id, [force_gc](Shim& shim) {
           shim.interpreter().run();
+          // With checkpoint epochs on, per-member GC cadences leave
+          // different live sets for the same joint DAG; prune to the
+          // fixpoint before sampling so digests are comparable (every
+          // member must do this — hence "all members agree on --data-dir").
+          if (force_gc) shim.collect_garbage();
           return std::make_tuple(
               rt::dag_digest(shim.dag()),
               rt::interpretation_digest(shim.interpreter(), shim.dag()),
@@ -751,6 +833,22 @@ int run_member(const MemberOptions& opt, const char* role) {
               static_cast<unsigned long long>(blocks),
               to_hex(last_dag).substr(0, 16).c_str(),
               to_hex(last_interp).substr(0, 16).c_str());
+  if (store) {
+    const auto recovery = runtime.sync_snapshot(opt.id);
+    std::printf(
+        "recovery: restored=%s (epoch %llu, %llu ckpt + %llu log blocks, "
+        "%llu interpreted live), %llu checkpoints stored, sync: %llu "
+        "completed / %llu blocks added\n",
+        recovery.restore.restored ? "yes" : "no",
+        static_cast<unsigned long long>(recovery.restore.checkpoint_epoch),
+        static_cast<unsigned long long>(recovery.restore.blocks_from_checkpoint),
+        static_cast<unsigned long long>(recovery.restore.own_blocks_from_log +
+                                        recovery.restore.recv_blocks_from_log),
+        static_cast<unsigned long long>(recovery.blocks_interpreted),
+        static_cast<unsigned long long>(recovery.checkpointer.checkpoints_stored),
+        static_cast<unsigned long long>(recovery.sync.completions),
+        static_cast<unsigned long long>(recovery.sync.blocks_added));
+  }
   if (runtime.udp()) {
     const rt::UdpStats udp = runtime.udp()->stats();
     std::printf("sockets: %llu datagrams sent, %llu received, "
@@ -781,7 +879,11 @@ int cmd_member(int argc, char** argv, bool join) {
                  "                    [--protocol P] [--instances K] "
                  "[--seconds S]\n"
                  "                    [--interval MS] [--seed X]\n"
-                 "       simctl join --id I --n N --port PORT [same options]\n");
+                 "                    [--data-dir DIR] [--checkpoint K]\n"
+                 "       simctl join --id I --n N --port PORT [same options]\n"
+                 "(--data-dir: persist checkpoints + block log, restore on "
+                 "restart; exit 3 on corrupt state. All members must agree "
+                 "on whether --data-dir is used.)\n");
     return 2;
   }
   return run_member(opt, join ? "join" : "serve");
@@ -944,7 +1046,10 @@ std::vector<std::string> run_udp_scenario(const UdpScenario& sc) {
   cfg.n_servers = sc.n;
   cfg.seed = sc.seed;
   cfg.pacing.interval = sim_ms(2);
-  cfg.gossip.fwd_retry_delay = sim_ms(5);
+  // FWD retry matched to the loss regime: a 5ms retry against a lossy,
+  // RTO-bound link just queues duplicate recovery payloads behind the
+  // head-of-line chunk and starves the catch-up of a partitioned server.
+  cfg.gossip.fwd_retry_delay = sim_ms(20);
   cfg.backend = rt::TransportBackend::kUdp;  // ephemeral ports
   cfg.udp.fault_seed = sc.seed;
   cfg.udp.default_fault = sc.base;
@@ -980,7 +1085,10 @@ std::vector<std::string> run_udp_scenario(const UdpScenario& sc) {
   if (sc.partition) runtime.udp()->set_partition({sc.isolated}, rest, false);
   std::this_thread::sleep_for(third);
 
-  if (!runtime.quiesce_and_converge()) {
+  // Deep settle budget: lossy links stay hostile through settle, so the
+  // retransmit/FWD gap-closing can need many beats on a bad seed (with
+  // ±RTO jitter on top); converged runs still exit on the early rounds.
+  if (!runtime.quiesce_and_converge(/*max_rounds=*/256)) {
     violations.push_back("cluster did not quiesce to a converged DAG");
   }
   const Bytes dag0 = runtime.dag_digest(0);
@@ -1012,6 +1120,283 @@ std::vector<std::string> run_udp_scenario(const UdpScenario& sc) {
   }
   if (stats.malformed_dropped != 0) {
     violations.push_back("malformed datagrams between honest endpoints");
+  }
+  if (!violations.empty()) {
+    // Failure diagnostics: which server is behind and what its links did.
+    for (ServerId s = 0; s < sc.n; ++s) {
+      const auto [dag_size, pending] = runtime.call(s, [](Shim& shim) {
+        return std::make_pair(shim.dag().size(), shim.gossip().pending_blocks());
+      });
+      std::fprintf(stderr, "  server %u: dag=%zu pending=%zu\n", s, dag_size,
+                   pending);
+    }
+    for (ServerId a = 0; a < sc.n; ++a) {
+      for (ServerId b = 0; b < sc.n; ++b) {
+        if (a == b) continue;
+        const rt::UdpLinkStats ls = runtime.udp()->link_stats(a, b);
+        std::fprintf(stderr,
+                     "  link %u->%u: sent=%llu retx=%llu resets=%llu "
+                     "drops=%llu\n",
+                     a, b, static_cast<unsigned long long>(ls.datagrams_sent),
+                     static_cast<unsigned long long>(ls.retransmits),
+                     static_cast<unsigned long long>(ls.channel_resets),
+                     static_cast<unsigned long long>(ls.injected_drops));
+      }
+    }
+  }
+  return violations;
+}
+
+// ---- threads/tcp fuzz: seeded crash-churn on a real runtime ----
+
+// One seed, one kill/restart plan over the multi-threaded runtime (or the
+// same deployment over real TCP sockets with --runtime tcp), with durable
+// storage and checkpoint epochs always on: every event SIGKILL-crashes a
+// server mid-run (ThreadedRuntime::crash — halt in place, exactly the
+// post-kill state) and later restarts it over its surviving storage sink.
+// Storage is never wiped: a server that already built blocks and then
+// loses its durable state would re-use sequence numbers — amnesia, which
+// the crash-recovery model excludes (DESIGN.md §10; such a machine must
+// rejoin under a fresh identity). The checkers are the standard ones:
+// convergence to identical Lemma 3.7/4.2 digests, totality of every
+// instance, plus recovery sanity (restores succeed, every restarted
+// server completes a state sync).
+struct ChurnEvent {
+  ServerId victim = 0;
+  double crash_frac = 0.0;    // crash time as a fraction of the run
+  double restart_frac = 0.0;  // restart time, ditto (> crash_frac)
+};
+
+struct ThreadsScenario {
+  std::uint64_t seed = 0;
+  std::string protocol;
+  std::uint32_t n = 4;
+  std::uint32_t instances = 6;
+  std::uint64_t duration_ns = 0;
+  bool tcp = false;
+  std::uint64_t epoch_blocks = 4;
+  std::vector<ChurnEvent> events;
+};
+
+ThreadsScenario threads_scenario_for_seed(std::uint64_t seed,
+                                          const FuzzOptions& opt) {
+  static const char* kProtocols[] = {"brb", "bcb", "fifo", "pbft", "beacon"};
+  static const std::uint32_t kSizes[] = {3, 4, 5};
+  static const std::uint64_t kEpochs[] = {3, 4, 6, 8};
+  ThreadsScenario sc;
+  sc.seed = seed;
+  sc.protocol = opt.protocol == "mix" ? kProtocols[seed % 5] : opt.protocol;
+  sc.n = opt.n != 0 ? opt.n : kSizes[(seed / 5) % 3];
+  sc.instances = opt.instances;
+  sc.duration_ns = opt.duration_ns != 0
+                       ? opt.duration_ns
+                       : static_cast<std::uint64_t>(opt.duration_s * 1e9);
+  sc.tcp = opt.runtime == "tcp";
+  Rng rng(seed ^ 0x5ca1ab1e0ddba11ULL);  // distinct from other derivations
+  sc.epoch_blocks = kEpochs[rng.below(4)];
+  // One or two churn events with distinct victims: at most a minority is
+  // ever down (crash faults, not partitions — the rest must keep going).
+  const std::uint64_t max_events = sc.n >= 5 ? 2 : 1;
+  const std::size_t n_events = 1 + rng.below(max_events);
+  for (std::size_t k = 0; k < n_events; ++k) {
+    ChurnEvent ev;
+    ev.victim = static_cast<ServerId>(rng.below(sc.n));
+    if (k > 0 && ev.victim == sc.events[0].victim) {
+      ev.victim = (ev.victim + 1) % sc.n;
+    }
+    ev.crash_frac = 0.15 + 0.35 * rng.unit();          // mid-run
+    ev.restart_frac = ev.crash_frac + 0.15 + 0.25 * rng.unit();
+    sc.events.push_back(ev);
+  }
+  return sc;
+}
+
+std::string threads_repro_line(const ThreadsScenario& sc) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "simctl replay --runtime %s --seed %llu --protocol %s --n %u "
+                "--instances %u --duration-ns %llu",
+                sc.tcp ? "tcp" : "threads",
+                static_cast<unsigned long long>(sc.seed), sc.protocol.c_str(),
+                sc.n, sc.instances,
+                static_cast<unsigned long long>(sc.duration_ns));
+  return buf;
+}
+
+void print_threads_plan(const ThreadsScenario& sc) {
+  std::printf("---- crash-churn plan ----\n");
+  std::printf("checkpoint every %llu blocks, backend=%s\n",
+              static_cast<unsigned long long>(sc.epoch_blocks),
+              sc.tcp ? "tcp" : "loopback");
+  for (const ChurnEvent& ev : sc.events) {
+    std::printf("kill server %u at %2.0f%%, restart at %2.0f%%\n", ev.victim,
+                ev.crash_frac * 100, ev.restart_frac * 100);
+  }
+}
+
+std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
+  std::vector<std::string> violations;
+  const ProtocolFactory* factory = factory_for(sc.protocol);
+  if (!factory) return {"unknown protocol '" + sc.protocol + "'"};
+
+  std::vector<blockdag::sync::MemStore> stores(sc.n);
+  rt::ThreadedConfig cfg;
+  cfg.n_servers = sc.n;
+  cfg.seed = sc.seed;
+  cfg.pacing.interval = sim_ms(2);
+  cfg.gossip.fwd_retry_delay = sim_ms(5);
+  if (sc.tcp) cfg.backend = rt::TransportBackend::kTcp;  // ephemeral ports
+  cfg.storage = [&stores](ServerId s) { return &stores[s]; };
+  cfg.checkpoint.epoch_blocks = sc.epoch_blocks;
+  cfg.enable_state_sync = true;
+  cfg.sync.progress_timeout = sim_ms(50);
+  cfg.sync.retry_base = sim_ms(10);
+  rt::ThreadedRuntime runtime(*factory, cfg);
+  if (!runtime.transport_ok()) return {"failed to bind sockets"};
+  runtime.start();
+
+  struct Timed {
+    std::chrono::steady_clock::time_point at;
+    std::size_t event;
+    bool is_crash;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto at_frac = [&](double f) {
+    return t0 + std::chrono::nanoseconds(
+                    static_cast<std::uint64_t>(f * sc.duration_ns));
+  };
+  std::vector<Timed> plan;
+  for (std::size_t k = 0; k < sc.events.size(); ++k) {
+    plan.push_back({at_frac(sc.events[k].crash_frac), k, true});
+    plan.push_back({at_frac(sc.events[k].restart_frac), k, false});
+  }
+  std::vector<bool> down(sc.n, false);
+  std::vector<bool> restarted(sc.n, false);
+
+  // Requests follow the sim scenario engine's discipline: issue only while
+  // EVERY server is live and no crash is imminent. A request is not
+  // durable — one sitting unblockified in a server that then crashes dies
+  // with it (clients retry in the real world), which is correct crash
+  // semantics but not what the totality checker quantifies over. The
+  // imminence guard leaves ample time to blockify (one 2ms pacing beat)
+  // before the victim goes down; once blockified, restart restores it.
+  const auto issue = [&](std::uint32_t i) {
+    if (sc.protocol == "beacon") {
+      const std::uint32_t needed = plausibility_quorum(sc.n);
+      for (std::uint32_t c = 0; c < needed && c < sc.n; ++c) {
+        runtime.request(c, 1 + i, beacon::make_contribute(0x1234 + i * 31 + c));
+      }
+    } else if (sc.protocol == "pbft") {
+      // Every server proposes the same value (the scenario engine's rule):
+      // whichever leader is up when the slot runs can lead it.
+      for (ServerId s = 0; s < sc.n; ++s) {
+        runtime.request(s, 1 + i, make_request(sc.protocol, i));
+      }
+    } else {
+      runtime.request(i % sc.n, 1 + i, make_request(sc.protocol, i));
+    }
+  };
+
+  std::uint32_t issued = 0;
+  const auto deadline = at_frac(1.0);
+  const auto safe_to_issue = [&](std::chrono::steady_clock::time_point now) {
+    for (ServerId s = 0; s < sc.n; ++s) {
+      if (down[s]) return false;
+    }
+    for (const Timed& t : plan) {
+      if (t.is_crash && t.at > now &&
+          t.at - now < std::chrono::milliseconds(300)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    for (Timed& t : plan) {
+      if (t.at > now) continue;
+      t.at = deadline + std::chrono::hours(1);  // fire once
+      const ChurnEvent& ev = sc.events[t.event];
+      if (t.is_crash) {
+        runtime.crash(ev.victim);
+        down[ev.victim] = true;
+      } else {
+        if (!runtime.restart(ev.victim)) {
+          violations.push_back("restore failed on restart of server " +
+                               std::to_string(ev.victim));
+        }
+        down[ev.victim] = false;
+        restarted[ev.victim] = true;
+      }
+    }
+    while (issued < sc.instances &&
+           now >= at_frac(0.8 * (issued + 1.0) / sc.instances) &&
+           safe_to_issue(now)) {
+      issue(issued++);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Anything still down restarts now; every instance must be issued.
+  for (const ChurnEvent& ev : sc.events) {
+    if (!down[ev.victim]) continue;
+    if (!runtime.restart(ev.victim)) {
+      violations.push_back("restore failed on restart of server " +
+                           std::to_string(ev.victim));
+    }
+    down[ev.victim] = false;
+    restarted[ev.victim] = true;
+  }
+  while (issued < sc.instances) issue(issued++);
+
+  // Every restarted server must complete a state sync (it retries with
+  // backoff until it does; bound the wait in wall-clock).
+  const auto sync_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (ServerId s = 0; s < sc.n; ++s) {
+    if (!restarted[s]) continue;
+    while (!runtime.sync_snapshot(s).sync_completed &&
+           std::chrono::steady_clock::now() < sync_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const auto snap = runtime.sync_snapshot(s);
+    if (!snap.sync_completed) {
+      violations.push_back("server " + std::to_string(s) +
+                           " never completed state sync after restart");
+    }
+    if (snap.sync.completions == 0) {
+      violations.push_back("server " + std::to_string(s) +
+                           " reports zero sync completions after restart");
+    }
+  }
+
+  if (!runtime.quiesce_and_converge(/*max_rounds=*/256)) {
+    violations.push_back("cluster did not quiesce to a converged DAG");
+  }
+  const Bytes dag0 = runtime.dag_digest(0);
+  const Bytes interp0 = runtime.interpretation_digest(0);
+  for (ServerId s = 1; s < sc.n; ++s) {
+    if (runtime.dag_digest(s) != dag0) {
+      violations.push_back("DAG digest mismatch at server " + std::to_string(s));
+    }
+    if (runtime.interpretation_digest(s) != interp0) {
+      violations.push_back("interpretation digest mismatch at server " +
+                           std::to_string(s));
+    }
+  }
+  for (std::uint32_t i = 0; i < sc.instances; ++i) {
+    if (runtime.indicated_count(1 + i) != sc.n) {
+      violations.push_back("instance " + std::to_string(1 + i) +
+                           " not indicated everywhere");
+    }
+  }
+  // The epochs really happened: someone checkpointed, and a non-wiped
+  // restart actually restored durable state rather than replaying history.
+  std::uint64_t checkpoints = 0;
+  for (ServerId s = 0; s < sc.n; ++s) {
+    checkpoints += runtime.sync_snapshot(s).checkpointer.checkpoints_stored;
+  }
+  if (checkpoints == 0) {
+    violations.push_back("no checkpoint was ever stored (cadence no-op?)");
   }
   return violations;
 }
@@ -1081,7 +1466,10 @@ bool parse_fuzz_args(int argc, char** argv, FuzzOptions& opt, bool replay) {
     } else if (arg == "--runtime") {
       if (!(v = next())) return false;
       opt.runtime = v;
-      if (opt.runtime != "sim" && opt.runtime != "udp") return false;
+      if (opt.runtime != "sim" && opt.runtime != "udp" &&
+          opt.runtime != "threads" && opt.runtime != "tcp") {
+        return false;
+      }
     } else if (arg == "--protocol") {
       if (!(v = next())) return false;
       opt.protocol = v;
@@ -1113,7 +1501,7 @@ int cmd_fuzz(int argc, char** argv) {
   FuzzOptions opt;
   if (!parse_fuzz_args(argc, argv, opt, /*replay=*/false)) {
     std::fprintf(stderr,
-                 "usage: simctl fuzz --seeds A..B [--runtime sim|udp]\n"
+                 "usage: simctl fuzz --seeds A..B [--runtime sim|udp|threads|tcp]\n"
                  "                   [--protocol brb|bcb|fifo|pbft|beacon|mix]\n"
                  "                   [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
@@ -1135,6 +1523,17 @@ int cmd_fuzz(int argc, char** argv) {
       }
       first_violation = violations.front();
       repro = udp_repro_line(sc);
+      protocol = sc.protocol;
+      n = sc.n;
+    } else if (opt.runtime == "threads" || opt.runtime == "tcp") {
+      const ThreadsScenario sc = threads_scenario_for_seed(seed, opt);
+      const std::vector<std::string> violations = run_threads_scenario(sc);
+      if (violations.empty()) {
+        ++passed;
+        continue;
+      }
+      first_violation = violations.front();
+      repro = threads_repro_line(sc);
       protocol = sc.protocol;
       n = sc.n;
     } else {
@@ -1169,13 +1568,35 @@ int cmd_replay(int argc, char** argv) {
   FuzzOptions opt;
   if (!parse_fuzz_args(argc, argv, opt, /*replay=*/true)) {
     std::fprintf(stderr,
-                 "usage: simctl replay --seed S [--runtime sim|udp]\n"
+                 "usage: simctl replay --seed S [--runtime sim|udp|threads|tcp]\n"
                  "                     [--protocol brb|bcb|fifo|pbft|"
                  "beacon|mix]\n"
                  "                     [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
                  "                     [--trace FILE]\n");
     return 2;
+  }
+  if (opt.runtime == "threads" || opt.runtime == "tcp") {
+    if (!opt.trace_file.empty()) {
+      std::fprintf(stderr, "--trace is simulator-only (real runtimes have "
+                           "no virtual-time event log)\n");
+      return 2;
+    }
+    const ThreadsScenario sc = threads_scenario_for_seed(opt.first_seed, opt);
+    std::printf(
+        "scenario seed=%llu runtime=%s protocol=%s n=%u instances=%u "
+        "duration=%.3fs\n",
+        static_cast<unsigned long long>(sc.seed), sc.tcp ? "tcp" : "threads",
+        sc.protocol.c_str(), sc.n, sc.instances,
+        static_cast<double>(sc.duration_ns) / 1e9);
+    print_threads_plan(sc);
+    const std::vector<std::string> violations = run_threads_scenario(sc);
+    std::printf("---- result ----\n");
+    for (const std::string& violation : violations) {
+      std::printf("VIOLATION: %s\n", violation.c_str());
+    }
+    if (violations.empty()) std::printf("OK — no violations\n");
+    return violations.empty() ? 0 : 1;
   }
   if (opt.runtime == "udp") {
     if (!opt.trace_file.empty()) {
