@@ -96,9 +96,11 @@ void ThreadedRuntime::mount_node(ServerId server) {
         config_.checkpoint);
   }
   if (config_.enable_state_sync) {
+    blockdag::sync::SyncConfig sync_cfg = config_.sync;
+    if (config_.sync_tweak) config_.sync_tweak(server, sync_cfg);
     node.sync_engine = std::make_unique<blockdag::sync::SyncEngine>(
         *node.shim, *node.timers, *transport_, *node.sigs, config_.n_servers,
-        config_.sync);
+        sync_cfg);
   }
 }
 

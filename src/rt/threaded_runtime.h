@@ -93,6 +93,10 @@ struct ThreadedConfig {
   // use start_sync().
   bool enable_state_sync = false;
   blockdag::sync::SyncConfig sync{};
+  // Optional per-server adjustment applied on top of `sync` at mount time
+  // (heterogeneous deployments: the manifest carries the provider's chunk
+  // geometry, so peers need not share chunk_bytes/window settings).
+  std::function<void(ServerId, blockdag::sync::SyncConfig&)> sync_tweak;
 };
 
 class ThreadedRuntime {

@@ -112,11 +112,19 @@ void SyncEngine::handle_request(ServerId from,
     w.u64(*token);
     w.u32(total);
     w.u64(payload.size());
+    w.u32(static_cast<std::uint32_t>(config_.chunk_bytes));
+    w.u32(config_.chunks_per_request);
     w.raw(Hash256::of(payload).span());
     net_.send(self_, from, WireKind::kSyncManifest,
               encode_tagged(WireKind::kSyncManifest, std::move(w).take()));
   }
-  for (std::uint32_t i = *from_chunk; i < total; ++i) {
+  // One window per request: the requester pulls the next window when this
+  // one completes, so a retry re-bursts at most `chunks_per_request`
+  // chunks through a possibly drop-prone link, never the whole payload.
+  const std::uint32_t end = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(total, static_cast<std::uint64_t>(*from_chunk) +
+                                         config_.chunks_per_request));
+  for (std::uint32_t i = *from_chunk; i < end; ++i) {
     const std::size_t off = static_cast<std::size_t>(i) * config_.chunk_bytes;
     const std::size_t len = std::min(config_.chunk_bytes, payload.size() - off);
     Writer w;
@@ -147,6 +155,9 @@ void SyncEngine::start() {
   chunks_.clear();
   chunks_have_ = 0;
   total_bytes_ = 0;
+  transfer_chunk_bytes_ = 0;
+  transfer_window_ = 0;
+  requested_up_to_ = 0;
   send_request();
 }
 
@@ -176,9 +187,18 @@ std::uint32_t SyncEngine::first_missing_chunk() const {
 }
 
 void SyncEngine::send_request() {
+  const std::uint32_t from = first_missing_chunk();
+  // Until the manifest arrives the window size is unknown (0); the fresh
+  // manifest handler fills it in for the opening window.
+  requested_up_to_ =
+      have_manifest_
+          ? static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                chunks_.size(),
+                static_cast<std::uint64_t>(from) + transfer_window_))
+          : 0;
   Writer w;
   w.u64(token_);
-  w.u32(first_missing_chunk());
+  w.u32(from);
   ++stats_.requests_sent;
   net_.send(self_, peer_, WireKind::kSyncRequest,
             encode_tagged(WireKind::kSyncRequest, std::move(w).take()));
@@ -225,6 +245,9 @@ void SyncEngine::schedule_retry(bool fresh_payload) {
       chunks_.clear();
       chunks_have_ = 0;
       total_bytes_ = 0;
+      transfer_chunk_bytes_ = 0;
+      transfer_window_ = 0;
+      requested_up_to_ = 0;
     }
     send_request();
   });
@@ -244,28 +267,44 @@ void SyncEngine::handle_manifest(ServerId from,
   const auto token = r.u64();
   const auto total_chunks = r.u32();
   const auto total_bytes = r.u64();
+  const auto chunk_bytes = r.u32();
+  const auto window = r.u32();
   const auto hash_raw = r.raw(Hash256::kSize);
-  if (!token || !total_chunks || !total_bytes || !hash_raw || !r.done()) return;
+  if (!token || !total_chunks || !total_bytes || !chunk_bytes || !window ||
+      !hash_raw || !r.done()) {
+    return;
+  }
   if (*token != token_) return;
   ++stats_.manifests_received;
+  // The chunk geometry is the PROVIDER's (peers need not share chunk
+  // configuration); the requester only checks that it is internally
+  // coherent and that the slot vector allocation stays bounded.
   if (*total_bytes == 0 || *total_bytes > config_.max_payload_bytes ||
-      *total_chunks != chunk_count(*total_bytes, config_.chunk_bytes)) {
+      *chunk_bytes == 0 || *window == 0 ||
+      *total_chunks > config_.max_total_chunks ||
+      *total_chunks != chunk_count(*total_bytes, *chunk_bytes)) {
     fail_payload();  // absurd manifest: this peer is not going to work out
     return;
   }
   Sha256::Digest d;
   std::copy(hash_raw->begin(), hash_raw->end(), d.begin());
   const Hash256 hash(d);
-  if (have_manifest_ && hash == payload_hash_ &&
-      *total_bytes == total_bytes_) {
+  if (have_manifest_ && hash == payload_hash_ && *total_bytes == total_bytes_ &&
+      *chunk_bytes == transfer_chunk_bytes_) {
+    transfer_window_ = *window;
     arm_progress_timer();  // resume: same payload, chunks on the way
     return;
   }
   have_manifest_ = true;
   payload_hash_ = hash;
   total_bytes_ = *total_bytes;
+  transfer_chunk_bytes_ = *chunk_bytes;
+  transfer_window_ = *window;
   chunks_.assign(*total_chunks, Bytes{});
   chunks_have_ = 0;
+  // The in-flight request asked from chunk 0 before it knew the window.
+  requested_up_to_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(*total_chunks, *window));
   arm_progress_timer();
 }
 
@@ -284,8 +323,9 @@ void SyncEngine::handle_chunk(ServerId from,
   if (!have_manifest_ || *index >= chunks_.size()) return;
   const std::size_t expected =
       *index + 1 == chunks_.size()
-          ? total_bytes_ - static_cast<std::uint64_t>(*index) * config_.chunk_bytes
-          : config_.chunk_bytes;
+          ? total_bytes_ -
+                static_cast<std::uint64_t>(*index) * transfer_chunk_bytes_
+          : transfer_chunk_bytes_;
   if (data->size() != expected) return;
   if (chunks_[*index].empty()) {
     ++stats_.chunks_received;
@@ -295,6 +335,11 @@ void SyncEngine::handle_chunk(ServerId from,
   }
   if (chunks_have_ == chunks_.size()) {
     finish_payload();
+  } else if (first_missing_chunk() >= requested_up_to_) {
+    // Window complete: pull the next one (also re-arms the progress
+    // timer). Chunks lost within a window leave first-missing inside it,
+    // and the progress timeout resumes from there instead.
+    send_request();
   } else {
     arm_progress_timer();
   }

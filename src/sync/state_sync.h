@@ -6,7 +6,8 @@
 // never sees them):
 //   requester → provider   kSyncRequest  { token, from_chunk }
 //   provider  → requester  kSyncManifest { token, total_chunks,
-//                                          total_bytes, payload hash }
+//                                          total_bytes, chunk_bytes,
+//                                          window, payload hash }
 //                          kSyncChunk    { token, index, bytes } ...
 //                          kSyncDone     { token, status }   (nothing to offer)
 //
@@ -14,10 +15,21 @@
 // by the provider; each block additionally re-verifies its builder's own
 // signature when fed through the normal gossip receive path (ingest), so
 // a lying provider can at worst waste bandwidth. Chunks are fixed-size
-// slices; the requester reassembles by index (transports may reorder),
-// checks the manifest hash, then ingests. Blocks the requester already
-// holds — live or pruned — are dropped idempotently by gossip, which is
-// what makes sync a plain merge for a restarted server.
+// slices of the PROVIDER's chunk_bytes — the geometry rides in the
+// manifest, so peers need not share chunk configuration; the requester
+// only checks it is coherent and allocation-bounded. The requester
+// reassembles by index (transports may reorder), checks the manifest
+// hash, then ingests. Blocks the requester already holds — live or
+// pruned — are dropped idempotently by gossip, which is what makes sync
+// a plain merge for a restarted server.
+//
+// Flow control: a request is answered with at most `window` chunks
+// (provider's chunks_per_request, advertised in the manifest); the
+// requester asks for the next window once the current one is complete.
+// A retry therefore re-sends one window, never the whole payload — a
+// drop-prone link (transport queue caps drop frames under pressure) sees
+// a bounded burst per round trip instead of a full-DAG blast that
+// re-triggers the very drops it is recovering from.
 //
 // Loss/crash handling: a progress timer re-sends the request with
 // from_chunk = first missing index (resume after reconnect; the provider
@@ -54,6 +66,12 @@ struct SyncConfig {
   double retry_jitter = 0.25;
   std::uint32_t attempts_per_peer = 3;  // then rotate to the next peer
   std::uint64_t max_payload_bytes = 64ull << 20;  // refuse larger manifests
+  // Provider-side window: at most this many chunks per request; the
+  // requester pulls the next window when the current one completes.
+  std::uint32_t chunks_per_request = 32;
+  // Refuse manifests claiming more chunks than this — bounds the slot
+  // vector allocation independent of the provider's claimed chunk size.
+  std::uint32_t max_total_chunks = 1u << 16;
   std::uint64_t jitter_seed = 0x7a11b0cULL;
 };
 
@@ -134,6 +152,11 @@ class SyncEngine {
   std::uint64_t token_counter_ = 0;
   bool have_manifest_ = false;
   std::uint64_t total_bytes_ = 0;
+  // Transfer geometry adopted from the provider's manifest (peers need
+  // not share chunk configuration).
+  std::size_t transfer_chunk_bytes_ = 0;
+  std::uint32_t transfer_window_ = 0;
+  std::uint32_t requested_up_to_ = 0;  // end of the last requested window
   Hash256 payload_hash_{};
   std::vector<Bytes> chunks_;  // indexed; empty slot = not yet received
   std::uint32_t chunks_have_ = 0;

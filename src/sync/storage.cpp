@@ -108,7 +108,14 @@ Bytes encode_log_record(LogKind kind, const Bytes& payload) {
 }
 
 std::vector<LogRecord> decode_log(const Bytes& file) {
+  std::size_t valid_prefix = 0;
+  return decode_log(file, valid_prefix);
+}
+
+std::vector<LogRecord> decode_log(const Bytes& file,
+                                  std::size_t& valid_prefix) {
   std::vector<LogRecord> out;
+  valid_prefix = 0;
   Reader r(file);
   while (r.remaining() > 0) {
     const auto len = r.u32();
@@ -125,6 +132,7 @@ std::vector<LogRecord> decode_log(const Bytes& file) {
     }
     if (crc32(*payload) != *crc) break;  // torn or corrupt: stop replaying
     out.push_back(LogRecord{static_cast<LogKind>(*kind), std::move(*payload)});
+    valid_prefix = file.size() - r.remaining();
   }
   return out;
 }
@@ -189,30 +197,45 @@ bool DataDir::load_latest(std::uint64_t& epoch, Bytes& checkpoint,
   checkpoint.clear();
   log.clear();
   // Epochs are dense from 1 (0 = "no checkpoint yet") and rotation keeps
-  // only the newest files, so scan forward until a gap. A corrupt newest
-  // checkpoint falls back to the previous one if it still exists.
-  std::vector<std::uint64_t> present;
+  // only the newest files, so scan forward until a gap.
+  std::uint64_t newest = 0;
+  Bytes newest_file;
   for (std::uint64_t e = 1, misses = 0; misses < 4; ++e) {
     Bytes file;
     if (read_file(ckpt_path(dir_, e), file)) {
       misses = 0;
-      present.push_back(e);
+      newest = e;
+      newest_file = std::move(file);
     } else {
       ++misses;
     }
   }
-  for (auto it = present.rbegin(); it != present.rend(); ++it) {
-    Bytes file;
-    if (!read_file(ckpt_path(dir_, *it), file)) continue;
-    if (auto payload = decode_checkpoint_file(file)) {
-      epoch = *it;
-      checkpoint = std::move(*payload);
-      break;
-    }
+  if (newest != 0) {
+    // A newest checkpoint that does not decode is corrupt storage, and
+    // falling back to an older surviving epoch would be amnesia: rotation
+    // already unlinked that epoch's log, so every block appended since —
+    // own blocks included — would silently vanish and next_k would regress
+    // into sequence reuse. Refuse the whole load instead (the runtime
+    // leaves the server halted; simctl exits 3).
+    auto payload = decode_checkpoint_file(newest_file);
+    if (!payload) return false;
+    epoch = newest;
+    checkpoint = std::move(*payload);
   }
   Bytes log_file;
   if (read_file(log_path(dir_, epoch), log_file)) {
-    log = decode_log(log_file);
+    std::size_t valid_prefix = 0;
+    log = decode_log(log_file, valid_prefix);
+    // Drop a torn tail on disk, not just in memory: the log is reopened
+    // with O_APPEND, and a record written after leftover torn bytes would
+    // be invisible to every future replay (which stops at the tear) —
+    // silent loss of own blocks, i.e. sequence reuse after the next crash.
+    if (valid_prefix < log_file.size() &&
+        ::truncate(log_path(dir_, epoch).c_str(),
+                   static_cast<::off_t>(valid_prefix)) != 0) {
+      log.clear();
+      return false;
+    }
   }
   epoch_ = epoch;
   return true;

@@ -11,9 +11,11 @@
 //                          u32 length | u8 version | u8 kind | u32 crc |
 //                          payload. A SIGKILL can tear the tail; replay
 //                          stops at the first record whose length or CRC
-//                          does not check out and discards the rest (the
+//                          does not check out, discards the rest (the
 //                          cluster re-delivers anything lost via state
-//                          sync).
+//                          sync), and load_latest truncates the file to
+//                          the valid prefix so post-restart appends never
+//                          land behind torn bytes replay cannot reach.
 // After checkpoint e is durably stored, files of epochs < e are deleted —
 // the checkpoint subsumes them. Appends are NOT fsynced by default: a
 // SIGKILL (the fault the kill/restart harness injects) never loses page
@@ -59,9 +61,12 @@ class StorageSink {
   // Appends one block record to the current epoch's log.
   virtual bool append_block(LogKind kind, const Bytes& payload) = 0;
 
-  // Loads the newest valid checkpoint (empty bytes if none was ever
-  // stored) and the log records appended after it, tolerating a torn
-  // tail. False only on unreadable storage (distinct from "empty").
+  // Loads the newest checkpoint (empty bytes if none was ever stored) and
+  // the log records appended after it, tolerating — and repairing — a
+  // torn log tail. False on unreadable storage AND on a newest checkpoint
+  // that fails to decode: falling back to an older epoch whose log
+  // rotation already deleted would silently lose every block since
+  // (amnesia → sequence reuse), so corrupt storage is refused outright.
   virtual bool load_latest(std::uint64_t& epoch, Bytes& checkpoint,
                            std::vector<LogRecord>& log) = 0;
 };
@@ -126,7 +131,11 @@ Bytes encode_checkpoint_file(const Bytes& signed_checkpoint);
 std::optional<Bytes> decode_checkpoint_file(const Bytes& file);
 Bytes encode_log_record(LogKind kind, const Bytes& payload);
 // Parses records until the bytes run out or a record fails its length or
-// CRC check (torn tail): everything before the tear is returned.
+// CRC check (torn tail): everything before the tear is returned. The
+// second form also reports the byte length of the valid prefix — the
+// offset the file must be truncated to before it is appended to again.
 std::vector<LogRecord> decode_log(const Bytes& file);
+std::vector<LogRecord> decode_log(const Bytes& file,
+                                  std::size_t& valid_prefix);
 
 }  // namespace blockdag::sync

@@ -189,6 +189,54 @@ TEST(CrashRestart, FreshLateJoinerSyncsFromPeers) {
   EXPECT_GT(joiner.sync.blocks_added, 0u) << "sync delivered no blocks";
 }
 
+TEST(CrashRestart, WindowedSyncAcrossMismatchedChunkConfigs) {
+  // Two review-driven properties of the transfer protocol in one run:
+  // (1) chunk geometry rides in the manifest, so a provider configured
+  // with a different chunk_bytes than the requester still syncs (before
+  // the fix every manifest was rejected as "absurd" and sync rotated
+  // forever); (2) the provider sends at most chunks_per_request chunks
+  // per request and the requester pulls window after window, so a
+  // payload this size takes several requests, never one full-DAG burst.
+  brb::BrbFactory factory;
+  const std::uint32_t n = 3;
+  const ServerId kJoiner = 2;
+  ThreadedConfig cfg = recovery_config(n);
+  cfg.sync.chunk_bytes = 64;        // requester's own (unused) geometry
+  cfg.sync.chunks_per_request = 2;  // tiny windows: force many rounds
+  cfg.sync_tweak = [](ServerId s, sync::SyncConfig& c) {
+    if (s != kJoiner) c.chunk_bytes = 96;  // providers slice differently
+  };
+  std::vector<sync::MemStore> stores(n);
+  cfg.storage = [&stores](ServerId s) { return &stores[s]; };
+  ThreadedRuntime runtime(factory, cfg);
+  runtime.start();
+  runtime.crash(kJoiner);  // fresh late joiner: syncs the full DAG
+
+  for (int i = 0; i < 12; ++i) {
+    runtime.request(i % (n - 1), 1 + i,
+                    brb::make_broadcast(Bytes{static_cast<std::uint8_t>(i)}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(eventually([&] {
+    return runtime.call(ServerId{0}, [](Shim& shim) {
+             return shim.gossip().stats().blocks_inserted;
+           }) > 10;
+  }));
+
+  ASSERT_TRUE(runtime.restart(kJoiner));
+  ASSERT_TRUE(eventually(
+      [&] { return runtime.sync_snapshot(kJoiner).sync_completed; }));
+  ASSERT_TRUE(runtime.quiesce_and_converge());
+  expect_all_digests_equal(runtime, n);
+
+  const auto joiner = runtime.sync_snapshot(kJoiner);
+  EXPECT_GE(joiner.sync.completions, 1u);
+  EXPECT_GT(joiner.sync.chunks_received, 2u)
+      << "payload should span more than one 2-chunk window";
+  EXPECT_GT(joiner.sync.requests_sent, 1u)
+      << "a windowed transfer takes one request per window";
+}
+
 TEST(CrashRestart, CorruptStorageRefusedAtConstructionAndRestart) {
   brb::BrbFactory factory;
   const std::uint32_t n = 2;

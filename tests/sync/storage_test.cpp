@@ -1,7 +1,8 @@
 // On-disk durability (src/sync/storage): checkpoint file format, the
-// append-only block log, epoch rotation, torn-tail recovery and the
-// corrupt-newest fallback — everything `simctl serve --data-dir` leans on
-// when a SIGKILLed member restarts over the same directory.
+// append-only block log, epoch rotation, torn-tail repair (discard AND
+// on-disk truncation, so re-appends stay replayable) and corrupt-newest
+// refusal — everything `simctl serve --data-dir` leans on when a
+// SIGKILLed member restarts over the same directory.
 #include "sync/storage.h"
 
 #include <gtest/gtest.h>
@@ -117,13 +118,18 @@ TEST(StorageCodec, LogDecodeStopsAtTheTear) {
   }
 
   // Truncate at EVERY byte: replay returns exactly the records that end
-  // before the tear, each intact — never a partial or shifted record.
+  // before the tear, each intact — never a partial or shifted record —
+  // and reports the valid-prefix offset load_latest truncates the file
+  // to (the end of the last intact record).
   for (std::size_t len = 0; len <= file.size(); ++len) {
     const Bytes torn(file.begin(), file.begin() + len);
-    const std::vector<LogRecord> got = sync::decode_log(torn);
+    std::size_t prefix = 0;
+    const std::vector<LogRecord> got = sync::decode_log(torn, prefix);
     std::size_t expected = 0;
     while (expected < ends.size() && ends[expected] <= len) ++expected;
     ASSERT_EQ(got.size(), expected) << "truncated at " << len;
+    EXPECT_EQ(prefix, expected == 0 ? 0 : ends[expected - 1])
+        << "truncated at " << len;
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].payload, records[i].payload);
     }
@@ -196,18 +202,20 @@ TEST(StorageDataDir, RotationDropsSubsumedEpochs) {
   EXPECT_TRUE(log.empty()) << "rotation must truncate the block log";
 }
 
-TEST(StorageDataDir, CorruptNewestCheckpointFallsBackToSurvivor) {
+TEST(StorageDataDir, CorruptNewestCheckpointRefusesToLoad) {
   TempDir tmp;
-  const Bytes good = some_bytes(40, 7);
   {
     DataDir dir(tmp.path);
-    ASSERT_TRUE(dir.store_checkpoint(1, good));
+    ASSERT_TRUE(dir.store_checkpoint(1, some_bytes(40, 7)));
     ASSERT_TRUE(dir.append_block(LogKind::kRecvBlock, some_bytes(6, 8)));
   }
   // A later checkpoint whose bytes rotted on disk (flip inside the
-  // CRC-covered region). Written by hand: store_checkpoint would have
-  // unlinked epoch 1, and rename-atomicity means only media corruption —
-  // not a torn write — can produce this file.
+  // CRC-covered region). Written by hand: rename-atomicity means only
+  // media corruption — not a torn write — can produce this file. Falling
+  // back to epoch 1 would be amnesia in the real sequence of events
+  // (rotation would already have unlinked blocks-1.log, silently dropping
+  // every block since and regressing next_k into sequence reuse), so the
+  // load must be refused outright — the server halts / simctl exits 3.
   Bytes rotten = sync::encode_checkpoint_file(some_bytes(40, 9));
   rotten[rotten.size() - 1] ^= 0xff;
   write_raw(tmp.path + "/checkpoint-2.ckpt", rotten);
@@ -216,11 +224,10 @@ TEST(StorageDataDir, CorruptNewestCheckpointFallsBackToSurvivor) {
   std::uint64_t epoch = 0;
   Bytes ckpt;
   std::vector<LogRecord> log;
-  ASSERT_TRUE(dir.load_latest(epoch, ckpt, log));
-  EXPECT_EQ(epoch, 1u) << "should have fallen back past the corrupt epoch";
-  EXPECT_EQ(ckpt, good);
-  ASSERT_EQ(log.size(), 1u);  // epoch 1's log is still the right one
-  EXPECT_EQ(log[0].payload, some_bytes(6, 8));
+  EXPECT_FALSE(dir.load_latest(epoch, ckpt, log))
+      << "corrupt newest checkpoint must refuse, not fall back";
+  EXPECT_TRUE(ckpt.empty());
+  EXPECT_TRUE(log.empty());
 }
 
 TEST(StorageDataDir, TornLogTailIsDiscardedOnLoad) {
@@ -246,6 +253,61 @@ TEST(StorageDataDir, TornLogTailIsDiscardedOnLoad) {
   ASSERT_EQ(log.size(), 2u) << "torn third record should be dropped";
   EXPECT_EQ(log[0].payload, some_bytes(20, 0));
   EXPECT_EQ(log[1].payload, some_bytes(20, 1));
+
+  // The tear is repaired ON DISK, not just skipped in memory: the file
+  // now ends exactly where the last valid record does.
+  ASSERT_EQ(::stat(log_file.c_str(), &st), 0);
+  Bytes repaired_file;
+  {
+    std::ifstream in(log_file, std::ios::binary);
+    repaired_file.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+  }
+  const Bytes rec0 = sync::encode_log_record(LogKind::kOwnBlock, some_bytes(20, 0));
+  const Bytes rec1 = sync::encode_log_record(LogKind::kOwnBlock, some_bytes(20, 1));
+  EXPECT_EQ(repaired_file.size(), rec0.size() + rec1.size());
+}
+
+TEST(StorageDataDir, AppendsAfterTornTailSurviveTheNextReplay) {
+  // The crash-recovery double-fault: SIGKILL tears the log tail, the
+  // server restarts and appends new blocks, then crashes again. If the
+  // torn bytes were still on disk, the re-opened O_APPEND log would put
+  // the new records BEHIND the tear, where the next replay (which stops
+  // at the tear) cannot see them — own blocks silently vanish, next_k
+  // regresses and the server re-uses sequence numbers. load_latest must
+  // truncate the tear away so post-restart appends stay replayable.
+  TempDir tmp;
+  {
+    DataDir dir(tmp.path);
+    ASSERT_TRUE(dir.store_checkpoint(1, some_bytes(16, 1)));
+    ASSERT_TRUE(dir.append_block(LogKind::kOwnBlock, some_bytes(20, 0)));
+    ASSERT_TRUE(dir.append_block(LogKind::kOwnBlock, some_bytes(20, 1)));
+  }
+  const std::string log_file = tmp.path + "/blocks-1.log";
+  struct stat st{};
+  ASSERT_EQ(::stat(log_file.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(log_file.c_str(), st.st_size - 3), 0);  // crash #1
+
+  {
+    DataDir dir(tmp.path);
+    std::uint64_t epoch = 0;
+    Bytes ckpt;
+    std::vector<LogRecord> log;
+    ASSERT_TRUE(dir.load_latest(epoch, ckpt, log));
+    ASSERT_EQ(log.size(), 1u);
+    ASSERT_TRUE(dir.append_block(LogKind::kOwnBlock, some_bytes(20, 2)));
+  }  // crash #2 (clean close, but the file is whatever appends left)
+
+  DataDir again(tmp.path);
+  std::uint64_t epoch = 0;
+  Bytes ckpt;
+  std::vector<LogRecord> log;
+  ASSERT_TRUE(again.load_latest(epoch, ckpt, log));
+  ASSERT_EQ(log.size(), 2u) << "post-restart append lost behind the tear";
+  EXPECT_EQ(log[0].payload, some_bytes(20, 0));
+  EXPECT_EQ(static_cast<int>(log[1].kind),
+            static_cast<int>(LogKind::kOwnBlock));
+  EXPECT_EQ(log[1].payload, some_bytes(20, 2));
 }
 
 TEST(StorageDataDir, PreCheckpointAppendsLandInEpochZero) {
