@@ -31,7 +31,7 @@ SigResult run_shim(std::uint32_t n, std::uint32_t k, bool wots) {
   ClusterConfig cfg;
   cfg.n_servers = n;
   cfg.seed = 99;
-  cfg.use_wots = wots;
+  cfg.sig_scheme = wots ? SigScheme::kWots : SigScheme::kIdeal;
   cfg.pacing.interval = sim_ms(10);
   brb::BrbFactory factory;
   Cluster cluster(factory, cfg);

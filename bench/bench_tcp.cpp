@@ -34,6 +34,7 @@ struct RunResult {
   double wall_s = 0;
   bool converged = false;
   std::uint64_t frames = 0;  // frames that crossed a socket (tcp only)
+  VerifierPoolStats verifier;  // all-zero when the pool is off
   double blocks_per_s() const {
     return wall_s > 0 ? static_cast<double>(blocks) / wall_s : 0;
   }
@@ -65,13 +66,17 @@ RunResult run_sim(std::uint32_t n, SimTime virtual_duration, std::uint32_t reque
 }
 
 RunResult run_threaded(std::uint32_t n, SimTime wall_duration, std::uint32_t requests,
-                       rt::TransportBackend backend) {
+                       rt::TransportBackend backend,
+                       SigScheme sig = SigScheme::kIdeal,
+                       std::optional<bool> pool = std::nullopt) {
   brb::BrbFactory factory;
   rt::ThreadedConfig cfg;
   cfg.n_servers = n;
   cfg.seed = 42 + n;
   cfg.pacing.interval = kBeat;
   cfg.backend = backend;  // kTcp: ephemeral localhost ports
+  cfg.sig_scheme = sig;
+  cfg.use_verifier_pool = pool;  // nullopt = automatic (on iff sig is real)
   rt::ThreadedRuntime runtime(factory, cfg);
   if (runtime.tcp() && !runtime.tcp()->ok()) return {};
   const auto t0 = std::chrono::steady_clock::now();
@@ -90,7 +95,53 @@ RunResult run_threaded(std::uint32_t n, SimTime wall_duration, std::uint32_t req
     if (runtime.dag_digest(s) != dag0) out.converged = false;
   }
   if (runtime.tcp()) out.frames = runtime.tcp()->stats().frames_received;
+  out.verifier = runtime.verifier_stats();
   return out;
+}
+
+// CLAIM-SIG-AB: the price of REAL signature verification on the hot path,
+// and how much the verifier pool claws back. Three rows per backend:
+// ideal (no real crypto), the real scheme verified inline on the gossip
+// thread (pool forced off), and the same scheme with verification batched
+// onto the worker pool (the default wiring for real schemes).
+void sweep_signatures(BenchReport& report, SimTime duration) {
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4}
+                     : std::vector<std::uint32_t>{4, 8};
+  struct Row {
+    const char* name;
+    SigScheme sig;
+    std::optional<bool> pool;
+  };
+  const Row rows[] = {
+      {"ideal", SigScheme::kIdeal, std::nullopt},
+      {"hmac inline", SigScheme::kHmac, false},
+      {"hmac +pool", SigScheme::kHmac, true},
+      {"wots inline", SigScheme::kWots, false},
+      {"wots +pool", SigScheme::kWots, true},
+  };
+  std::printf("\nCLAIM-SIG-AB: ideal vs real schemes, inline vs verifier pool\n");
+  Table table({"n", "runtime", "sig", "blocks", "blocks/s", "verified",
+               "cache hits", "converged"});
+  for (std::uint32_t n : ns) {
+    const std::uint32_t requests = 2 * n;
+    for (rt::TransportBackend backend :
+         {rt::TransportBackend::kLoopback, rt::TransportBackend::kTcp}) {
+      const char* backend_name =
+          backend == rt::TransportBackend::kTcp ? "tcp" : "threads";
+      for (const Row& row : rows) {
+        const RunResult r =
+            run_threaded(n, duration, requests, backend, row.sig, row.pool);
+        table.add_row({Table::num(static_cast<std::uint64_t>(n)), backend_name,
+                       row.name, Table::num(r.blocks),
+                       Table::num(r.blocks_per_s(), 0),
+                       Table::num(r.verifier.verified),
+                       Table::num(r.verifier.cache_hits),
+                       r.converged ? "yes" : "NO"});
+      }
+    }
+  }
+  report.add("signatures_ab", table);
 }
 
 }  // namespace
@@ -129,11 +180,15 @@ int main(int argc, char** argv) {
                    tcp.converged ? "yes" : "NO"});
   }
   report.add("throughput", table);
+  sweep_signatures(report, duration);
   report.note("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
   std::printf(
       "The sim row executes the run in *virtual* time as fast as one core\n"
       "allows; threads and tcp rows spend that much real time. threads→tcp\n"
       "is the price of the real network stack: frame codec, syscalls,\n"
-      "kernel socket buffers and the poll-thread handoff.\n");
+      "kernel socket buffers and the poll-thread handoff. In the A/B table,\n"
+      "ideal→'inline' prices real verification on the gossip thread;\n"
+      "'inline'→'+pool' is the verifier pool's claw-back (verdicts batched\n"
+      "onto workers, re-gossiped refs answered from the verdict cache).\n");
   return report.finish();
 }

@@ -35,6 +35,7 @@ struct RunResult {
   bool converged = false;
   std::uint64_t frames = 0;       // frames that crossed a socket
   std::uint64_t retransmits = 0;  // udp only
+  VerifierPoolStats verifier;     // all-zero when the pool is off
   double blocks_per_s() const {
     return wall_s > 0 ? static_cast<double>(blocks) / wall_s : 0;
   }
@@ -66,13 +67,17 @@ RunResult run_sim(std::uint32_t n, SimTime virtual_duration, std::uint32_t reque
 }
 
 RunResult run_threaded(std::uint32_t n, SimTime wall_duration, std::uint32_t requests,
-                       rt::TransportBackend backend, double drop = 0.0) {
+                       rt::TransportBackend backend, double drop = 0.0,
+                       SigScheme sig = SigScheme::kIdeal,
+                       std::optional<bool> pool = std::nullopt) {
   brb::BrbFactory factory;
   rt::ThreadedConfig cfg;
   cfg.n_servers = n;
   cfg.seed = 42 + n;
   cfg.pacing.interval = kBeat;
   cfg.backend = backend;  // socket backends: ephemeral localhost ports
+  cfg.sig_scheme = sig;
+  cfg.use_verifier_pool = pool;  // nullopt = automatic (on iff sig is real)
   cfg.udp.fault_seed = 42 + n;
   cfg.udp.default_fault.drop = drop;
   // Quick RTOs so the lossy row measures steady-state retransmission cost,
@@ -102,7 +107,45 @@ RunResult run_threaded(std::uint32_t n, SimTime wall_duration, std::uint32_t req
     out.frames = stats.frames_received;
     out.retransmits = stats.retransmits;
   }
+  out.verifier = runtime.verifier_stats();
   return out;
+}
+
+// CLAIM-SIG-AB over the UDP wire: ideal vs real WOTS verified inline on
+// the gossip thread vs the same scheme batched onto the verifier pool.
+// Retransmitted datagrams re-deliver already-known blocks, so the UDP rows
+// also show the verdict cache absorbing duplicate verifications.
+void sweep_signatures(BenchReport& report, SimTime duration) {
+  const std::vector<std::uint32_t> ns =
+      report.smoke() ? std::vector<std::uint32_t>{4}
+                     : std::vector<std::uint32_t>{4, 8};
+  struct Row {
+    const char* name;
+    SigScheme sig;
+    std::optional<bool> pool;
+  };
+  const Row rows[] = {
+      {"ideal", SigScheme::kIdeal, std::nullopt},
+      {"wots inline", SigScheme::kWots, false},
+      {"wots +pool", SigScheme::kWots, true},
+  };
+  std::printf("\nCLAIM-SIG-AB (udp): ideal vs inline wots vs pooled wots\n");
+  Table table({"n", "sig", "blocks", "blocks/s", "verified", "cache hits",
+               "rexmit", "converged"});
+  for (std::uint32_t n : ns) {
+    const std::uint32_t requests = 2 * n;
+    for (const Row& row : rows) {
+      const RunResult r = run_threaded(n, duration, requests,
+                                       rt::TransportBackend::kUdp, 0.0, row.sig,
+                                       row.pool);
+      table.add_row({Table::num(static_cast<std::uint64_t>(n)), row.name,
+                     Table::num(r.blocks), Table::num(r.blocks_per_s(), 0),
+                     Table::num(r.verifier.verified),
+                     Table::num(r.verifier.cache_hits), Table::num(r.retransmits),
+                     r.converged ? "yes" : "NO"});
+    }
+  }
+  report.add("signatures_ab", table);
 }
 
 void add_row(Table& table, std::uint32_t n, const char* name, const RunResult& r,
@@ -146,6 +189,7 @@ int main(int argc, char** argv) {
             true);
   }
   report.add("throughput", table);
+  sweep_signatures(report, duration);
   report.note("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
   std::printf(
       "tcp→udp prices userspace reliability against the kernel's (chunking,\n"

@@ -2,28 +2,47 @@
 //
 // The paper assumes a secure signature scheme with sign : Srvrs × M → Σ and
 // verify : Srvrs × M × Σ → B, with negligible (assumed zero) failure
-// probability (Section 2). Two concrete providers:
+// probability (Section 2). Three concrete providers:
 //
 //  * IdealSignatureProvider — the paper's idealization as an ideal
 //    functionality: signing is HMAC-SHA256 under a per-server secret seed;
 //    verification recomputes the MAC via a key directory held by the
 //    (trusted) simulation environment. Unforgeable by construction inside
 //    the simulation, and fast — the default for experiments.
+//  * HmacSignatureProvider — the cheapest *deployable* instantiation:
+//    pre-shared symmetric keys with domain-separated derivation and
+//    constant-time tag comparison. Same wire size as ideal (32 bytes) but
+//    implemented the way a real pre-shared-key deployment would.
 //  * WotsSignatureProvider (wots.h) — a real hash-based Winternitz one-time
 //    signature with per-sequence-number key ratcheting. Demonstrates a
-//    deployable instantiation; its cost appears in bench_signatures.
+//    deployable public-key instantiation; its cost appears in
+//    bench_signatures and the bench_tcp/bench_udp A/B rows.
 //
-// Both providers count sign/verify operations so benchmarks can report the
+// All providers count sign/verify operations so benchmarks can report the
 // signature-batching advantage (one signature per block vs per message).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 
 #include "util/types.h"
 
 namespace blockdag {
+
+// Selects the concrete SignatureProvider wired into block validation.
+// Threaded via `--sig ideal|hmac|wots` through every simctl subcommand and
+// through ThreadedConfig / ClusterConfig.
+enum class SigScheme : std::uint8_t {
+  kIdeal = 0,  // ideal functionality (default; unforgeable idealization)
+  kHmac = 1,   // real pre-shared-key HMAC-SHA256 (cheap real scheme)
+  kWots = 2,   // real hash-based Winternitz one-time sigs (expensive)
+};
+
+const char* sig_scheme_name(SigScheme scheme);
+std::optional<SigScheme> parse_sig_scheme(std::string_view name);
 
 // Running tally of cryptographic operations, used by the benches that
 // reproduce the paper's signature-batching claim.
@@ -72,7 +91,33 @@ class IdealSignatureProvider final : public SignatureProvider {
   std::vector<Bytes> seeds_;  // one 32-byte secret per server
 };
 
+// A deployable pre-shared-key MAC scheme. Functionally close to the ideal
+// provider but built the way a real symmetric deployment would be: per-server
+// keys derived with explicit domain separation from a shared root secret, and
+// verification via constant-time tag comparison (no early exit on the first
+// mismatching byte).
+class HmacSignatureProvider final : public SignatureProvider {
+ public:
+  HmacSignatureProvider(std::uint32_t n_servers, std::uint64_t seed);
+
+  Bytes sign(ServerId signer, std::span<const std::uint8_t> message) override;
+  bool verify(ServerId claimed, std::span<const std::uint8_t> message,
+              std::span<const std::uint8_t> signature) override;
+
+ private:
+  Bytes tag(ServerId server, std::span<const std::uint8_t> message) const;
+
+  std::vector<Bytes> keys_;  // one domain-separated 32-byte key per server
+};
+
 std::unique_ptr<SignatureProvider> make_ideal_provider(std::uint32_t n_servers,
                                                        std::uint64_t seed);
+
+// Builds the provider selected by `scheme`. All instances created with the
+// same (scheme, n_servers, seed) derive identical key material, so per-node
+// provider instances on the threaded runtime can verify each other's
+// signatures without any key exchange.
+std::unique_ptr<SignatureProvider> make_signature_provider(
+    SigScheme scheme, std::uint32_t n_servers, std::uint64_t seed);
 
 }  // namespace blockdag

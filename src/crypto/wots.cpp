@@ -129,9 +129,19 @@ bool WotsSignatureProvider::verify(ServerId claimed,
   if (!index) return false;
   const auto sig = r.raw(r.remaining());
   if (!sig) return false;
-  const auto it = directory_.find(std::make_pair(claimed, *index));
-  if (it == directory_.end()) return false;
-  return wots_verify(it->second, message, *sig);
+  const auto key = std::make_pair(claimed, *index);
+  const auto it = directory_.find(key);
+  if (it != directory_.end()) return wots_verify(it->second, message, *sig);
+  // Directory miss: derive the claimed one-time public key from the keychain
+  // (every provider instance shares the keychain seeds, mirroring the chained
+  // public-key commitments a deployment would carry in blocks). Only cache on
+  // success so an attacker spraying arbitrary indices cannot grow the
+  // directory — failed forgeries pay the derivation each time, which is
+  // exactly the cost the verifier pool's verdict cache absorbs.
+  const WotsPublicKey pk = chains_[claimed].public_key(*index);
+  if (!wots_verify(pk, message, *sig)) return false;
+  directory_.emplace(key, pk);
+  return true;
 }
 
 }  // namespace blockdag

@@ -56,9 +56,13 @@ bool wots_verify(const WotsPublicKey& pk, std::span<const std::uint8_t> message,
                  std::span<const std::uint8_t> signature);
 
 // SignatureProvider adapter: signature bytes are (index:u64 || wots-sig).
-// Public keys per (server, index) are registered in a directory as they are
-// first produced, modeling the chained public-key commitments a deployment
-// would carry in blocks.
+// Public keys per (server, index) are cached in a directory as they are
+// produced or first verified; on a directory miss, verify derives the
+// claimed one-time public key from the keychain (all instances built from
+// the same seed share keychains, modeling the chained public-key
+// commitments a deployment would carry in blocks) and caches it only when
+// verification succeeds, so forged (server, index) pairs never grow the
+// directory.
 class WotsSignatureProvider final : public SignatureProvider {
  public:
   WotsSignatureProvider(std::uint32_t n_servers, std::uint64_t seed);

@@ -35,21 +35,61 @@ void GossipServer::on_network(ServerId from, const Bytes& wire) {
 void GossipServer::handle_block(Block&& block) {
   ++stats_.blocks_received;
   const Hash256 ref = block.ref();
-  // Line 4: only blocks not already in G (nor already buffered/rejected).
+  // Line 4: only blocks not already in G (nor already buffered/rejected,
+  // nor awaiting an off-thread signature verdict).
   // known() rather than contains(): re-deliveries of since-pruned history
   // (state sync replays old blocks) are dropped instead of re-accepted.
-  if (dag_.known(ref) || pending_.count(ref) || rejected_.count(ref)) return;
+  if (dag_.known(ref) || pending_.count(ref) || rejected_.count(ref) ||
+      verifying_.count(ref))
+    return;
 
   // Definition 3.3(i) can be checked immediately; a bad signature can never
-  // become valid, so reject outright.
+  // become valid, so reject outright. With an async verifier installed the
+  // check runs off-thread and the verdict re-enters through on_verified()
+  // on this server's own thread.
+  if (async_verify_) {
+    auto ptr = std::make_shared<const Block>(std::move(block));
+    const auto& sigma = ptr->sigma();
+    verifying_.emplace(ref, ptr);
+    async_verify_(ptr->n(), ref, Bytes(sigma.begin(), sigma.end()),
+                  [this, ref](bool ok) { on_verified(ref, ok); });
+    return;
+  }
   if (!sigs_.verify(block.n(), ref.span(), block.sigma())) {
-    rejected_.insert(ref);
+    mark_rejected(ref);
     ++stats_.blocks_rejected;
     return;
   }
 
   pending_.emplace(ref, std::make_shared<const Block>(std::move(block)));
   try_insert_pending();
+}
+
+void GossipServer::on_verified(const Hash256& ref, bool ok) {
+  if (halted_) return;
+  const auto it = verifying_.find(ref);
+  if (it == verifying_.end()) return;
+  BlockPtr block = std::move(it->second);
+  verifying_.erase(it);
+  if (!ok) {
+    mark_rejected(ref);
+    ++stats_.blocks_rejected;
+    return;
+  }
+  if (dag_.known(ref)) return;  // resolved out-of-band while in flight
+  pending_.emplace(ref, std::move(block));
+  try_insert_pending();
+}
+
+void GossipServer::mark_rejected(const Hash256& ref) {
+  if (!rejected_.insert(ref).second) return;
+  if (config_.rejected_capacity == 0) return;  // unbounded
+  rejected_order_.push_back(ref);
+  while (rejected_order_.size() > config_.rejected_capacity) {
+    rejected_.erase(rejected_order_.front());
+    rejected_order_.pop_front();
+    ++stats_.rejected_evicted;
+  }
 }
 
 void GossipServer::try_insert_pending() {
@@ -82,7 +122,7 @@ void GossipServer::try_insert_pending() {
       if (err == ValidityError::kOk) {
         insert_valid(cand);
       } else {
-        rejected_.insert(cand->ref());
+        mark_rejected(cand->ref());
         ++stats_.blocks_rejected;
       }
       it = pending_.erase(it);

@@ -14,6 +14,7 @@
 //     block with preds = [ref(B)] (lines 14–18).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +37,12 @@ struct GossipConfig {
   // byzantine-built references can dangle forever; correct servers' blocks
   // always arrive (Lemma 3.6).
   std::uint32_t max_fwd_retries = 0;
+  // Bound on the permanently-rejected-refs ring (0 = unbounded). A forger
+  // flooding bad-signature blocks would otherwise grow the set forever;
+  // evicting oldest-first only costs a re-verification if the same forged
+  // ref is delivered again — which the verifier pool's verdict cache
+  // absorbs on the threaded runtime.
+  std::size_t rejected_capacity = 1024;
 };
 
 struct GossipStats {
@@ -47,6 +54,7 @@ struct GossipStats {
   std::uint64_t fwd_replies_sent = 0;
   std::uint64_t gc_runs = 0;          // collect_garbage calls that pruned
   std::uint64_t blocks_pruned = 0;    // blocks removed by collect_garbage
+  std::uint64_t rejected_evicted = 0; // rejected refs evicted from the ring
 };
 
 class GossipServer {
@@ -75,6 +83,22 @@ class GossipServer {
     on_inserted_ = std::move(handler);
   }
 
+  // Off-thread verification seam (threaded runtime only). When set, the
+  // receive path defers Definition 3.3(i) to `verifier` instead of calling
+  // sigs_.verify inline: the block parks in a `verifying_` buffer (which
+  // also dedupes re-deliveries while the check is in flight) and `done`
+  // must later be invoked ON THIS SERVER'S OWN THREAD — the verifier pool
+  // posts it through the owner mailbox. Never set on the simulator, where
+  // synchronous verification keeps seed replay deterministic. Install only
+  // after any checkpoint restore: log-replayed blocks must insert
+  // synchronously.
+  using AsyncVerifier =
+      std::function<void(ServerId claimed, const Hash256& ref, Bytes sigma,
+                         std::function<void(bool)> done)>;
+  void set_async_verifier(AsyncVerifier verifier) {
+    async_verify_ = std::move(verifier);
+  }
+
   // Network ingress (attach to SimNetwork).
   void on_network(ServerId from, const Bytes& wire);
 
@@ -84,8 +108,11 @@ class GossipServer {
   // choice; liveness only needs *eventual* dissemination.
   void disseminate(bool even_if_empty = true);
 
-  // Number of buffered (not yet valid) blocks — the `blks` set.
-  std::size_t pending_blocks() const { return pending_.size(); }
+  // Number of buffered, not-yet-inserted blocks: the `blks` set plus any
+  // blocks whose signature check is still in flight at the verifier pool.
+  std::size_t pending_blocks() const {
+    return pending_.size() + verifying_.size();
+  }
 
   // Construction state of the block being built (checkpointing reads these;
   // see the crash-recovery note below for why they must be persisted).
@@ -160,6 +187,8 @@ class GossipServer {
 
  private:
   void handle_block(Block&& block);
+  void on_verified(const Hash256& ref, bool ok);
+  void mark_rejected(const Hash256& ref);
   void handle_fwd_request(ServerId from, const Hash256& ref);
   void try_insert_pending();
   void insert_valid(const BlockPtr& block);
@@ -183,11 +212,16 @@ class GossipServer {
 
   // blks: received, not-yet-insertable blocks, keyed by ref.
   std::unordered_map<Hash256, BlockPtr> pending_;
+  // Blocks parked while their signature check runs off-thread.
+  std::unordered_map<Hash256, BlockPtr> verifying_;
   // Missing refs with an armed FWD timer (avoid duplicate timers).
   std::unordered_set<Hash256> fwd_armed_;
-  // Permanently rejected refs (invalid once preds were known).
+  // Permanently rejected refs (invalid once preds were known), bounded by
+  // config_.rejected_capacity as a FIFO ring (rejected_order_ tracks age).
   std::unordered_set<Hash256> rejected_;
+  std::deque<Hash256> rejected_order_;
 
+  AsyncVerifier async_verify_;
   BlockInsertedHandler on_inserted_;
   GossipStats stats_;
   bool halted_ = false;

@@ -17,6 +17,23 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
     for (ServerId s = 0; s < config_.n_servers; ++s) local_.push_back(s);
   }
   std::sort(local_.begin(), local_.end());
+  std::vector<ServerId> raw = config_.raw_servers;
+  std::sort(raw.begin(), raw.end());
+  for (const ServerId s : local_) {
+    if (!std::binary_search(raw.begin(), raw.end(), s)) shimmed_.push_back(s);
+  }
+
+  const bool pool_on = config_.use_verifier_pool.value_or(
+      config_.sig_scheme != SigScheme::kIdeal);
+  if (pool_on) {
+    const SigScheme scheme = config_.sig_scheme;
+    const std::uint32_t n = config_.n_servers;
+    const std::uint64_t seed = config_.seed;
+    pool_ = std::make_unique<VerifierPool>(
+        [scheme, n, seed] { return make_signature_provider(scheme, n, seed); },
+        config_.verifier_pool);
+    pool_->start();  // workers just park on the queue until submissions come
+  }
 
   nodes_.resize(config_.n_servers);
   std::vector<Mailbox*> mailboxes(config_.n_servers, nullptr);
@@ -53,24 +70,38 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
   for (const ServerId s : local_) {
     Node& node = *nodes_[s];
     node.timers = std::make_unique<NodeTimerService>(wheel_, *node.mailbox);
-    node.sigs =
-        std::make_unique<IdealSignatureProvider>(config_.n_servers, config_.seed);
+  }
+  for (const ServerId s : shimmed_) {
+    Node& node = *nodes_[s];
+    node.sigs = make_signature_provider(config_.sig_scheme, config_.n_servers,
+                                        config_.seed);
+    if (pool_) {
+      Mailbox* mailbox = node.mailbox.get();
+      node.verify_handle = pool_->make_handle(
+          [mailbox](std::function<void()> task) {
+            return mailbox->push(std::move(task));
+          },
+          [this](bool retain) { retain ? idle_.add() : idle_.sub(); });
+    }
     node.storage = config_.storage ? config_.storage(s) : nullptr;
     // mount_node attaches the server's network handler; all of this
     // happens before any thread runs, so no synchronization beyond thread
-    // creation is needed.
+    // creation is needed. Raw (adversary-hosted) servers get no stack —
+    // the harness attaches its own handler via raw_transport().
     mount_node(s);
   }
   wheel_.start();
   // Resume from durable state before any thread or socket moves: restore
   // must see exactly what the checkpoint + log describe, not a DAG that
   // live traffic already started growing.
-  for (const ServerId s : local_) {
+  for (const ServerId s : shimmed_) {
     Node& node = *nodes_[s];
     if (node.checkpointer && !node.checkpointer->restore_from_storage()) {
       restore_failures_.push_back(s);
       node.shim->halt();  // never run a half-restored server
     }
+    // Only now that log replay is done may verification go asynchronous.
+    attach_async_verifier(s);
   }
   for (const ServerId s : local_) {
     Mailbox* mailbox = nodes_[s]->mailbox.get();
@@ -104,6 +135,17 @@ void ThreadedRuntime::mount_node(ServerId server) {
   }
 }
 
+void ThreadedRuntime::attach_async_verifier(ServerId server) {
+  Node& node = *nodes_[server];
+  if (!pool_ || !node.verify_handle) return;
+  VerifierPool::Handle* handle = node.verify_handle.get();
+  node.shim->gossip().set_async_verifier(
+      [handle](ServerId claimed, const Hash256& ref, Bytes sigma,
+               std::function<void(bool)> done) {
+        handle->submit(claimed, ref, std::move(sigma), std::move(done));
+      });
+}
+
 bool ThreadedRuntime::transport_ok() const {
   if (tcp_) return tcp_->ok();
   if (udp_) return udp_->ok();
@@ -134,7 +176,7 @@ void ThreadedRuntime::node_loop(Mailbox& mailbox) {
 
 void ThreadedRuntime::start() {
   running_ = true;
-  for (const ServerId s : local_) {
+  for (const ServerId s : shimmed_) {
     Shim* shim = nodes_[s]->shim.get();
     nodes_[s]->mailbox->push([shim] { shim->start(); });
   }
@@ -142,7 +184,7 @@ void ThreadedRuntime::start() {
 
 void ThreadedRuntime::stop() {
   running_ = false;
-  for (const ServerId s : local_) {
+  for (const ServerId s : shimmed_) {
     Shim* shim = nodes_[s]->shim.get();
     nodes_[s]->mailbox->push([shim] { shim->stop(); });
   }
@@ -181,6 +223,9 @@ bool ThreadedRuntime::restart(ServerId server) {
       node->shim->halt();
       return false;
     }
+    // Log replay above ran synchronously; live traffic may verify off-thread
+    // again (the handle — and its verdict cache — survived the crash).
+    attach_async_verifier(server);
     if (start_now) node->shim->start();
     // Fetch whatever the cluster built while this server was down.
     if (node->sync_engine) node->sync_engine->start();
@@ -221,9 +266,11 @@ void ThreadedRuntime::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   // Order matters: stop the wheel first so no timer posts into a mailbox
-  // mid-close, then the sockets (the poll thread also posts deliveries),
-  // then let every node drain and exit its loop.
+  // mid-close, then the verifier pool (its workers post verdicts into
+  // mailboxes too), then the sockets (the poll thread also posts
+  // deliveries), then let every node drain and exit its loop.
   wheel_.stop();
+  if (pool_) pool_->stop();
   if (tcp_) tcp_->stop();
   if (udp_) udp_->stop();
   for (const ServerId s : local_) nodes_[s]->mailbox->close();
@@ -276,7 +323,7 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
     // set a pure function of the DAG again (prune everything below all n
     // tips), restoring digest comparability.
     const bool force_gc = config_.checkpoint.epoch_blocks != 0;
-    for (const ServerId s : local_) {
+    for (const ServerId s : shimmed_) {
       const auto [digest, moved] = call(s, [force_gc](Shim& shim) {
         if (force_gc) shim.collect_garbage();
         const InterpreterStats& stats = shim.interpreter().stats();
@@ -294,7 +341,7 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
     }
     if (converged && progress == last_progress) return true;
     last_progress = progress;
-    for (const ServerId s : local_) {
+    for (const ServerId s : shimmed_) {
       Shim* shim = nodes_[s]->shim.get();
       nodes_[s]->mailbox->push([shim] { shim->tick(); });
     }
@@ -315,7 +362,7 @@ Bytes ThreadedRuntime::interpretation_digest(ServerId server) {
 
 std::size_t ThreadedRuntime::indicated_count(Label label) {
   std::size_t count = 0;
-  for (const ServerId s : local_) {
+  for (const ServerId s : shimmed_) {
     count += call(s, [label](Shim& shim) -> std::size_t {
       for (const UserIndication& ind : shim.indications()) {
         if (ind.label == label) return 1;
@@ -328,8 +375,40 @@ std::size_t ThreadedRuntime::indicated_count(Label label) {
 
 std::uint64_t ThreadedRuntime::total_blocks_inserted() {
   std::uint64_t total = 0;
-  for (const ServerId s : local_) {
+  for (const ServerId s : shimmed_) {
     total += call(s, [](Shim& shim) { return shim.gossip().stats().blocks_inserted; });
+  }
+  return total;
+}
+
+std::uint64_t ThreadedRuntime::total_blocks_rejected() {
+  std::uint64_t total = 0;
+  for (const ServerId s : shimmed_) {
+    total += call(s, [](Shim& shim) { return shim.gossip().stats().blocks_rejected; });
+  }
+  return total;
+}
+
+std::uint64_t ThreadedRuntime::total_rejected_evicted() {
+  std::uint64_t total = 0;
+  for (const ServerId s : shimmed_) {
+    total += call(s, [](Shim& shim) { return shim.gossip().stats().rejected_evicted; });
+  }
+  return total;
+}
+
+VerifierPoolStats ThreadedRuntime::verifier_stats() {
+  VerifierPoolStats total;
+  if (!pool_) return total;
+  total = pool_->stats();  // verified / batches / dropped
+  for (const ServerId s : shimmed_) {
+    VerifierPool::Handle* handle = nodes_[s]->verify_handle.get();
+    // Handle counters are owner-thread state: read them on that thread.
+    const VerifierPoolStats h =
+        call(s, [handle](Shim&) { return handle->stats(); });
+    total.submitted += h.submitted;
+    total.cache_hits += h.cache_hits;
+    total.results_posted += h.results_posted;
   }
   return total;
 }

@@ -35,11 +35,13 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "crypto/signature.h"
+#include "crypto/verifier_pool.h"
 #include "rt/loopback_transport.h"
 #include "rt/mailbox.h"
 #include "rt/tcp_transport.h"
@@ -67,6 +69,22 @@ struct ThreadedConfig {
   PacingConfig pacing{};
   SeqNoMode seq_mode = SeqNoMode::kConsecutive;
   std::uint64_t seed = 1;
+  // Signature scheme wired into block validation (--sig ideal|hmac|wots).
+  // Every node (and every verifier-pool worker) builds its own provider
+  // from (scheme, n_servers, seed), so instances can verify each other's
+  // signatures without key exchange.
+  SigScheme sig_scheme = SigScheme::kIdeal;
+  // Off-thread batched verification (crypto/verifier_pool.h). Unset =
+  // automatic: the pool runs exactly when the scheme is real (non-ideal).
+  // Benches force it off to price raw inline verification.
+  std::optional<bool> use_verifier_pool;
+  VerifierPoolConfig verifier_pool{};
+  // Hosted servers that get a mailbox/thread/timers but NO protocol stack:
+  // the harness attaches its own wire handler via raw_transport() and
+  // drives work through post() — adversary hosting for the threads fuzzer.
+  // Must be a subset of the hosted servers; excluded from start()/stop(),
+  // convergence, digests and every aggregate.
+  std::vector<ServerId> raw_servers;
   TransportBackend backend = TransportBackend::kLoopback;
   // TCP backend settings (n_servers is filled in from the field above).
   // tcp.local_servers selects the hosted subset; empty = all (the
@@ -105,8 +123,12 @@ class ThreadedRuntime {
   ~ThreadedRuntime();  // shutdown()s
 
   std::uint32_t size() const { return config_.n_servers; }
-  // ServerIds hosted by this runtime instance, ascending.
+  // ServerIds hosted by this runtime instance, ascending (including raw
+  // adversary servers).
   const std::vector<ServerId>& local_servers() const { return local_; }
+  // Hosted servers running the protocol stack (local_ minus raw_servers) —
+  // the domain of request()/call()/digests and every aggregate.
+  const std::vector<ServerId>& protocol_servers() const { return shimmed_; }
   bool hosts(ServerId server) const {
     return server < nodes_.size() && nodes_[server] != nullptr;
   }
@@ -183,10 +205,33 @@ class ThreadedRuntime {
   // 4.2 check: equal iff both servers interpret every block identically.
   Bytes interpretation_digest(ServerId server);
 
-  // Aggregates over the hosted servers.
+  // Aggregates over the hosted protocol servers.
   std::size_t indicated_count(Label label);
   std::uint64_t total_blocks_inserted();
+  // Sum of gossip blocks_rejected — the forger-fuzz "rejection observed"
+  // witness — and of rejected-ring evictions.
+  std::uint64_t total_blocks_rejected();
+  std::uint64_t total_rejected_evicted();
+  // Aggregate verifier-pool counters: pool-global worker stats merged with
+  // every hosted handle's submit/cache counters. All-zero when the pool is
+  // disabled (ideal scheme by default).
+  VerifierPoolStats verifier_stats();
   WireMetrics wire_metrics() const { return transport_->wire_metrics(); }
+
+  // --- Adversary hosting (raw_servers; threads-fuzz harness only) ---
+  // The transport to attach a raw server's wire handler on, and its timer
+  // service. The handler runs on the raw server's own thread (deliveries
+  // are mailbox tasks like everywhere else).
+  Transport& raw_transport() { return *transport_; }
+  TimerService& raw_timers(ServerId server) {
+    assert(hosts(server));
+    return *nodes_[server]->timers;
+  }
+  // Posts a task onto a hosted server's thread; false once shut down.
+  bool post(ServerId server, std::function<void()> task) {
+    assert(hosts(server));
+    return nodes_[server]->mailbox->push(std::move(task));
+  }
 
   // --- Crash-fault injection (hosted servers only) ---
   // Kills `server` in place, on its own thread: the shim halts (sends
@@ -229,8 +274,11 @@ class ThreadedRuntime {
     std::unique_ptr<NodeTimerService> timers;
     // Each server owns a provider instance (same seed ⇒ same key
     // directory), so signing/verifying never shares mutable state across
-    // threads.
-    std::unique_ptr<IdealSignatureProvider> sigs;
+    // threads. Scheme selected by ThreadedConfig::sig_scheme.
+    std::unique_ptr<SignatureProvider> sigs;
+    // Verifier-pool endpoint + verdict cache; outlives shim incarnations
+    // (crash/restart keeps the cache warm), null when the pool is off.
+    std::unique_ptr<VerifierPool::Handle> verify_handle;
     std::unique_ptr<Shim> shim;
     // Recovery plumbing (null when not configured). `storage` is borrowed
     // from ThreadedConfig::storage and survives restarts — it IS the
@@ -248,7 +296,7 @@ class ThreadedRuntime {
   };
 
   Shim* shim_of(ServerId server) {
-    assert(hosts(server));
+    assert(hosts(server) && nodes_[server]->shim);
     return nodes_[server]->shim.get();
   }
   Mailbox& mailbox_of(ServerId server) { return *nodes_[server]->mailbox; }
@@ -257,14 +305,20 @@ class ThreadedRuntime {
   // run with no concurrent access to the node — the constructor (before
   // threads exist) or the node's own thread (restart()).
   void mount_node(ServerId server);
+  // Routes gossip's Definition 3.3(i) check through the verifier pool.
+  // Called only after any checkpoint restore: log replay must verify
+  // synchronously.
+  void attach_async_verifier(ServerId server);
 
   const ProtocolFactory& factory_;
   ThreadedConfig config_;
   std::vector<ServerId> local_;
+  std::vector<ServerId> shimmed_;  // local_ minus config_.raw_servers
   std::vector<ServerId> restore_failures_;
   bool running_ = false;
   IdleTracker idle_;
   TimerWheel wheel_{idle_};
+  std::unique_ptr<VerifierPool> pool_;  // null when disabled
   std::unique_ptr<Transport> transport_;
   TcpTransport* tcp_ = nullptr;  // borrowed view of transport_ when kTcp
   UdpTransport* udp_ = nullptr;  // borrowed view of transport_ when kUdp

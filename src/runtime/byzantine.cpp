@@ -16,6 +16,7 @@ const char* byzantine_kind_name(ByzantineKind kind) {
     case ByzantineKind::kFlooder: return "flooder";
     case ByzantineKind::kBadSigner: return "bad_signer";
     case ByzantineKind::kGarbageSpammer: return "garbage_spammer";
+    case ByzantineKind::kForger: return "forger";
   }
   return "?";
 }
@@ -266,6 +267,87 @@ class BadSigner final : public ByzantineBase {
   SeqNo k_ = 0;
 };
 
+// The signature forger (Definition 3.3(i) attacker). Every beat it floods
+// λ freshly forged blocks — plausible-length garbage sigma under its own
+// id, wrong-signer claims in honest servers' names, and wrong-length sigma
+// — each woven into the live frontier so only the signature check can
+// reject them. It also re-floods old forgeries from a history window
+// chosen to sit *beyond* a bounded rejected-ring's capacity: the repeat
+// delivery of an evicted ref forces honest servers to re-decide, which on
+// the threaded runtime must come from the verifier pool's verdict cache,
+// not a fresh verification. None of its blocks may ever be delivered.
+class Forger final : public ByzantineBase {
+ public:
+  Forger(ServerId self, Transport& net, SignatureProvider& sigs,
+         std::uint64_t seed)
+      : ByzantineBase(self, net, sigs, seed), lambda_(2 + rng_.below(5)) {}
+
+  void on_network(ServerId from, const Bytes& wire) override {
+    if (answer_fwd(from, wire)) return;
+    track(wire);
+  }
+
+  std::vector<Hash256> forged_refs() const override { return forged_; }
+
+  void tick() override {
+    const std::vector<Hash256> fresh = take_fresh_refs();
+    if (!fresh.empty()) frontier_ = fresh;
+    for (std::uint64_t i = 0; i < lambda_; ++i) {
+      // Unique payload per forgery so every block has a distinct ref.
+      Writer payload;
+      payload.u64(rng_.next());
+      std::vector<LabeledRequest> rs{LabeledRequest{7, std::move(payload).take()}};
+
+      ServerId claim = self_;
+      std::size_t sig_len = 32;
+      switch (rng_.below(3)) {
+        case 0:  // plausible-length garbage under our own id
+          break;
+        case 1:  // forged claim in an honest server's name
+          claim = static_cast<ServerId>(rng_.below(net_.size()));
+          if (claim == self_) claim = (claim + 1) % net_.size();
+          break;
+        default:  // wrong-length sigma (empty or oversized/odd-sized)
+          sig_len = rng_.below(4) == 0 ? 0 : 1 + rng_.below(96);
+          break;
+      }
+      Bytes junk(sig_len);
+      for (auto& x : junk) x = static_cast<std::uint8_t>(rng_.next());
+      Block block(claim, k_++, frontier_, std::move(rs), std::move(junk));
+      const Bytes wire = encode_block_envelope(block, WireKind::kBlock);
+      forged_.push_back(block.ref());
+      history_.push_back(wire);
+      net_.broadcast(self_, WireKind::kBlock, wire);
+    }
+    // Re-flood two forgeries old enough to have been evicted from a small
+    // rejected ring but recent enough to still sit in a verdict cache.
+    if (history_.size() > kRefloodMin) {
+      const std::size_t window =
+          std::min(history_.size(), kRefloodMax) - kRefloodMin;
+      for (int i = 0; i < 2; ++i) {
+        const std::size_t back = kRefloodMin + rng_.below(window);
+        net_.broadcast(self_, WireKind::kBlock,
+                       history_[history_.size() - 1 - back]);
+      }
+    }
+    if (history_.size() > kRefloodMax) {
+      history_.erase(history_.begin(),
+                     history_.begin() +
+                         static_cast<std::ptrdiff_t>(history_.size() - kRefloodMax));
+    }
+  }
+
+ private:
+  static constexpr std::size_t kRefloodMin = 96;
+  static constexpr std::size_t kRefloodMax = 1024;
+
+  const std::uint64_t lambda_;  // forgeries per beat
+  SeqNo k_ = 0;
+  std::vector<Hash256> frontier_;  // latest honest refs to weave in
+  std::vector<Hash256> forged_;
+  std::vector<Bytes> history_;  // recent forged wires for re-flooding
+};
+
 // Broadcasts random byte strings — exercises wire-decoding robustness.
 class GarbageSpammer final : public ByzantineBase {
  public:
@@ -303,6 +385,8 @@ std::unique_ptr<ByzantineServer> make_byzantine(ByzantineKind kind, ServerId sel
       return std::make_unique<BadSigner>(self, net, sigs, seed);
     case ByzantineKind::kGarbageSpammer:
       return std::make_unique<GarbageSpammer>(self, net, sigs, seed);
+    case ByzantineKind::kForger:
+      return std::make_unique<Forger>(self, net, sigs, seed);
   }
   return std::make_unique<Silent>();
 }

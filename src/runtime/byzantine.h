@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "crypto/signature.h"
 #include "dag/dag.h"
@@ -29,6 +30,8 @@ enum class ByzantineKind {
   kFlooder,              // re-broadcasts every block it receives
   kBadSigner,            // broadcasts blocks with garbage signatures
   kGarbageSpammer,       // broadcasts malformed byte strings
+  kForger,               // Definition 3.3(i) attacker: garbage sigma,
+                         // wrong-signer claims, λ-rate floods + re-floods
 };
 
 const char* byzantine_kind_name(ByzantineKind kind);
@@ -40,6 +43,11 @@ class ByzantineServer {
   virtual void on_network(ServerId from, const Bytes& wire) = 0;
   // Called on the cluster's dissemination beat.
   virtual void tick() = 0;
+
+  // Refs of every invalidly-signed block this adversary emitted. The fuzz
+  // checkers prove none is ever delivered at any honest server. Empty for
+  // behaviours that only emit validly-signed blocks.
+  virtual std::vector<Hash256> forged_refs() const { return {}; }
 };
 
 // Factory. Byzantine behaviours speak the wire protocol through the same

@@ -10,11 +10,8 @@ Cluster::Cluster(const ProtocolFactory& factory, ClusterConfig config)
   net_cfg.seed = config_.seed ^ 0xabcdef;
   net_ = std::make_unique<SimNetwork>(sched_, config_.n_servers, net_cfg);
 
-  if (config_.use_wots) {
-    sigs_ = std::make_unique<WotsSignatureProvider>(config_.n_servers, config_.seed);
-  } else {
-    sigs_ = std::make_unique<IdealSignatureProvider>(config_.n_servers, config_.seed);
-  }
+  sigs_ = make_signature_provider(config_.sig_scheme, config_.n_servers,
+                                  config_.seed);
 
   shims_.resize(config_.n_servers);
   byz_.resize(config_.n_servers);

@@ -28,7 +28,10 @@ struct ClusterConfig {
   PacingConfig pacing{};
   SeqNoMode seq_mode = SeqNoMode::kConsecutive;
   std::uint64_t seed = 1;
-  bool use_wots = false;  // real hash-based signatures instead of ideal
+  // Signature scheme wired into block validation (ideal | hmac | wots).
+  // The sim always verifies synchronously, whatever the scheme, so seed
+  // replay stays byte-deterministic.
+  SigScheme sig_scheme = SigScheme::kIdeal;
   std::map<ServerId, ByzantineKind> byzantine{};
 };
 
@@ -50,6 +53,12 @@ class Cluster {
   // Only valid for correct servers.
   Shim& shim(ServerId server) { return *shims_[server]; }
   const Shim& shim(ServerId server) const { return *shims_[server]; }
+
+  // The adversary object hosted at `server`, or nullptr if the server is
+  // not byzantine. Checkers use this to read forged_refs() post-run.
+  const ByzantineServer* byzantine(ServerId server) const {
+    return byz_[server].get();
+  }
 
   // Starts the dissemination loops (correct) and mischief beats (byzantine).
   void start();

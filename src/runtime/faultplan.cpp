@@ -63,10 +63,22 @@ FaultPlan derive_fault_plan(const ScenarioConfig& config) {
 
   if (config.allow_byzantine && f > 0) {
     const std::uint32_t count = static_cast<std::uint32_t>(rng.below(f + 1));
+    // kForger joins the pool only under allow_forger (see ScenarioConfig);
+    // with the flag set, at least one drawn adversary is forced to be a
+    // forger so forger-slice fuzz runs always exercise rejection.
+    const std::uint64_t kinds = config.allow_forger ? 7 : 6;
     while (plan.byzantine.size() < count) {
       const auto server = static_cast<ServerId>(rng.below(n));
       if (plan.byzantine.count(server)) continue;
-      plan.byzantine[server] = static_cast<ByzantineKind>(rng.below(6));
+      plan.byzantine[server] = static_cast<ByzantineKind>(rng.below(kinds));
+    }
+    if (config.allow_forger && count > 0) {
+      const bool has_forger =
+          std::any_of(plan.byzantine.begin(), plan.byzantine.end(),
+                      [](const auto& kv) {
+                        return kv.second == ByzantineKind::kForger;
+                      });
+      if (!has_forger) plan.byzantine.begin()->second = ByzantineKind::kForger;
     }
   }
 

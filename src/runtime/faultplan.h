@@ -43,7 +43,13 @@ struct ScenarioConfig {
   std::uint32_t instances = 6;    // parallel protocol instances (labels)
   bool allow_byzantine = true;
   bool allow_crashes = true;
-  bool use_wots = false;
+  // Adds kForger to the byzantine-kind pool. Gated separately so plans for
+  // pre-forger seeds stay byte-identical: flipping this changes every
+  // RNG draw after the kind pool, i.e. it is a different fuzz grammar.
+  bool allow_forger = false;
+  // Signature scheme (ideal | hmac | wots). Scheme choice never affects
+  // the derived plan — only the crypto the cluster runs under.
+  SigScheme sig_scheme = SigScheme::kIdeal;
 };
 
 struct FaultPlan {

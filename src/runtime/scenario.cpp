@@ -255,7 +255,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ClusterConfig cluster_config;
   cluster_config.n_servers = config.n_servers;
   cluster_config.seed = config.seed;
-  cluster_config.use_wots = config.use_wots;
+  cluster_config.sig_scheme = config.sig_scheme;
   cluster_config.net = plan.initial_net;
   cluster_config.pacing = plan.pacing;
   cluster_config.byzantine = plan.byzantine;
@@ -332,6 +332,39 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       check_properties(cluster, config, expect, /*run_completed=*/true);
   result.violations.insert(result.violations.end(), final_violations.begin(),
                            final_violations.end());
+
+  // Definition 3.3(i): an invalidly-signed block is never delivered. Every
+  // forger's forged refs must be absent from every correct server's DAG,
+  // and the rejections must actually show up in the gossip stats — a run
+  // where the forger fired but nothing was rejected means the blocks never
+  // reached anyone (a broken adversary), which must fail loudly rather
+  // than vacuously pass.
+  bool forger_present = false;
+  for (const auto& [byz_server, kind] : plan.byzantine) {
+    if (kind != ByzantineKind::kForger) continue;
+    forger_present = true;
+    const ByzantineServer* byz = cluster.byzantine(byz_server);
+    for (const Hash256& ref : byz->forged_refs()) {
+      for (ServerId s : cluster.correct_servers()) {
+        if (cluster.shim(s).dag().contains(ref)) {
+          result.violations.push_back(
+              "forged block " + ref.short_hex() + " from byzantine server " +
+              std::to_string(byz_server) + " delivered at server " +
+              std::to_string(s));
+        }
+      }
+    }
+  }
+  if (forger_present) {
+    std::uint64_t rejected = 0;
+    for (ServerId s : cluster.correct_servers()) {
+      rejected += cluster.shim(s).gossip().stats().blocks_rejected;
+    }
+    if (rejected == 0) {
+      result.violations.push_back(
+          "forger present but no correct server rejected a block");
+    }
+  }
 
   // Lemma 4.2 digests: every block two correct servers share must carry
   // bit-identical interpretation state; after convergence that is every

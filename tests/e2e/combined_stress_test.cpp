@@ -20,7 +20,7 @@ TEST(CombinedStress, ByzantineAndLossAndWots) {
   ClusterConfig cfg;
   cfg.n_servers = 4;
   cfg.seed = 101;
-  cfg.use_wots = true;
+  cfg.sig_scheme = SigScheme::kWots;
   cfg.pacing.interval = sim_ms(20);
   cfg.net.drop_probability = 0.15;
   cfg.net.max_drops_per_pair = 10;

@@ -55,7 +55,7 @@ TEST(Robustness, WotsSignaturesEndToEnd) {
   ClusterConfig cfg;
   cfg.n_servers = 4;
   cfg.seed = 47;
-  cfg.use_wots = true;
+  cfg.sig_scheme = SigScheme::kWots;
   cfg.pacing.interval = sim_ms(20);
   brb::BrbFactory factory;
   Cluster cluster(factory, cfg);

@@ -31,6 +31,9 @@ sh tools/crash_cluster_smoke.sh ./build-ci/simctl
 echo "==> Crash-churn fuzz slice (kill/restart plans on the threaded runtime)"
 ./build-ci/simctl fuzz --runtime threads --seeds 1..8
 
+echo "==> Forger fuzz slice (real wots signatures + raw-hosted forger adversary)"
+./build-ci/simctl fuzz --runtime threads --seeds 1..8 --sig wots
+
 echo "==> Lossy-datagram smoke (real localhost UDP, 15% injected loss + two-process 10%-loss cluster)"
 ./build-ci/simctl run --runtime udp --n 4 --instances 4 --seconds 5 --interval 2 --drop 0.15
 sh tools/udp_cluster_smoke.sh ./build-ci/simctl
@@ -45,14 +48,20 @@ cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Asan \
 cmake --build build-ci-asan -j "$jobs"
 (cd build-ci-asan && ctest --output-on-failure -j "$jobs" -L tier1)
 
-echo "==> Tsan build + threaded/TCP/UDP runtime smoke (ThreadSanitizer)"
+echo "==> Tsan build + threaded/TCP/UDP runtime + verifier-pool smoke (ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
       -DBLOCKDAG_BUILD_BENCHES=OFF -DBLOCKDAG_BUILD_EXAMPLES=OFF \
       -DBLOCKDAG_BUILD_TOOLS=OFF
 cmake --build build-ci-tsan -j "$jobs" \
       --target rt_threaded_runtime_test rt_tcp_runtime_test \
-               rt_udp_runtime_test rt_timer_wheel_test rt_crash_restart_test
+               rt_udp_runtime_test rt_timer_wheel_test rt_crash_restart_test \
+               crypto_verifier_pool_test
 (cd build-ci-tsan && ctest --output-on-failure \
-    -R '^rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test|crash_restart_test)$')
+    -R '^(rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test|crash_restart_test)|crypto/verifier_pool_test)$')
+# The pool's shutdown race is timing-shaped: loop the Tsan binary so the
+# sanitizer sees many distinct stop()-vs-batch interleavings.
+for i in 1 2 3 4 5 6 7 8 9 10; do
+  ./build-ci-tsan/crypto_verifier_pool_test >/dev/null
+done
 
 echo "==> CI OK"

@@ -8,10 +8,10 @@
 //   simctl [run] [--runtime sim|threads|tcp|udp] [--n N]
 //          [--protocol brb|bcb|fifo|pbft|beacon] [--seconds S]
 //          [--instances K] [--interval MS] [--seed X] [--drop P]
-//          [--byzantine ID:KIND ...] [--wots] [--dot FILE]
+//          [--byzantine ID:KIND ...] [--sig ideal|hmac|wots] [--dot FILE]
 //
 // Byzantine kinds: silent, equivocator, duplicate, flooder, badsigner,
-// garbage.
+// garbage, forger.
 //
 // --runtime threads (or --runtime=threads) runs the same protocol stack on
 // the multi-threaded in-process runtime (one OS thread per server, real
@@ -22,7 +22,10 @@
 // moves the payloads over real UDP datagrams with userspace reliability
 // (net/datagram.h) and an in-path fault injector: --drop P injects P loss
 // on every directed link, live, at the wire (DESIGN.md §9). --byzantine
-// and --wots stay simulator-only.
+// stays simulator-only; --sig selects the signature scheme on every
+// runtime (real runtimes route non-ideal verification through the
+// off-thread verifier pool, the simulator always verifies synchronously;
+// --wots is kept as an alias for --sig wots).
 //
 // Multi-process clusters (DESIGN.md §8): every member runs the same
 // protocol stack in its own OS process, hosting exactly one server,
@@ -125,7 +128,7 @@ struct Options {
   std::uint64_t interval_ms = 10;
   std::uint64_t seed = 1;
   double drop = 0.0;
-  bool wots = false;
+  SigScheme sig = SigScheme::kIdeal;
   std::string dot_file;
   std::map<ServerId, ByzantineKind> byzantine;
 };
@@ -137,6 +140,7 @@ std::optional<ByzantineKind> parse_kind(const std::string& name) {
   if (name == "flooder") return ByzantineKind::kFlooder;
   if (name == "badsigner") return ByzantineKind::kBadSigner;
   if (name == "garbage") return ByzantineKind::kGarbageSpammer;
+  if (name == "forger") return ByzantineKind::kForger;
   return std::nullopt;
 }
 
@@ -181,7 +185,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!v) return false;
       opt.drop = std::stod(v);
     } else if (arg == "--wots") {
-      opt.wots = true;
+      opt.sig = SigScheme::kWots;  // alias for --sig wots
+    } else if (arg == "--sig") {
+      const char* v = next();
+      if (!v) return false;
+      const auto scheme = parse_sig_scheme(v);
+      if (!scheme) return false;
+      opt.sig = *scheme;
     } else if (arg == "--dot") {
       const char* v = next();
       if (!v) return false;
@@ -220,10 +230,12 @@ Bytes make_request(const std::string& protocol, std::uint32_t i) {
 // Reports aggregate throughput instead of the simulator's virtual-time
 // report.
 int run_threaded(const Options& opt, const ProtocolFactory& factory) {
-  if (!opt.byzantine.empty() || opt.wots) {
+  if (!opt.byzantine.empty()) {
     std::fprintf(stderr,
-                 "--runtime %s does not support --byzantine/--wots "
-                 "(protocol-level fault injection is simulator-only)\n",
+                 "--runtime %s does not support --byzantine "
+                 "(protocol-level fault injection is simulator-only; "
+                 "the forger slice of `simctl fuzz --runtime threads --sig "
+                 "wots` hosts adversaries on the real runtime)\n",
                  opt.runtime.c_str());
     return 2;
   }
@@ -237,6 +249,7 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   rt::ThreadedConfig cfg;
   cfg.n_servers = opt.n;
   cfg.seed = opt.seed;
+  cfg.sig_scheme = opt.sig;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
   if (opt.runtime == "tcp") {
     cfg.backend = rt::TransportBackend::kTcp;  // ephemeral localhost ports
@@ -294,9 +307,10 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   }
 
   std::printf("simctl report — runtime=%s protocol=%s n=%u instances=%u "
-              "seed=%llu\n\n",
+              "seed=%llu sig=%s\n\n",
               opt.runtime.c_str(), opt.protocol.c_str(), opt.n, issued,
-              static_cast<unsigned long long>(opt.seed));
+              static_cast<unsigned long long>(opt.seed),
+              sig_scheme_name(opt.sig));
   const std::uint64_t blocks = runtime.total_blocks_inserted();
   std::printf("instances complete everywhere : %zu / %u\n", complete, issued);
   std::printf("converged (joint DAG + interp) : %s\n", converged ? "yes" : "no");
@@ -304,6 +318,15 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   std::printf("aggregate blocks inserted      : %llu (%.0f blocks/s)\n",
               static_cast<unsigned long long>(blocks),
               wall > 0 ? static_cast<double>(blocks) / wall : 0.0);
+  if (opt.sig != SigScheme::kIdeal) {
+    const VerifierPoolStats vp = runtime.verifier_stats();
+    std::printf("verifier pool                  : %llu submitted, %llu "
+                "verified in %llu batches, %llu cache hits\n",
+                static_cast<unsigned long long>(vp.submitted),
+                static_cast<unsigned long long>(vp.verified),
+                static_cast<unsigned long long>(vp.batches),
+                static_cast<unsigned long long>(vp.cache_hits));
+  }
 
   const WireMetrics wire = runtime.wire_metrics();
   Table traffic({"wire class", "messages", "bytes"});
@@ -413,7 +436,7 @@ int run(const Options& opt) {
   ClusterConfig cfg;
   cfg.n_servers = opt.n;
   cfg.seed = opt.seed;
-  cfg.use_wots = opt.wots;
+  cfg.sig_scheme = opt.sig;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
   cfg.net.drop_probability = opt.drop;
   cfg.net.max_drops_per_pair = 16;
@@ -454,10 +477,10 @@ int run(const Options& opt) {
   cluster.stop();
 
   // ---- report ----
-  std::printf("simctl report — protocol=%s n=%u instances=%u seed=%llu%s\n\n",
+  std::printf("simctl report — protocol=%s n=%u instances=%u seed=%llu sig=%s\n\n",
               opt.protocol.c_str(), opt.n, issued,
               static_cast<unsigned long long>(opt.seed),
-              opt.wots ? " (WOTS signatures)" : "");
+              sig_scheme_name(opt.sig));
 
   Histogram latency;
   std::size_t complete = 0;
@@ -524,6 +547,9 @@ struct MemberOptions {
   double seconds = 30.0;  // wall-clock budget for the whole run
   std::uint16_t port = 0; // base port: server s listens on 127.0.0.1:(port+s)
   double loss = 0.0;      // udp only: injected drop rate on outbound links
+  // Signature scheme — every member of a cluster must agree on it (blocks
+  // signed under one scheme do not verify under another).
+  SigScheme sig = SigScheme::kIdeal;
   // Durable crash recovery (DESIGN.md §10): when set, this member persists
   // checkpoints + a block log under the directory, restores from it on
   // startup (exit 3 if the durable state is corrupt) and mounts a
@@ -582,6 +608,11 @@ bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
         return false;
       }
       if (opt.loss < 0.0 || opt.loss >= 1.0) return false;
+    } else if (arg == "--sig") {
+      if (!v) return false;
+      const auto scheme = parse_sig_scheme(v);
+      if (!scheme) return false;
+      opt.sig = *scheme;
     } else if (arg == "--data-dir") {
       if (!v || *v == '\0') return false;
       opt.data_dir = v;
@@ -627,6 +658,7 @@ int run_member(const MemberOptions& opt, const char* role) {
   rt::ThreadedConfig cfg;
   cfg.n_servers = opt.n;
   cfg.seed = opt.seed;
+  cfg.sig_scheme = opt.sig;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
   cfg.gossip.fwd_retry_delay = sim_ms(20);
   if (opt.runtime == "udp") {
@@ -878,7 +910,8 @@ int cmd_member(int argc, char** argv, bool join) {
                  "[--loss P]\n"
                  "                    [--protocol P] [--instances K] "
                  "[--seconds S]\n"
-                 "                    [--interval MS] [--seed X]\n"
+                 "                    [--interval MS] [--seed X] "
+                 "[--sig ideal|hmac|wots]\n"
                  "                    [--data-dir DIR] [--checkpoint K]\n"
                  "       simctl join --id I --n N --port PORT [same options]\n"
                  "(--data-dir: persist checkpoints + block log, restore on "
@@ -900,6 +933,12 @@ struct FuzzOptions {
   std::uint32_t instances = 6;
   double duration_s = 1.0;       // --duration (human-friendly seconds)
   std::uint64_t duration_ns = 0; // --duration-ns (exact; overrides seconds)
+  // Signature scheme for every run in the sweep. A non-ideal scheme also
+  // arms the forger adversary (sim: kForger joins the byzantine-kind pool;
+  // threads/tcp: one raw-hosted forger floods invalidly-signed blocks) —
+  // the rejection path is only interesting when signatures are real.
+  // Ideal-scheme fuzz stays byte-identical to pre-forger seeds.
+  SigScheme sig = SigScheme::kIdeal;
   std::string repro_file;
   std::string trace_file;        // replay only
 };
@@ -917,6 +956,11 @@ ScenarioConfig scenario_for_seed(std::uint64_t seed, const FuzzOptions& opt) {
   cfg.instances = opt.instances;
   cfg.duration = opt.duration_ns != 0 ? opt.duration_ns
                                       : static_cast<SimTime>(opt.duration_s * 1e9);
+  cfg.sig_scheme = opt.sig;
+  // Real signatures arm the forger: a new fuzz grammar (the kind pool
+  // grows), so it is gated on --sig to keep ideal-scheme seeds replayable
+  // against historical repro lines.
+  cfg.allow_forger = opt.sig != SigScheme::kIdeal;
   return cfg;
 }
 
@@ -932,7 +976,11 @@ std::string repro_line(const ScenarioConfig& cfg) {
                 static_cast<unsigned long long>(cfg.seed), cfg.protocol.c_str(),
                 cfg.n_servers, cfg.instances,
                 static_cast<unsigned long long>(effective_duration(cfg)));
-  return buf;
+  std::string line = buf;
+  if (cfg.sig_scheme != SigScheme::kIdeal) {
+    line += std::string(" --sig ") + sig_scheme_name(cfg.sig_scheme);
+  }
+  return line;
 }
 
 // ---- UDP fuzz: the faultplan grammar ported to real sockets ----
@@ -951,6 +999,7 @@ struct UdpScenario {
   std::uint32_t n = 4;
   std::uint32_t instances = 6;
   std::uint64_t duration_ns = 0;
+  SigScheme sig = SigScheme::kIdeal;
   rt::LinkFault base;
   struct Override {
     ServerId from = 0;
@@ -973,6 +1022,7 @@ UdpScenario udp_scenario_for_seed(std::uint64_t seed, const FuzzOptions& opt) {
   sc.duration_ns = opt.duration_ns != 0
                        ? opt.duration_ns
                        : static_cast<std::uint64_t>(opt.duration_s * 1e9);
+  sc.sig = opt.sig;  // scheme never perturbs the derived fault profile
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // distinct from the injector's RNG
   sc.base.drop = 0.25 * rng.unit();
   sc.base.reorder = 0.30 * rng.unit();
@@ -1012,7 +1062,11 @@ std::string udp_repro_line(const UdpScenario& sc) {
                 static_cast<unsigned long long>(sc.seed), sc.protocol.c_str(),
                 sc.n, sc.instances,
                 static_cast<unsigned long long>(sc.duration_ns));
-  return buf;
+  std::string line = buf;
+  if (sc.sig != SigScheme::kIdeal) {
+    line += std::string(" --sig ") + sig_scheme_name(sc.sig);
+  }
+  return line;
 }
 
 void print_udp_plan(const UdpScenario& sc) {
@@ -1045,6 +1099,7 @@ std::vector<std::string> run_udp_scenario(const UdpScenario& sc) {
   rt::ThreadedConfig cfg;
   cfg.n_servers = sc.n;
   cfg.seed = sc.seed;
+  cfg.sig_scheme = sc.sig;
   cfg.pacing.interval = sim_ms(2);
   // FWD retry matched to the loss regime: a 5ms retry against a lossy,
   // RTO-bound link just queues duplicate recovery payloads behind the
@@ -1175,6 +1230,14 @@ struct ThreadsScenario {
   std::uint64_t duration_ns = 0;
   bool tcp = false;
   std::uint64_t epoch_blocks = 4;
+  SigScheme sig = SigScheme::kIdeal;
+  // With a real scheme and n >= 4, the last server is not a protocol node
+  // but a raw-hosted forger (runtime/byzantine.h kForger) flooding
+  // invalidly-signed blocks at the honest majority; the checkers prove
+  // none is ever delivered and that rejections + verifier-pool cache hits
+  // actually show up in the runtime stats.
+  bool forger = false;
+  ServerId forger_id = 0;
   std::vector<ChurnEvent> events;
 };
 
@@ -1192,17 +1255,27 @@ ThreadsScenario threads_scenario_for_seed(std::uint64_t seed,
                        ? opt.duration_ns
                        : static_cast<std::uint64_t>(opt.duration_s * 1e9);
   sc.tcp = opt.runtime == "tcp";
+  sc.sig = opt.sig;
+  // The forger needs a real scheme (under the ideal provider there is no
+  // verification cost worth attacking) and a cluster big enough to spare a
+  // server to the adversary.
+  sc.forger = opt.sig != SigScheme::kIdeal && sc.n >= 4;
+  sc.forger_id = static_cast<ServerId>(sc.n - 1);
+  // Honest servers: 0..n-2 with a forger, everyone without.
+  const std::uint32_t honest = sc.forger ? sc.n - 1 : sc.n;
   Rng rng(seed ^ 0x5ca1ab1e0ddba11ULL);  // distinct from other derivations
   sc.epoch_blocks = kEpochs[rng.below(4)];
   // One or two churn events with distinct victims: at most a minority is
   // ever down (crash faults, not partitions — the rest must keep going).
-  const std::uint64_t max_events = sc.n >= 5 ? 2 : 1;
+  // Victims come from the honest range only — the forger never "crashes"
+  // (an adversary that stops attacking proves nothing).
+  const std::uint64_t max_events = honest >= 5 ? 2 : 1;
   const std::size_t n_events = 1 + rng.below(max_events);
   for (std::size_t k = 0; k < n_events; ++k) {
     ChurnEvent ev;
-    ev.victim = static_cast<ServerId>(rng.below(sc.n));
+    ev.victim = static_cast<ServerId>(rng.below(honest));
     if (k > 0 && ev.victim == sc.events[0].victim) {
-      ev.victim = (ev.victim + 1) % sc.n;
+      ev.victim = (ev.victim + 1) % honest;
     }
     ev.crash_frac = 0.15 + 0.35 * rng.unit();          // mid-run
     ev.restart_frac = ev.crash_frac + 0.15 + 0.25 * rng.unit();
@@ -1220,14 +1293,23 @@ std::string threads_repro_line(const ThreadsScenario& sc) {
                 static_cast<unsigned long long>(sc.seed), sc.protocol.c_str(),
                 sc.n, sc.instances,
                 static_cast<unsigned long long>(sc.duration_ns));
-  return buf;
+  std::string line = buf;
+  if (sc.sig != SigScheme::kIdeal) {
+    line += std::string(" --sig ") + sig_scheme_name(sc.sig);
+  }
+  return line;
 }
 
 void print_threads_plan(const ThreadsScenario& sc) {
   std::printf("---- crash-churn plan ----\n");
-  std::printf("checkpoint every %llu blocks, backend=%s\n",
+  std::printf("checkpoint every %llu blocks, backend=%s, sig=%s\n",
               static_cast<unsigned long long>(sc.epoch_blocks),
-              sc.tcp ? "tcp" : "loopback");
+              sc.tcp ? "tcp" : "loopback", sig_scheme_name(sc.sig));
+  if (sc.forger) {
+    std::printf("forger adversary at server %u (raw-hosted, rejected ring "
+                "capped at 64)\n",
+                sc.forger_id);
+  }
   for (const ChurnEvent& ev : sc.events) {
     std::printf("kill server %u at %2.0f%%, restart at %2.0f%%\n", ev.victim,
                 ev.crash_frac * 100, ev.restart_frac * 100);
@@ -1238,13 +1320,28 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
   std::vector<std::string> violations;
   const ProtocolFactory* factory = factory_for(sc.protocol);
   if (!factory) return {"unknown protocol '" + sc.protocol + "'"};
+  const std::uint32_t honest = sc.forger ? sc.n - 1 : sc.n;
 
   std::vector<blockdag::sync::MemStore> stores(sc.n);
+  // The forger's provider and behaviour object are declared before the
+  // runtime: its wire handler and posted ticks run on the raw server's
+  // thread until the runtime's destructor joins it, so both must outlive
+  // the runtime.
+  std::unique_ptr<SignatureProvider> forger_sigs;
+  std::unique_ptr<ByzantineServer> forger;
   rt::ThreadedConfig cfg;
   cfg.n_servers = sc.n;
   cfg.seed = sc.seed;
+  cfg.sig_scheme = sc.sig;
   cfg.pacing.interval = sim_ms(2);
   cfg.gossip.fwd_retry_delay = sim_ms(5);
+  if (sc.forger) {
+    cfg.raw_servers = {sc.forger_id};
+    // Small rejected ring: the forger's re-floods (offsets 96.. from its
+    // newest forgery) then land on refs already evicted from it, which is
+    // exactly what makes verifier-pool verdict-cache hits assertable.
+    cfg.gossip.rejected_capacity = 64;
+  }
   if (sc.tcp) cfg.backend = rt::TransportBackend::kTcp;  // ephemeral ports
   cfg.storage = [&stores](ServerId s) { return &stores[s]; };
   cfg.checkpoint.epoch_blocks = sc.epoch_blocks;
@@ -1253,6 +1350,17 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
   cfg.sync.retry_base = sim_ms(10);
   rt::ThreadedRuntime runtime(*factory, cfg);
   if (!runtime.transport_ok()) return {"failed to bind sockets"};
+  if (sc.forger) {
+    forger_sigs = make_signature_provider(sc.sig, sc.n, sc.seed);
+    forger = make_byzantine(ByzantineKind::kForger, sc.forger_id,
+                            runtime.raw_timers(sc.forger_id),
+                            runtime.raw_transport(), *forger_sigs,
+                            sc.seed ^ (0x1000 + sc.forger_id));
+    ByzantineServer* raw = forger.get();
+    runtime.raw_transport().attach(
+        sc.forger_id,
+        [raw](ServerId from, const Bytes& wire) { raw->on_network(from, wire); });
+  }
   runtime.start();
 
   struct Timed {
@@ -1280,20 +1388,21 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
   // semantics but not what the totality checker quantifies over. The
   // imminence guard leaves ample time to blockify (one 2ms pacing beat)
   // before the victim goes down; once blockified, restart restores it.
+  // Requests go to honest servers only (a forger has no protocol stack).
   const auto issue = [&](std::uint32_t i) {
     if (sc.protocol == "beacon") {
       const std::uint32_t needed = plausibility_quorum(sc.n);
-      for (std::uint32_t c = 0; c < needed && c < sc.n; ++c) {
+      for (std::uint32_t c = 0; c < needed && c < honest; ++c) {
         runtime.request(c, 1 + i, beacon::make_contribute(0x1234 + i * 31 + c));
       }
     } else if (sc.protocol == "pbft") {
       // Every server proposes the same value (the scenario engine's rule):
       // whichever leader is up when the slot runs can lead it.
-      for (ServerId s = 0; s < sc.n; ++s) {
+      for (ServerId s = 0; s < honest; ++s) {
         runtime.request(s, 1 + i, make_request(sc.protocol, i));
       }
     } else {
-      runtime.request(i % sc.n, 1 + i, make_request(sc.protocol, i));
+      runtime.request(i % honest, 1 + i, make_request(sc.protocol, i));
     }
   };
 
@@ -1333,6 +1442,12 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
            now >= at_frac(0.8 * (issued + 1.0) / sc.instances) &&
            safe_to_issue(now)) {
       issue(issued++);
+    }
+    if (sc.forger) {
+      // The adversary's mischief beat, driven from the harness: λ forgeries
+      // plus re-floods per beat, executed on the forger's own thread.
+      ByzantineServer* raw = forger.get();
+      runtime.post(sc.forger_id, [raw] { raw->tick(); });
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -1374,7 +1489,7 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
   }
   const Bytes dag0 = runtime.dag_digest(0);
   const Bytes interp0 = runtime.interpretation_digest(0);
-  for (ServerId s = 1; s < sc.n; ++s) {
+  for (ServerId s = 1; s < honest; ++s) {
     if (runtime.dag_digest(s) != dag0) {
       violations.push_back("DAG digest mismatch at server " + std::to_string(s));
     }
@@ -1384,7 +1499,7 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
     }
   }
   for (std::uint32_t i = 0; i < sc.instances; ++i) {
-    if (runtime.indicated_count(1 + i) != sc.n) {
+    if (runtime.indicated_count(1 + i) != honest) {
       violations.push_back("instance " + std::to_string(1 + i) +
                            " not indicated everywhere");
     }
@@ -1392,11 +1507,60 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
   // The epochs really happened: someone checkpointed, and a non-wiped
   // restart actually restored durable state rather than replaying history.
   std::uint64_t checkpoints = 0;
-  for (ServerId s = 0; s < sc.n; ++s) {
+  for (ServerId s = 0; s < honest; ++s) {
     checkpoints += runtime.sync_snapshot(s).checkpointer.checkpoints_stored;
   }
   if (checkpoints == 0) {
     violations.push_back("no checkpoint was ever stored (cadence no-op?)");
+  }
+
+  if (sc.forger) {
+    // Definition 3.3(i) on the real runtime: not one forged block was ever
+    // delivered, the rejections are visible in the stats, and the verifier
+    // pool's verdict cache absorbed the re-floods. The forged-ref list is
+    // read on the forger's own thread (post + future) — the same
+    // single-writer discipline as every other state read.
+    std::vector<Hash256> forged;
+    {
+      std::promise<std::vector<Hash256>> promise;
+      auto future = promise.get_future();
+      ByzantineServer* raw = forger.get();
+      if (runtime.post(sc.forger_id,
+                       [raw, &promise] { promise.set_value(raw->forged_refs()); })) {
+        forged = future.get();
+      } else {
+        forged = forger->forged_refs();  // runtime already shut down
+      }
+    }
+    if (forged.empty()) {
+      violations.push_back("forger never fired (adversary no-op?)");
+    }
+    for (ServerId s = 0; s < honest; ++s) {
+      const std::size_t delivered =
+          runtime.call(s, [&forged](Shim& shim) {
+            std::size_t count = 0;
+            for (const Hash256& ref : forged) {
+              if (shim.dag().contains(ref)) ++count;
+            }
+            return count;
+          });
+      if (delivered != 0) {
+        violations.push_back(std::to_string(delivered) +
+                             " forged block(s) delivered at server " +
+                             std::to_string(s));
+      }
+    }
+    if (runtime.total_blocks_rejected() == 0) {
+      violations.push_back("forger present but blocks_rejected == 0");
+    }
+    if (runtime.total_rejected_evicted() == 0) {
+      violations.push_back("rejected ring never evicted under forger flood");
+    }
+    const VerifierPoolStats vp = runtime.verifier_stats();
+    if (vp.cache_hits == 0) {
+      violations.push_back("verifier pool verdict cache never hit under "
+                           "re-flooded forgeries");
+    }
   }
   return violations;
 }
@@ -1484,6 +1648,11 @@ bool parse_fuzz_args(int argc, char** argv, FuzzOptions& opt, bool replay) {
       if (!(v = next()) || !parse_u64(v, opt.duration_ns) || opt.duration_ns == 0) {
         return false;
       }
+    } else if (arg == "--sig") {
+      if (!(v = next())) return false;
+      const auto scheme = parse_sig_scheme(v);
+      if (!scheme) return false;
+      opt.sig = *scheme;
     } else if (arg == "--repro-file" && !replay) {
       if (!(v = next())) return false;
       opt.repro_file = v;
@@ -1505,7 +1674,10 @@ int cmd_fuzz(int argc, char** argv) {
                  "                   [--protocol brb|bcb|fifo|pbft|beacon|mix]\n"
                  "                   [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
-                 "                   [--repro-file FILE]\n");
+                 "                   [--sig ideal|hmac|wots] [--repro-file FILE]\n"
+                 "(--sig hmac|wots also arms the forger adversary: sim adds\n"
+                 " kForger to the byzantine pool; threads/tcp host a raw forger\n"
+                 " flooding invalidly-signed blocks at the cluster)\n");
     return 2;
   }
   std::size_t passed = 0, failed = 0;
@@ -1573,7 +1745,7 @@ int cmd_replay(int argc, char** argv) {
                  "beacon|mix]\n"
                  "                     [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
-                 "                     [--trace FILE]\n");
+                 "                     [--sig ideal|hmac|wots] [--trace FILE]\n");
     return 2;
   }
   if (opt.runtime == "threads" || opt.runtime == "tcp") {
@@ -1668,7 +1840,7 @@ int main(int argc, char** argv) {
                  "              [--protocol brb|bcb|fifo|pbft|beacon]\n"
                  "              [--seconds S] [--instances K] [--interval MS]\n"
                  "              [--seed X] [--drop P] [--byzantine ID:KIND ...]\n"
-                 "              [--wots] [--dot FILE]\n"
+                 "              [--sig ideal|hmac|wots] [--dot FILE]\n"
                  "       simctl serve --n N --port PORT [options]\n"
                  "       simctl join --id I --n N --port PORT [options]\n"
                  "       simctl fuzz --seeds A..B [options]\n"
