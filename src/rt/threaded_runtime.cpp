@@ -35,6 +35,20 @@ ThreadedRuntime::ThreadedRuntime(const ProtocolFactory& factory,
     pool_->start();  // workers just park on the queue until submissions come
   }
 
+  // Parallel interpretation: one shared engine, every hosted shim submits
+  // its batches as an owner. Auto sizes to the hardware; a single-threaded
+  // box gets no engine (fan-out would only add overhead there).
+  const std::size_t interp_workers = config_.interpret_workers.value_or(
+      std::thread::hardware_concurrency() > 1
+          ? static_cast<std::size_t>(std::thread::hardware_concurrency())
+          : 0);
+  if (interp_workers > 0) {
+    ParallelInterpretConfig icfg = config_.interpret;
+    icfg.workers = interp_workers;
+    interp_engine_ = std::make_unique<ParallelInterpreter>(icfg);
+    interp_engine_->start();
+  }
+
   nodes_.resize(config_.n_servers);
   std::vector<Mailbox*> mailboxes(config_.n_servers, nullptr);
   for (const ServerId s : local_) {
@@ -121,6 +135,9 @@ void ThreadedRuntime::mount_node(ServerId server) {
                                      *node.sigs, factory_, config_.n_servers,
                                      config_.gossip, config_.pacing,
                                      config_.seq_mode);
+  // Attaching here covers restart() incarnations too. Restore replay stays
+  // serial regardless (the shim routes around the engine while restoring).
+  if (interp_engine_) node.shim->set_parallel_interpreter(interp_engine_.get());
   if (node.storage != nullptr || config_.checkpoint.epoch_blocks != 0) {
     node.checkpointer = std::make_unique<blockdag::sync::Checkpointer>(
         *node.shim, *node.sigs, config_.n_servers, node.storage,
@@ -277,6 +294,10 @@ void ThreadedRuntime::shutdown() {
   for (const ServerId s : local_) {
     if (nodes_[s]->thread.joinable()) nodes_[s]->thread.join();
   }
+  // Only after every node thread joined: shims are batch owners, and a
+  // stopped engine makes owners process whole batches themselves — joining
+  // first guarantees no batch is in flight when the workers exit.
+  if (interp_engine_) interp_engine_->stop();
 }
 
 void ThreadedRuntime::request(ServerId server, Label label, Bytes request) {
@@ -341,9 +362,20 @@ bool ThreadedRuntime::quiesce_and_converge(std::size_t max_rounds,
     }
     if (converged && progress == last_progress) return true;
     last_progress = progress;
+    // Two-phase round, no barrier between the phases: every server's
+    // dissemination is queued first, then every server's interpretation.
+    // Per-server mailbox FIFO keeps disseminate-before-interpret locally,
+    // while globally a server already interpreting overlaps with servers
+    // still pushing blocks onto the wire — instead of each server strictly
+    // alternating the two inside one tick. Same fixed point either way:
+    // interpretation is a pure function of the DAG (Lemma 4.2).
     for (const ServerId s : shimmed_) {
       Shim* shim = nodes_[s]->shim.get();
-      nodes_[s]->mailbox->push([shim] { shim->tick(); });
+      nodes_[s]->mailbox->push([shim] { shim->tick_disseminate(); });
+    }
+    for (const ServerId s : shimmed_) {
+      Shim* shim = nodes_[s]->shim.get();
+      nodes_[s]->mailbox->push([shim] { shim->tick_interpret(); });
     }
     if (!wait_idle(round_timeout)) return false;
   }
@@ -409,6 +441,26 @@ VerifierPoolStats ThreadedRuntime::verifier_stats() {
     total.submitted += h.submitted;
     total.cache_hits += h.cache_hits;
     total.results_posted += h.results_posted;
+  }
+  return total;
+}
+
+InterpreterStats ThreadedRuntime::interpreter_stats() {
+  InterpreterStats total;
+  for (const ServerId s : shimmed_) {
+    const InterpreterStats st =
+        call(s, [](Shim& shim) { return shim.interpreter().stats(); });
+    total.blocks_interpreted += st.blocks_interpreted;
+    total.requests_processed += st.requests_processed;
+    total.messages_delivered += st.messages_delivered;
+    total.messages_materialized += st.messages_materialized;
+    total.indications += st.indications;
+    total.instance_clones += st.instance_clones;
+    total.parallel_batches += st.parallel_batches;
+    total.serial_batches += st.serial_batches;
+    total.work_units += st.work_units;
+    total.max_shard_width = std::max(total.max_shard_width, st.max_shard_width);
+    total.merge_ns += st.merge_ns;
   }
   return total;
 }

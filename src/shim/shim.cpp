@@ -1,5 +1,7 @@
 #include "shim/shim.h"
 
+#include "interpret/parallel_interpreter.h"
+
 namespace blockdag {
 
 Shim::Shim(ServerId self, TimerService& timers, Transport& net, SignatureProvider& sigs,
@@ -35,8 +37,17 @@ void Shim::request(Label label, Bytes request) {
   if (started_ && pacing_.eager_request_threshold != 0 &&
       rqsts_.size() >= pacing_.eager_request_threshold) {
     gossip_.disseminate(/*even_if_empty=*/false);
-    interpreter_.run();
+    run_interpreter();
   }
+}
+
+std::size_t Shim::run_interpreter() {
+  // Restore replay must stay serial: restore_block()s interleave with
+  // run()s and the engine asserts batch quiescence across them.
+  if (interp_engine_ != nullptr && !restoring_) {
+    return interp_engine_->run(interpreter_);
+  }
+  return interpreter_.run();
 }
 
 void Shim::on_block_inserted(const BlockPtr& block) {
@@ -50,7 +61,7 @@ void Shim::on_block_inserted(const BlockPtr& block) {
   // decoupled in the paper (it could run entirely off-line, Section 4);
   // running it inline keeps indication latency measurements tight while
   // changing nothing about the computed states (Lemma 4.2).
-  interpreter_.run();
+  run_interpreter();
 }
 
 std::size_t Shim::collect_garbage() {
@@ -60,8 +71,14 @@ std::size_t Shim::collect_garbage() {
 }
 
 void Shim::tick() {
-  gossip_.disseminate(!pacing_.skip_empty);
-  interpreter_.run();
+  tick_disseminate();
+  tick_interpret();
+}
+
+void Shim::tick_disseminate() { gossip_.disseminate(!pacing_.skip_empty); }
+
+void Shim::tick_interpret() {
+  run_interpreter();
   if (maintenance_) maintenance_();
 }
 

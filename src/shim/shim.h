@@ -23,6 +23,8 @@
 
 namespace blockdag {
 
+class ParallelInterpreter;
+
 // A delivered indication, as surfaced to the user of P.
 struct UserIndication {
   Label label = 0;
@@ -133,6 +135,23 @@ class Shim {
   // One manual dissemination + interpretation step (tests drive this).
   void tick();
 
+  // The two halves of tick(), split so runtime convergence loops can
+  // overlap them: issue every server's dissemination first (blocks start
+  // crossing the wire), then run interpretation while deliveries drain.
+  void tick_disseminate();
+  // Interpretation + the maintenance hook (checkpoint/GC cadence).
+  void tick_interpret();
+
+  // Routes this shim's interpretation through a parallel engine
+  // (interpret/parallel_interpreter.h). The engine is borrowed and must
+  // outlive the shim; null reverts to the serial interpreter. The sim
+  // runtime never sets one, keeping seeded replay byte-deterministic.
+  // Checkpoint/snapshot restore always runs serially regardless — restores
+  // happen only at batch quiescence.
+  void set_parallel_interpreter(ParallelInterpreter* engine) {
+    interp_engine_ = engine;
+  }
+
   ServerId self() const { return gossip_.self(); }
   const BlockDag& dag() const { return gossip_.dag(); }
   GossipServer& gossip() { return gossip_; }
@@ -146,6 +165,9 @@ class Shim {
  private:
   void on_block_inserted(const BlockPtr& block);
   void schedule_next_dissemination();
+  // interpreter_.run(), through the parallel engine when one is attached
+  // (never during restore replay — that path must stay serial/synchronous).
+  std::size_t run_interpreter();
 
   TimerService& timers_;
   // The armed dissemination beat, cancelled by stop() so a stopped shim
@@ -157,6 +179,7 @@ class Shim {
   Interpreter interpreter_;
   PacingConfig pacing_;
   std::uint32_t n_servers_;
+  ParallelInterpreter* interp_engine_ = nullptr;  // borrowed; null = serial
   bool started_ = false;
   bool restoring_ = false;
   IndicationHandler on_indication_;

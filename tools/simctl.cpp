@@ -129,6 +129,10 @@ struct Options {
   std::uint64_t seed = 1;
   double drop = 0.0;
   SigScheme sig = SigScheme::kIdeal;
+  // Parallel-interpretation workers on the real runtimes (unset = auto:
+  // hardware threads; 0 = serial). Simulator runs reject it — the sim never
+  // constructs the engine, keeping seeded replays byte-deterministic.
+  std::optional<std::uint32_t> interpret_workers;
   std::string dot_file;
   std::map<ServerId, ByzantineKind> byzantine;
 };
@@ -184,6 +188,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.drop = std::stod(v);
+    } else if (arg == "--interpret-workers") {
+      const char* v = next();
+      if (!v) return false;
+      opt.interpret_workers = static_cast<std::uint32_t>(std::stoul(v));
     } else if (arg == "--wots") {
       opt.sig = SigScheme::kWots;  // alias for --sig wots
     } else if (arg == "--sig") {
@@ -251,6 +259,9 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
   cfg.seed = opt.seed;
   cfg.sig_scheme = opt.sig;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
+  if (opt.interpret_workers) {
+    cfg.interpret_workers = static_cast<std::size_t>(*opt.interpret_workers);
+  }
   if (opt.runtime == "tcp") {
     cfg.backend = rt::TransportBackend::kTcp;  // ephemeral localhost ports
   } else if (opt.runtime == "udp") {
@@ -327,6 +338,23 @@ int run_threaded(const Options& opt, const ProtocolFactory& factory) {
                 static_cast<unsigned long long>(vp.batches),
                 static_cast<unsigned long long>(vp.cache_hits));
   }
+  const InterpreterStats is = runtime.interpreter_stats();
+  std::printf("interpretation                 : %llu blocks, %llu delivered, "
+              "%llu materialized, %llu indications, %llu clones\n",
+              static_cast<unsigned long long>(is.blocks_interpreted),
+              static_cast<unsigned long long>(is.messages_delivered),
+              static_cast<unsigned long long>(is.messages_materialized),
+              static_cast<unsigned long long>(is.indications),
+              static_cast<unsigned long long>(is.instance_clones));
+  std::printf("parallel interpret             : %zu workers, %llu parallel / "
+              "%llu serial batches, %llu work units, max shard %llu, "
+              "merge %.2f ms\n",
+              runtime.interpret_workers(),
+              static_cast<unsigned long long>(is.parallel_batches),
+              static_cast<unsigned long long>(is.serial_batches),
+              static_cast<unsigned long long>(is.work_units),
+              static_cast<unsigned long long>(is.max_shard_width),
+              static_cast<double>(is.merge_ns) / 1e6);
 
   const WireMetrics wire = runtime.wire_metrics();
   Table traffic({"wire class", "messages", "bytes"});
@@ -431,6 +459,13 @@ int run(const Options& opt) {
 
   if (opt.runtime == "threads" || opt.runtime == "tcp" || opt.runtime == "udp") {
     return run_threaded(opt, *factory);
+  }
+  if (opt.interpret_workers) {
+    std::fprintf(stderr,
+                 "--interpret-workers needs a real runtime (threads|tcp|udp): "
+                 "the simulator never parallelizes interpretation, keeping "
+                 "seeded replays byte-deterministic\n");
+    return 2;
   }
 
   ClusterConfig cfg;
@@ -558,6 +593,10 @@ struct MemberOptions {
   // GC changes the live set the digest settle compares.
   std::string data_dir;
   std::uint64_t checkpoint_blocks = 32;  // epoch cadence (with --data-dir)
+  // Parallel-interpretation workers (unset = auto, 0 = serial). Purely
+  // local tuning: members of one cluster need not agree on it — the engine
+  // never changes what is computed (Lemma 4.2), only on how many threads.
+  std::optional<std::uint32_t> interpret_workers;
 };
 
 bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
@@ -620,6 +659,9 @@ bool parse_member_args(int argc, char** argv, MemberOptions& opt, bool join) {
       std::uint64_t k = 0;
       if (!v || !parse_u64(v, k) || k == 0) return false;
       opt.checkpoint_blocks = k;
+    } else if (arg == "--interpret-workers") {
+      if (!v || !parse_u32(v, u)) return false;
+      opt.interpret_workers = u;
     } else {
       return false;
     }
@@ -661,6 +703,9 @@ int run_member(const MemberOptions& opt, const char* role) {
   cfg.sig_scheme = opt.sig;
   cfg.pacing.interval = sim_ms(opt.interval_ms);
   cfg.gossip.fwd_retry_delay = sim_ms(20);
+  if (opt.interpret_workers) {
+    cfg.interpret_workers = static_cast<std::size_t>(*opt.interpret_workers);
+  }
   if (opt.runtime == "udp") {
     cfg.backend = rt::TransportBackend::kUdp;
     cfg.udp.base_port = opt.port;
@@ -865,6 +910,17 @@ int run_member(const MemberOptions& opt, const char* role) {
               static_cast<unsigned long long>(blocks),
               to_hex(last_dag).substr(0, 16).c_str(),
               to_hex(last_interp).substr(0, 16).c_str());
+  const InterpreterStats is = runtime.interpreter_stats();
+  std::printf("interpretation: %llu blocks, %llu delivered, %llu indications "
+              "(%zu workers, %llu parallel / %llu serial batches, "
+              "%llu work units)\n",
+              static_cast<unsigned long long>(is.blocks_interpreted),
+              static_cast<unsigned long long>(is.messages_delivered),
+              static_cast<unsigned long long>(is.indications),
+              runtime.interpret_workers(),
+              static_cast<unsigned long long>(is.parallel_batches),
+              static_cast<unsigned long long>(is.serial_batches),
+              static_cast<unsigned long long>(is.work_units));
   if (store) {
     const auto recovery = runtime.sync_snapshot(opt.id);
     std::printf(
@@ -913,6 +969,7 @@ int cmd_member(int argc, char** argv, bool join) {
                  "                    [--interval MS] [--seed X] "
                  "[--sig ideal|hmac|wots]\n"
                  "                    [--data-dir DIR] [--checkpoint K]\n"
+                 "                    [--interpret-workers N]\n"
                  "       simctl join --id I --n N --port PORT [same options]\n"
                  "(--data-dir: persist checkpoints + block log, restore on "
                  "restart; exit 3 on corrupt state. All members must agree "
@@ -939,6 +996,11 @@ struct FuzzOptions {
   // the rejection path is only interesting when signatures are real.
   // Ideal-scheme fuzz stays byte-identical to pre-forger seeds.
   SigScheme sig = SigScheme::kIdeal;
+  // Parallel-interpretation workers on the real-runtime slices (threads/
+  // tcp/udp; unset = auto, 0 = serial). Pinned into repro lines so a
+  // failure under a specific worker count replays under that count. The
+  // sim slice rejects it (no engine in the simulator).
+  std::optional<std::uint32_t> interpret_workers;
   std::string repro_file;
   std::string trace_file;        // replay only
 };
@@ -1000,6 +1062,7 @@ struct UdpScenario {
   std::uint32_t instances = 6;
   std::uint64_t duration_ns = 0;
   SigScheme sig = SigScheme::kIdeal;
+  std::optional<std::uint32_t> interpret_workers;
   rt::LinkFault base;
   struct Override {
     ServerId from = 0;
@@ -1023,6 +1086,7 @@ UdpScenario udp_scenario_for_seed(std::uint64_t seed, const FuzzOptions& opt) {
                        ? opt.duration_ns
                        : static_cast<std::uint64_t>(opt.duration_s * 1e9);
   sc.sig = opt.sig;  // scheme never perturbs the derived fault profile
+  sc.interpret_workers = opt.interpret_workers;  // ditto (post-derivation)
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // distinct from the injector's RNG
   sc.base.drop = 0.25 * rng.unit();
   sc.base.reorder = 0.30 * rng.unit();
@@ -1065,6 +1129,9 @@ std::string udp_repro_line(const UdpScenario& sc) {
   std::string line = buf;
   if (sc.sig != SigScheme::kIdeal) {
     line += std::string(" --sig ") + sig_scheme_name(sc.sig);
+  }
+  if (sc.interpret_workers) {
+    line += " --interpret-workers " + std::to_string(*sc.interpret_workers);
   }
   return line;
 }
@@ -1110,6 +1177,9 @@ std::vector<std::string> run_udp_scenario(const UdpScenario& sc) {
   cfg.udp.default_fault = sc.base;
   cfg.udp.channel.initial_rto_ns = 5'000'000;
   cfg.udp.channel.max_rto_ns = 80'000'000;
+  if (sc.interpret_workers) {
+    cfg.interpret_workers = static_cast<std::size_t>(*sc.interpret_workers);
+  }
   rt::ThreadedRuntime runtime(*factory, cfg);
   if (!runtime.transport_ok()) return {"failed to bind UDP sockets"};
   for (const auto& o : sc.overrides) {
@@ -1238,6 +1308,7 @@ struct ThreadsScenario {
   // actually show up in the runtime stats.
   bool forger = false;
   ServerId forger_id = 0;
+  std::optional<std::uint32_t> interpret_workers;
   std::vector<ChurnEvent> events;
 };
 
@@ -1256,6 +1327,7 @@ ThreadsScenario threads_scenario_for_seed(std::uint64_t seed,
                        : static_cast<std::uint64_t>(opt.duration_s * 1e9);
   sc.tcp = opt.runtime == "tcp";
   sc.sig = opt.sig;
+  sc.interpret_workers = opt.interpret_workers;  // never perturbs the plan
   // The forger needs a real scheme (under the ideal provider there is no
   // verification cost worth attacking) and a cluster big enough to spare a
   // server to the adversary.
@@ -1296,6 +1368,9 @@ std::string threads_repro_line(const ThreadsScenario& sc) {
   std::string line = buf;
   if (sc.sig != SigScheme::kIdeal) {
     line += std::string(" --sig ") + sig_scheme_name(sc.sig);
+  }
+  if (sc.interpret_workers) {
+    line += " --interpret-workers " + std::to_string(*sc.interpret_workers);
   }
   return line;
 }
@@ -1348,6 +1423,9 @@ std::vector<std::string> run_threads_scenario(const ThreadsScenario& sc) {
   cfg.enable_state_sync = true;
   cfg.sync.progress_timeout = sim_ms(50);
   cfg.sync.retry_base = sim_ms(10);
+  if (sc.interpret_workers) {
+    cfg.interpret_workers = static_cast<std::size_t>(*sc.interpret_workers);
+  }
   rt::ThreadedRuntime runtime(*factory, cfg);
   if (!runtime.transport_ok()) return {"failed to bind sockets"};
   if (sc.forger) {
@@ -1653,6 +1731,10 @@ bool parse_fuzz_args(int argc, char** argv, FuzzOptions& opt, bool replay) {
       const auto scheme = parse_sig_scheme(v);
       if (!scheme) return false;
       opt.sig = *scheme;
+    } else if (arg == "--interpret-workers") {
+      std::uint32_t u = 0;
+      if (!(v = next()) || !parse_u32(v, u)) return false;
+      opt.interpret_workers = u;
     } else if (arg == "--repro-file" && !replay) {
       if (!(v = next())) return false;
       opt.repro_file = v;
@@ -1675,9 +1757,16 @@ int cmd_fuzz(int argc, char** argv) {
                  "                   [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
                  "                   [--sig ideal|hmac|wots] [--repro-file FILE]\n"
+                 "                   [--interpret-workers N]\n"
                  "(--sig hmac|wots also arms the forger adversary: sim adds\n"
                  " kForger to the byzantine pool; threads/tcp host a raw forger\n"
                  " flooding invalidly-signed blocks at the cluster)\n");
+    return 2;
+  }
+  if (opt.interpret_workers && opt.runtime == "sim") {
+    std::fprintf(stderr,
+                 "--interpret-workers needs a real-runtime slice "
+                 "(--runtime threads|tcp|udp)\n");
     return 2;
   }
   std::size_t passed = 0, failed = 0;
@@ -1745,7 +1834,14 @@ int cmd_replay(int argc, char** argv) {
                  "beacon|mix]\n"
                  "                     [--n N] [--instances K] [--duration S |"
                  " --duration-ns NS]\n"
-                 "                     [--sig ideal|hmac|wots] [--trace FILE]\n");
+                 "                     [--sig ideal|hmac|wots] [--trace FILE]\n"
+                 "                     [--interpret-workers N]\n");
+    return 2;
+  }
+  if (opt.interpret_workers && opt.runtime == "sim") {
+    std::fprintf(stderr,
+                 "--interpret-workers needs a real-runtime slice "
+                 "(--runtime threads|tcp|udp)\n");
     return 2;
   }
   if (opt.runtime == "threads" || opt.runtime == "tcp") {
@@ -1841,6 +1937,7 @@ int main(int argc, char** argv) {
                  "              [--seconds S] [--instances K] [--interval MS]\n"
                  "              [--seed X] [--drop P] [--byzantine ID:KIND ...]\n"
                  "              [--sig ideal|hmac|wots] [--dot FILE]\n"
+                 "              [--interpret-workers N]  (real runtimes only)\n"
                  "       simctl serve --n N --port PORT [options]\n"
                  "       simctl join --id I --n N --port PORT [options]\n"
                  "       simctl fuzz --seeds A..B [options]\n"
