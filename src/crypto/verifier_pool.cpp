@@ -15,8 +15,29 @@ void VerifierPool::Handle::submit(ServerId claimed, const Hash256& ref,
   }
   ++stats_.submitted;
   hook_(true);  // held until the verdict task is posted (or dropped)
+  if (staging_) {
+    staged_.push_back(Task{claimed, ref, std::move(sigma), this, std::move(done)});
+    return;
+  }
   if (!pool_.enqueue(Task{claimed, ref, std::move(sigma), this, std::move(done)})) {
     hook_(false);  // pool stopping — shutdown path, verdict never arrives
+  }
+}
+
+void VerifierPool::Handle::set_staging(bool on) {
+  if (!on) flush();
+  staging_ = on;
+}
+
+void VerifierPool::Handle::flush() {
+  if (staged_.empty()) return;
+  std::vector<Task> tasks;
+  tasks.swap(staged_);
+  const std::size_t n = tasks.size();
+  if (pool_.enqueue_many(std::move(tasks)) == 0) {
+    // Pool stopping: verdicts never arrive; release every submit-held unit
+    // so wait_idle() is not wedged.
+    for (std::size_t i = 0; i < n; ++i) hook_(false);
   }
 }
 
@@ -105,6 +126,23 @@ bool VerifierPool::enqueue(Task task) {
   }
   cv_.notify_one();
   return true;
+}
+
+std::size_t VerifierPool::enqueue_many(std::vector<Task> tasks) {
+  if (tasks.empty()) return 0;
+  const std::size_t n = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      stats_.dropped += n;
+      return 0;
+    }
+    for (auto& t : tasks) queue_.push_back(std::move(t));
+  }
+  // A batch can feed several workers; wake them all rather than relying on
+  // a chain of single wakeups.
+  if (n > 1) cv_.notify_all(); else cv_.notify_one();
+  return n;
 }
 
 void VerifierPool::worker_main() {

@@ -72,6 +72,18 @@ class VerifierPool {
   // false to release it once the verdict is posted (or dropped).
   using WorkHook = std::function<void(bool retain)>;
 
+  class Handle;
+
+  // One unit of verification work (immutable once enqueued; workers read,
+  // never write, everything but `done`).
+  struct Task {
+    ServerId claimed = 0;
+    Hash256 ref;
+    Bytes sigma;
+    Handle* handle = nullptr;
+    std::function<void(bool)> done;
+  };
+
   // Per-owner-server submission endpoint + verdict cache. All methods must
   // be called from the owner's thread, except the pool-internal result path.
   class Handle {
@@ -82,6 +94,17 @@ class VerifierPool {
     // silently dropped if the pool or the owner mailbox shuts down first.
     void submit(ServerId claimed, const Hash256& ref, Bytes sigma,
                 std::function<void(bool)> done);
+
+    // Staged submission (DESIGN.md §13; threaded runtime only). While
+    // staging is on, cache misses accumulate in a local vector instead of
+    // taking the pool lock per task; flush() hands the whole batch to the
+    // pool under ONE lock acquisition and one worker wakeup. Cache hits
+    // still answer inline. The runtime flushes from its mailbox drain hook
+    // BEFORE releasing the drained batch's work units, so staged tasks can
+    // never outlive an IdleTracker quiescent point. Turning staging off
+    // flushes first.
+    void set_staging(bool on);
+    void flush();
 
     // Handle-local counters (owner-thread view).
     const VerifierPoolStats& stats() const { return stats_; }
@@ -101,6 +124,8 @@ class VerifierPool {
     VerifierPool& pool_;
     const Post post_;
     const WorkHook hook_;
+    bool staging_ = false;
+    std::vector<Task> staged_;
     // Bounded FIFO verdict cache (owner-thread only; no locks).
     std::unordered_map<Hash256, bool> cache_;
     std::deque<Hash256> cache_order_;
@@ -127,15 +152,11 @@ class VerifierPool {
   VerifierPoolStats stats() const;  // pool-global counters
 
  private:
-  struct Task {
-    ServerId claimed = 0;
-    Hash256 ref;
-    Bytes sigma;
-    Handle* handle = nullptr;
-    std::function<void(bool)> done;
-  };
-
   bool enqueue(Task task);
+  // Batched enqueue: one lock + one notify for the whole vector. Returns
+  // the number of tasks accepted (0 when stopping — callers must release
+  // the submit-held units for every task themselves in that case).
+  std::size_t enqueue_many(std::vector<Task> tasks);
   void worker_main();
 
   const ProviderFactory factory_;

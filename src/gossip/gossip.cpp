@@ -174,7 +174,7 @@ void GossipServer::fire_fwd(const Hash256& missing, ServerId ask, std::uint32_t 
     return;  // resolved meanwhile
   }
   ++stats_.fwd_requests_sent;
-  net_.send(self_, ask, WireKind::kFwdRequest, encode_fwd_request(missing));
+  net_send(ask, WireKind::kFwdRequest, encode_fwd_request(missing));
   if (config_.max_fwd_retries != 0 && attempt >= config_.max_fwd_retries) {
     fwd_armed_.erase(missing);
     return;  // give up: only byzantine-referenced blocks can dangle forever
@@ -189,8 +189,8 @@ void GossipServer::handle_fwd_request(ServerId from, const Hash256& ref) {
   const BlockPtr block = dag_.get(ref);
   if (!block) return;
   ++stats_.fwd_replies_sent;
-  net_.send(self_, from, WireKind::kFwdReply,
-            encode_block_envelope(*block, WireKind::kFwdReply));
+  net_send(from, WireKind::kFwdReply,
+           encode_block_envelope(*block, WireKind::kFwdReply));
 }
 
 void GossipServer::disseminate(bool even_if_empty) {
@@ -223,11 +223,72 @@ void GossipServer::disseminate(bool even_if_empty) {
 
   // Line 17: send B to every server. (Self-delivery short-circuits: the
   // block is already in G, so the receive path ignores it.)
-  net_.broadcast(self_, WireKind::kBlock, encode_block_envelope(*block, WireKind::kBlock));
+  net_broadcast(WireKind::kBlock, encode_block_envelope(*block, WireKind::kBlock));
 
   // Line 18: start the next block with the parent reference.
   ++next_k_;
   building_preds_.assign(1, ref);
+}
+
+void GossipServer::net_send(ServerId to, WireKind kind, Bytes payload) {
+  if (!egress_batching_) {
+    net_.send(self_, to, kind, std::move(payload));
+    return;
+  }
+  egress_.push_back(EgressEntry{
+      to, Envelope{kind, std::make_shared<const Bytes>(std::move(payload))}});
+}
+
+void GossipServer::net_broadcast(WireKind kind, const Bytes& payload) {
+  if (!egress_batching_) {
+    net_.broadcast(self_, kind, payload);
+    return;
+  }
+  egress_.push_back(EgressEntry{
+      kInvalidServer, Envelope{kind, std::make_shared<const Bytes>(payload)}});
+}
+
+void GossipServer::set_egress_batching(bool on) {
+  if (!on) flush_egress();
+  egress_batching_ = on;
+}
+
+void GossipServer::flush_egress() {
+  if (egress_.empty()) return;
+  if (halted_) {
+    // A crashed server emits no ghost traffic; what it buffered but never
+    // flushed died with it, like bytes in a dead kernel buffer.
+    egress_.clear();
+    return;
+  }
+  std::vector<Envelope> run;
+  std::size_t i = 0;
+  while (i < egress_.size()) {
+    const ServerId dest = egress_[i].to;
+    std::size_t j = i + 1;
+    while (j < egress_.size() && egress_[j].to == dest) ++j;
+    if (j - i == 1) {
+      Envelope& e = egress_[i].envelope;
+      if (dest == kInvalidServer) {
+        net_.broadcast(self_, e.kind, *e.payload);
+      } else {
+        net_.send(self_, dest, e.kind, Bytes(*e.payload));
+      }
+    } else {
+      run.clear();
+      run.reserve(j - i);
+      for (std::size_t t = i; t < j; ++t) {
+        run.push_back(std::move(egress_[t].envelope));
+      }
+      if (dest == kInvalidServer) {
+        net_.broadcast_many(self_, run);
+      } else {
+        net_.send_many(self_, dest, run);
+      }
+    }
+    i = j;
+  }
+  egress_.clear();
 }
 
 std::size_t GossipServer::collect_garbage(std::uint32_t n_servers) {

@@ -102,6 +102,19 @@ class GossipServer {
   // Network ingress (attach to SimNetwork).
   void on_network(ServerId from, const Bytes& wire);
 
+  // --- Egress batching (DESIGN.md §13; threaded runtime only) ---
+  // When enabled, the gossip send sites (block broadcast, FWD request,
+  // FWD reply) buffer their envelopes instead of hitting the Transport
+  // per call; flush_egress() hands maximal consecutive same-destination
+  // runs to send_many/broadcast_many so the transport can coalesce them
+  // into batched frames. The threaded runtime flushes from its mailbox
+  // drain hook BEFORE the drained batch's work units are released, so the
+  // IdleTracker can never report quiescence while envelopes sit here.
+  // Never enabled on the simulator: with batching off (the default) every
+  // send goes to the Transport directly, byte-identical to before.
+  void set_egress_batching(bool on);
+  void flush_egress();
+
   // Algorithm 1 lines 14–18. Builds and sends the current block. When
   // `even_if_empty` is false, skips dissemination when there is nothing to
   // say (no pending requests and no new references) — a practical pacing
@@ -189,6 +202,10 @@ class GossipServer {
   void handle_block(Block&& block);
   void on_verified(const Hash256& ref, bool ok);
   void mark_rejected(const Hash256& ref);
+  // Egress seams: direct Transport calls unless egress batching buffers
+  // them (to == kInvalidServer marks a broadcast entry).
+  void net_send(ServerId to, WireKind kind, Bytes payload);
+  void net_broadcast(WireKind kind, const Bytes& payload);
   void handle_fwd_request(ServerId from, const Hash256& ref);
   void try_insert_pending();
   void insert_valid(const BlockPtr& block);
@@ -225,6 +242,16 @@ class GossipServer {
   BlockInsertedHandler on_inserted_;
   GossipStats stats_;
   bool halted_ = false;
+
+  // Egress batching buffer, in send order (grouping at flush time only
+  // ever merges *consecutive* same-destination entries, so per-peer FIFO
+  // is preserved exactly).
+  struct EgressEntry {
+    ServerId to = kInvalidServer;  // kInvalidServer = broadcast
+    Envelope envelope;
+  };
+  bool egress_batching_ = false;
+  std::vector<EgressEntry> egress_;
 };
 
 }  // namespace blockdag

@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "net/transport.h"
 
@@ -36,5 +37,37 @@ Bytes encode_tagged(WireKind kind, std::span<const std::uint8_t> body);
 // tag byte that is not a concrete WireKind — byzantine senders may deliver
 // arbitrary bytes, so an unknown tag is an ordinary decode failure.
 std::optional<TaggedView> split_tagged(std::span<const std::uint8_t> wire);
+
+// --- kBatch envelopes (DESIGN.md §13) ---
+//
+// Layout: [kBatch tag] then, per inner envelope, [u32 LE length][that many
+// bytes] where the bytes are a complete tagged envelope of a concrete kind
+// other than kBatch (batches never nest). The whole thing travels as one
+// frame/datagram payload, so one syscall and one mailbox wakeup carry many
+// blocks/replies.
+
+// One decoded batch entry: the inner tag (for pre-decode routing, e.g. the
+// runtime control plane) and a view of the complete inner envelope — tag
+// byte included, so the entry can be handed to the same per-envelope
+// handlers an unbatched send would reach. Views alias the input buffer.
+struct BatchEntry {
+  WireKind kind;
+  std::span<const std::uint8_t> envelope;
+};
+
+// Packs `inners` (each a complete tagged envelope) into one kBatch
+// envelope. Callers guarantee each inner is a valid non-batch envelope and
+// that the batch is non-empty.
+Bytes encode_batch(std::span<const std::span<const std::uint8_t>> inners);
+
+// Splits a kBatch envelope. Hardened against forged bytes: every entry
+// length is bounds-checked against the remaining input *before* anything
+// is allocated for it, inner tags must name a concrete kind, nested
+// batches are refused, and trailing garbage or an empty batch fails the
+// whole envelope. nullopt on any violation — the transport drops the
+// batch (counted) but must keep the connection live; batch corruption is
+// payload-level, not stream-level.
+std::optional<std::vector<BatchEntry>> split_batch(
+    std::span<const std::uint8_t> wire);
 
 }  // namespace blockdag

@@ -15,6 +15,7 @@ const char* wire_kind_name(WireKind kind) {
     case WireKind::kSyncManifest: return "sync_manifest";
     case WireKind::kSyncChunk: return "sync_chunk";
     case WireKind::kSyncDone: return "sync_done";
+    case WireKind::kBatch: return "batch";
     case WireKind::kCount: break;
   }
   return "?";

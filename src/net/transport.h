@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "util/types.h"
 
@@ -42,6 +44,9 @@ enum class WireKind : std::uint8_t {
   kSyncManifest,   // state sync: payload size/hash announcement
   kSyncChunk,      // state sync: one chunk of the sync payload
   kSyncDone,       // state sync: provider has no more chunks / refusal
+  kBatch,          // envelope coalescing: a length-prefixed sequence of
+                   // inner envelopes (net/codec encode_batch/split_batch);
+                   // never nested, unpacked by the transport on receive
   kCount,
 };
 
@@ -58,6 +63,14 @@ struct WireMetrics {
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
   void reset() { *this = WireMetrics{}; }
+};
+
+// One tagged payload awaiting the wire: what a single send() would carry.
+// The payload is shared so a broadcast can hand the same buffer to every
+// peer queue without copying.
+struct Envelope {
+  WireKind kind = WireKind::kCount;
+  std::shared_ptr<const Bytes> payload;
 };
 
 class Transport {
@@ -87,6 +100,21 @@ class Transport {
   // trivially has its own block). Implementations should encode/share the
   // payload once across the n−1 remote recipients.
   virtual void broadcast(ServerId from, WireKind kind, const Bytes& payload) = 0;
+
+  // Batched variants: hand the transport several ready envelopes for the
+  // same destination in one call, so socket backends can coalesce them
+  // into one wire frame / one wakeup (DESIGN.md §13). Semantically
+  // identical to calling send()/broadcast() once per envelope in order —
+  // the defaults do exactly that, which keeps the deterministic simulator
+  // byte-identical whether or not callers batch.
+  virtual void send_many(ServerId from, ServerId to,
+                         const std::vector<Envelope>& envelopes) {
+    for (const Envelope& e : envelopes) send(from, to, e.kind, *e.payload);
+  }
+  virtual void broadcast_many(ServerId from,
+                              const std::vector<Envelope>& envelopes) {
+    for (const Envelope& e : envelopes) broadcast(from, e.kind, *e.payload);
+  }
 
   // Snapshot of the wire counters. Thread-safe on concurrent transports.
   virtual WireMetrics wire_metrics() const = 0;

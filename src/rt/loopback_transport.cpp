@@ -59,6 +59,51 @@ void LoopbackTransport::broadcast(ServerId from, WireKind kind,
   }
 }
 
+void LoopbackTransport::deliver_many(ServerId from, ServerId to,
+                                     const std::vector<Envelope>& envelopes) {
+  std::shared_ptr<const Handler> handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler = handlers_[to];
+  }
+  if (!handler) return;
+  mailboxes_[to]->push([handler = std::move(handler), from, envelopes] {
+    for (const Envelope& e : envelopes) (*handler)(from, *e.payload);
+  });
+}
+
+void LoopbackTransport::send_many(ServerId from, ServerId to,
+                                  const std::vector<Envelope>& envelopes) {
+  assert(to < mailboxes_.size());
+  if (envelopes.empty()) return;
+  if (from != to) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Envelope& e : envelopes) {
+      const auto k = static_cast<std::size_t>(e.kind);
+      metrics_.messages[k] += 1;
+      metrics_.bytes[k] += e.payload->size();
+    }
+  }
+  deliver_many(from, to, envelopes);
+}
+
+void LoopbackTransport::broadcast_many(ServerId from,
+                                       const std::vector<Envelope>& envelopes) {
+  if (envelopes.empty()) return;
+  const auto n = static_cast<std::uint32_t>(mailboxes_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Envelope& e : envelopes) {
+      const auto k = static_cast<std::size_t>(e.kind);
+      metrics_.messages[k] += n - 1;
+      metrics_.bytes[k] += static_cast<std::uint64_t>(e.payload->size()) * (n - 1);
+    }
+  }
+  for (ServerId to = 0; to < n; ++to) {
+    deliver_many(from, to, envelopes);
+  }
+}
+
 WireMetrics LoopbackTransport::wire_metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_;

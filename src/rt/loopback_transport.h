@@ -31,12 +31,21 @@ class LoopbackTransport final : public Transport {
   }
   void send(ServerId from, ServerId to, WireKind kind, Bytes payload) override;
   void broadcast(ServerId from, WireKind kind, const Bytes& payload) override;
+  // Batched variants (DESIGN.md §13): the whole vector is delivered by a
+  // single mailbox push per destination — one condvar wakeup instead of
+  // one per envelope, same per-sender FIFO order.
+  void send_many(ServerId from, ServerId to,
+                 const std::vector<Envelope>& envelopes) override;
+  void broadcast_many(ServerId from,
+                      const std::vector<Envelope>& envelopes) override;
   WireMetrics wire_metrics() const override;
 
  private:
   using SharedPayload = std::shared_ptr<const Bytes>;
 
   void deliver(ServerId from, ServerId to, SharedPayload payload);
+  void deliver_many(ServerId from, ServerId to,
+                    const std::vector<Envelope>& envelopes);
 
   std::vector<Mailbox*> mailboxes_;
 

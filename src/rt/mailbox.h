@@ -90,7 +90,25 @@ class Mailbox {
     return true;
   }
 
-  void task_done() { idle_.sub(); }
+  // Batch-drain (DESIGN.md §13): swaps the entire queue into `out` in one
+  // wakeup instead of one condvar round per task, blocking while the
+  // mailbox is open and empty. `out` is cleared first and receives the
+  // tasks in push order, so per-sender FIFO is exactly what pop() gives.
+  // Returns false once closed AND drained. The consumer must call
+  // task_done(out.size()) after running the batch — the work units stay
+  // outstanding until then, so the IdleTracker cannot dip to zero while a
+  // drained-but-unfinished batch (or anything it buffered, e.g. gossip
+  // egress) is still in flight.
+  bool pop_all(std::deque<Task>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    std::swap(out, queue_);
+    return true;
+  }
+
+  void task_done(std::uint64_t n = 1) { idle_.sub(n); }
 
   // No further pushes accepted; pending tasks still drain through pop().
   void close() {

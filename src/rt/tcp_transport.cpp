@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,6 +15,7 @@
 #include <cstring>
 
 #include "net/backoff.h"
+#include "net/codec.h"
 
 namespace blockdag::rt {
 
@@ -142,8 +144,11 @@ void TcpTransport::stop() {
   for (auto& [key, out] : out_) {
     (void)key;
     close_fd(out.fd);
-    if (idle_ && !out.queue.empty()) idle_->sub(out.queue.size());
+    if (idle_ && out.queued_envelopes > 0) idle_->sub(out.queued_envelopes);
+    out.pending.clear();
     out.queue.clear();
+    out.queued_envelopes = 0;
+    out.queued_bytes = 0;
   }
   out_.clear();
   for (auto& in : in_) close_fd(in->fd);
@@ -180,6 +185,60 @@ void TcpTransport::deliver_local(ServerId to, ServerId from, WireKind kind,
                         payload = std::move(payload)] { (*handler)(from, *payload); });
 }
 
+void TcpTransport::deliver_local_many(ServerId to, ServerId from,
+                                      const std::vector<Envelope>& envelopes) {
+  std::shared_ptr<const Handler> proto;
+  std::shared_ptr<const Handler> ctrl;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    proto = handlers_[to];
+    ctrl = control_[to];
+  }
+  if (!proto && !ctrl) return;
+  // One mailbox wakeup delivers the whole batch, in order.
+  mailboxes_[to]->push([proto = std::move(proto), ctrl = std::move(ctrl), from,
+                        envelopes] {
+    for (const Envelope& e : envelopes) {
+      const auto& handler = e.kind == WireKind::kControl ? ctrl : proto;
+      if (handler) (*handler)(from, *e.payload);
+    }
+  });
+}
+
+// mu_ held. Applies the per-peer envelope and byte caps; false = evicted.
+bool TcpTransport::admit_locked(OutConn& out, std::size_t payload_bytes) {
+  if (out.queued_envelopes >= config_.max_queued_frames_per_peer ||
+      out.queued_bytes + payload_bytes > config_.max_queued_bytes_per_peer) {
+    ++metrics_.dropped;
+    ++stats_.evicted_envelopes;
+    stats_.evicted_bytes += payload_bytes;
+    if (out.link) ++out.link->evicted;
+    return false;
+  }
+  ++out.queued_envelopes;
+  out.queued_bytes += payload_bytes;
+  if (out.link) ++out.link->enqueued;
+  return true;
+}
+
+// mu_ held, batching mode. Parks the envelope on the link; returns true if
+// the poll thread needs a wake (link was drained or is not connected).
+bool TcpTransport::enqueue_envelope_locked(ServerId from, ServerId to,
+                                           WireKind kind,
+                                           std::shared_ptr<const Bytes> payload) {
+  OutConn& out = out_[{from, to}];
+  if (!out.link) out.link = &link_stats_[{from, to}];
+  const std::size_t payload_bytes = payload->size();
+  const bool was_empty = out.queued_envelopes == 0;
+  if (!admit_locked(out, payload_bytes)) return false;
+  const auto k = static_cast<std::size_t>(kind);
+  metrics_.messages[k] += 1;
+  metrics_.bytes[k] += payload_bytes;
+  out.pending.push_back(Envelope{kind, std::move(payload)});
+  if (idle_) idle_->add();
+  return was_empty || out.state != OutConn::State::kConnected;
+}
+
 void TcpTransport::enqueue_frame(ServerId from, ServerId to, WireKind kind,
                                  const std::shared_ptr<const Bytes>& frame,
                                  std::size_t payload_bytes) {
@@ -194,15 +253,14 @@ void TcpTransport::enqueue_frame(ServerId from, ServerId to, WireKind kind,
       return;
     }
     OutConn& out = out_[{from, to}];
-    if (out.queue.size() >= config_.max_queued_frames_per_peer) {
-      ++metrics_.dropped;
-      return;
-    }
+    if (!out.link) out.link = &link_stats_[{from, to}];
+    const bool was_empty = out.queued_envelopes == 0;
+    if (!admit_locked(out, payload_bytes)) return;
     metrics_.messages[k] += 1;
     metrics_.bytes[k] += payload_bytes;
-    out.queue.push_back(frame);
+    out.queue.push_back(WireFrame{frame, 1, payload_bytes});
     if (idle_) idle_->add();
-    need_wake = out.queue.size() == 1 || out.state != OutConn::State::kConnected;
+    need_wake = was_empty || out.state != OutConn::State::kConnected;
   }
   if (need_wake) wake();
 }
@@ -214,6 +272,20 @@ void TcpTransport::send(ServerId from, ServerId to, WireKind kind, Bytes payload
     deliver_local(to, from, kind, std::make_shared<const Bytes>(std::move(payload)));
     return;
   }
+  if (config_.batch_enabled) {
+    auto shared = std::make_shared<const Bytes>(std::move(payload));
+    bool need_wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ++metrics_.dropped;
+        return;
+      }
+      need_wake = enqueue_envelope_locked(from, to, kind, std::move(shared));
+    }
+    if (need_wake) wake();
+    return;
+  }
   const std::size_t payload_bytes = payload.size();
   const auto frame = std::make_shared<const Bytes>(
       encode_frame(FrameHeader{kFrameVersion, kind, from}, payload));
@@ -221,6 +293,26 @@ void TcpTransport::send(ServerId from, ServerId to, WireKind kind, Bytes payload
 }
 
 void TcpTransport::broadcast(ServerId from, WireKind kind, const Bytes& payload) {
+  if (config_.batch_enabled) {
+    // One immutable payload buffer shared across every peer's pending
+    // queue; frames are packed per link at flush time.
+    const auto shared = std::make_shared<const Bytes>(payload);
+    bool need_wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        metrics_.dropped += config_.n_servers > 0 ? config_.n_servers - 1 : 0;
+      } else {
+        for (ServerId to = 0; to < config_.n_servers; ++to) {
+          if (to == from) continue;
+          need_wake |= enqueue_envelope_locked(from, to, kind, shared);
+        }
+      }
+    }
+    if (need_wake) wake();
+    deliver_local(from, from, kind, std::make_shared<const Bytes>(payload));
+    return;
+  }
   // Encode once; every peer queue shares the same immutable frame buffer
   // (the SimNetwork single-allocation discipline, §8).
   const auto frame = std::make_shared<const Bytes>(
@@ -234,6 +326,62 @@ void TcpTransport::broadcast(ServerId from, WireKind kind, const Bytes& payload)
   }
 }
 
+void TcpTransport::send_many(ServerId from, ServerId to,
+                             const std::vector<Envelope>& envelopes) {
+  assert(to < config_.n_servers);
+  if (envelopes.empty()) return;
+  if (to == from) {
+    deliver_local_many(to, from, envelopes);
+    return;
+  }
+  if (!config_.batch_enabled) {
+    for (const Envelope& e : envelopes) {
+      const auto frame = std::make_shared<const Bytes>(
+          encode_frame(FrameHeader{kFrameVersion, e.kind, from}, *e.payload));
+      enqueue_frame(from, to, e.kind, frame, e.payload->size());
+    }
+    return;
+  }
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      metrics_.dropped += envelopes.size();
+      return;
+    }
+    for (const Envelope& e : envelopes) {
+      need_wake |= enqueue_envelope_locked(from, to, e.kind, e.payload);
+    }
+  }
+  if (need_wake) wake();
+}
+
+void TcpTransport::broadcast_many(ServerId from,
+                                  const std::vector<Envelope>& envelopes) {
+  if (envelopes.empty()) return;
+  if (!config_.batch_enabled) {
+    for (const Envelope& e : envelopes) broadcast(from, e.kind, *e.payload);
+    return;
+  }
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      metrics_.dropped +=
+          envelopes.size() * (config_.n_servers > 0 ? config_.n_servers - 1 : 0);
+    } else {
+      for (ServerId to = 0; to < config_.n_servers; ++to) {
+        if (to == from) continue;
+        for (const Envelope& e : envelopes) {
+          need_wake |= enqueue_envelope_locked(from, to, e.kind, e.payload);
+        }
+      }
+    }
+  }
+  if (need_wake) wake();
+  deliver_local_many(from, from, envelopes);
+}
+
 WireMetrics TcpTransport::wire_metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_;
@@ -242,6 +390,12 @@ WireMetrics TcpTransport::wire_metrics() const {
 TcpStats TcpTransport::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+TcpLinkStats TcpTransport::link_stats(ServerId from, ServerId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = link_stats_.find({from, to});
+  return it == link_stats_.end() ? TcpLinkStats{} : it->second;
 }
 
 void TcpTransport::drop_connections(ServerId a, ServerId b) {
@@ -328,27 +482,131 @@ void TcpTransport::fail_out(OutConn& out) {
     // (the receiver discarded its partial tail at EOF) and must not be
     // resent whole (the receiver may have gotten all of it). Drop it:
     // transient loss, recovered by gossip FWD.
+    const WireFrame& front = out.queue.front();
+    metrics_.dropped += front.units;
+    if (idle_) idle_->sub(front.units);
+    out.queued_envelopes -= front.units;
+    out.queued_bytes -= front.payload_bytes;
     out.queue.pop_front();
     out.front_offset = 0;
-    ++metrics_.dropped;
-    if (idle_) idle_->sub();
   }
   out.state = OutConn::State::kBackoff;
   out.retry_at = Clock::now() + reconnect_backoff();
 }
 
-void TcpTransport::flush_out(OutConn& out) {
+// mu_ held, batching mode. Packs everything pending on the link into wire
+// frames: a lone envelope ships as a plain frame of its own kind, two or
+// more coalesce into kBatch frames bounded by max_batch_frames /
+// max_batch_bytes (and the frame-payload ceiling). Runs on the poll thread
+// at flush time, so the batch size adapts to load: an idle link packs the
+// single envelope that woke us, a backed-up link packs full batches.
+void TcpTransport::pack_pending(ServerId from, OutConn& out) {
+  const std::size_t limit_bytes =
+      std::min(config_.max_batch_bytes, config_.max_frame_payload);
+  while (!out.pending.empty()) {
+    // Greedy group: [0, take) of pending, respecting both ceilings.
+    std::size_t take = 1;
+    std::size_t group_bytes = 1 + 4 + out.pending.front().payload->size();
+    while (take < out.pending.size() && take < config_.max_batch_frames) {
+      const std::size_t next = 4 + out.pending[take].payload->size();
+      if (group_bytes + next > limit_bytes) break;
+      group_bytes += next;
+      ++take;
+    }
+    WireFrame frame;
+    if (take == 1) {
+      const Envelope& e = out.pending.front();
+      frame.bytes = std::make_shared<const Bytes>(encode_frame(
+          FrameHeader{kFrameVersion, e.kind, from}, *e.payload));
+      frame.units = 1;
+      frame.payload_bytes = e.payload->size();
+    } else {
+      std::vector<std::span<const std::uint8_t>> inners;
+      inners.reserve(take);
+      frame.payload_bytes = 0;
+      for (std::size_t i = 0; i < take; ++i) {
+        inners.emplace_back(*out.pending[i].payload);
+        frame.payload_bytes += out.pending[i].payload->size();
+      }
+      frame.bytes = std::make_shared<const Bytes>(encode_frame(
+          FrameHeader{kFrameVersion, WireKind::kBatch, from},
+          encode_batch(inners)));
+      frame.units = static_cast<std::uint32_t>(take);
+      ++stats_.batches_sent;
+      stats_.batched_envelopes += take;
+      if (out.link) {
+        ++out.link->batches_sent;
+        out.link->batched_envelopes += take;
+      }
+    }
+    out.pending.erase(out.pending.begin(),
+                      out.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    out.queue.push_back(std::move(frame));
+  }
+}
+
+void TcpTransport::flush_out(ServerId from, OutConn& out) {
+  if (config_.batch_enabled) {
+    pack_pending(from, out);
+    // Gather-write: drain as many queued frames per syscall as iovec
+    // slots allow, resuming mid-frame at front_offset.
+    while (!out.queue.empty()) {
+      constexpr std::size_t kMaxIov = 64;
+      struct iovec iov[kMaxIov];
+      std::size_t iovcnt = 0;
+      std::size_t offset = out.front_offset;
+      for (const WireFrame& wf : out.queue) {
+        if (iovcnt == kMaxIov) break;
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(wf.bytes->data() + offset);
+        iov[iovcnt].iov_len = wf.bytes->size() - offset;
+        offset = 0;
+        ++iovcnt;
+      }
+      const auto n = ::writev(out.fd, iov, static_cast<int>(iovcnt));
+      if (n > 0) {
+        ++stats_.writev_calls;
+        std::size_t left = static_cast<std::size_t>(n);
+        while (left > 0) {
+          WireFrame& front = out.queue.front();
+          const std::size_t remaining = front.bytes->size() - out.front_offset;
+          if (left < remaining) {
+            out.front_offset += left;
+            left = 0;
+            break;
+          }
+          left -= remaining;
+          ++stats_.frames_sent;
+          if (idle_) idle_->sub(front.units);
+          out.queued_envelopes -= front.units;
+          out.queued_bytes -= front.payload_bytes;
+          out.queue.pop_front();
+          out.front_offset = 0;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      fail_out(out);
+      return;
+    }
+    return;
+  }
+  // Unbatched: the plain sequential-write path (the A/B baseline).
   while (!out.queue.empty()) {
-    const Bytes& front = *out.queue.front();
+    const WireFrame& wf = out.queue.front();
+    const Bytes& front = *wf.bytes;
     const std::size_t remaining = front.size() - out.front_offset;
     const auto n = ::write(out.fd, front.data() + out.front_offset, remaining);
     if (n > 0) {
       out.front_offset += static_cast<std::size_t>(n);
       if (out.front_offset == front.size()) {
+        ++stats_.frames_sent;
+        if (idle_) idle_->sub(wf.units);
+        out.queued_envelopes -= wf.units;
+        out.queued_bytes -= wf.payload_bytes;
         out.queue.pop_front();
         out.front_offset = 0;
-        ++stats_.frames_sent;
-        if (idle_) idle_->sub();
       }
       continue;
     }
@@ -376,6 +634,56 @@ void TcpTransport::service_in(InConn& in) {
         ++stats_.frames_received;
         const WireKind kind = frame->header.kind;
         const ServerId from = frame->header.from;
+        if (kind == WireKind::kBatch) {
+          // Unpack before posting: split_batch bounds-checks every inner
+          // length against the remaining bytes pre-allocation. A malformed
+          // batch is payload corruption, not framing corruption — drop the
+          // batch (counted), keep the stream live.
+          const auto entries = split_batch(frame->payload);
+          if (!entries) {
+            ++stats_.batch_decode_failures;
+            continue;
+          }
+          ++stats_.batches_received;
+          stats_.batched_envelopes_received += entries->size();
+          std::shared_ptr<const Handler> proto = handlers_[in.owner];
+          std::shared_ptr<const Handler> ctrl = control_[in.owner];
+          if (!proto && !ctrl) continue;
+          // Record (kind, offset, length) per inner — the heap buffer is
+          // stable across the move into the shared payload below.
+          struct Inner {
+            WireKind kind;
+            std::size_t off;
+            std::size_t len;
+          };
+          std::vector<Inner> inners;
+          inners.reserve(entries->size());
+          for (const BatchEntry& e : *entries) {
+            inners.push_back(Inner{
+                e.kind,
+                static_cast<std::size_t>(e.envelope.data() -
+                                         frame->payload.data()),
+                e.envelope.size()});
+          }
+          auto payload = std::make_shared<const Bytes>(std::move(frame->payload));
+          // One mailbox wakeup dispatches every inner envelope in order.
+          mailboxes_[in.owner]->push(
+              [proto = std::move(proto), ctrl = std::move(ctrl), from,
+               payload = std::move(payload), inners = std::move(inners)] {
+                for (const Inner& e : inners) {
+                  const auto& handler =
+                      e.kind == WireKind::kControl ? ctrl : proto;
+                  if (!handler) continue;
+                  const Bytes envelope(payload->begin() +
+                                           static_cast<std::ptrdiff_t>(e.off),
+                                       payload->begin() +
+                                           static_cast<std::ptrdiff_t>(e.off +
+                                                                       e.len));
+                  (*handler)(from, envelope);
+                }
+              });
+          continue;
+        }
         std::shared_ptr<const Handler> handler =
             kind == WireKind::kControl ? control_[in.owner] : handlers_[in.owner];
         if (handler) {
@@ -426,7 +734,7 @@ void TcpTransport::poll_loop() {
     const auto now = Clock::now();
     auto next_retry = Clock::time_point::max();
     for (auto& [key, out] : out_) {
-      if (out.queue.empty()) continue;
+      if (out.queue.empty() && out.pending.empty()) continue;
       if (out.state == OutConn::State::kIdle ||
           (out.state == OutConn::State::kBackoff && now >= out.retry_at)) {
         dial(key.first, key.second, out);
@@ -451,7 +759,8 @@ void TcpTransport::poll_loop() {
     }
     for (auto& [key, out] : out_) {
       if (out.state == OutConn::State::kConnecting ||
-          (out.state == OutConn::State::kConnected && !out.queue.empty())) {
+          (out.state == OutConn::State::kConnected &&
+           (!out.queue.empty() || !out.pending.empty()))) {
         fds.push_back({out.fd, POLLOUT, 0});
         entries.push_back({Slot::kOut, 0, 0, key});
       }
@@ -518,7 +827,7 @@ void TcpTransport::poll_loop() {
               out.state = OutConn::State::kConnected;
               ++stats_.connects;
               set_nodelay(out.fd);
-              flush_out(out);
+              flush_out(e.key.first, out);
             } else {
               close_fd(out.fd);
               out.state = OutConn::State::kBackoff;
@@ -528,7 +837,7 @@ void TcpTransport::poll_loop() {
             if (revents & (POLLERR | POLLHUP)) {
               fail_out(out);
             } else {
-              flush_out(out);
+              flush_out(e.key.first, out);
             }
           }
           break;

@@ -27,6 +27,13 @@
 // broadcast() encodes the frame once and shares one immutable buffer
 // across all n−1 peer queues — the same single-allocation discipline as
 // SimNetwork::broadcast and LoopbackTransport.
+//
+// Envelope coalescing (DESIGN.md §13): with batch_enabled, sends park as
+// shared-payload envelopes per link; the poll thread packs everything
+// pending into kBatch frames at flush time and drains the wire queue with
+// writev(), so N small sends cost one frame and one syscall instead of N.
+// Receivers always unpack kBatch frames (one mailbox task dispatches every
+// inner envelope), independent of their own batching knob.
 #pragma once
 
 #include <chrono>
@@ -66,10 +73,26 @@ struct TcpConfig {
   // retry schedule). See net/backoff.h.
   double reconnect_jitter = 0.25;
   std::uint64_t reconnect_jitter_seed = 0x7c0ffee5ULL;
-  // Per-peer send queue ceiling; beyond it new frames are dropped (counted
-  // in WireMetrics::dropped) — transient loss, recovered by gossip FWD.
+  // Per-peer send queue ceiling in *envelopes*; beyond it new sends are
+  // dropped (counted in WireMetrics::dropped and per-link evictions) —
+  // transient loss, recovered by gossip FWD.
   std::size_t max_queued_frames_per_peer = 16384;
+  // Companion byte budget on the same queue: a frame cap alone admits
+  // cap × payload bytes, which for ~2 KiB WOTS-signed blocks is tens of
+  // MiB per peer. Whichever cap trips first evicts the new envelope.
+  std::size_t max_queued_bytes_per_peer = 64u << 20;
   std::size_t max_frame_payload = kMaxFramePayload;
+  // --- Envelope coalescing (DESIGN.md §13) ---
+  // When enabled, sends park as envelopes on the link and the poll thread
+  // packs everything pending into kBatch frames at flush time, draining
+  // the wire queue with writev. The flush window is adaptive with no
+  // timer: new work on an idle link wakes the poll thread immediately
+  // (flush now), and whatever accumulates while the socket or the poll
+  // thread is busy coalesces up to the caps below — the latency bound is
+  // the poll servicing latency, well under the few-ms contract.
+  bool batch_enabled = true;
+  std::size_t max_batch_frames = 64;        // inner envelopes per kBatch
+  std::size_t max_batch_bytes = 128u << 10; // kBatch payload ceiling
 };
 
 struct TcpStats {
@@ -77,9 +100,29 @@ struct TcpStats {
   std::uint64_t connects = 0;        // successful outbound establishments
   std::uint64_t accepts = 0;         // inbound connections accepted
   std::uint64_t resets = 0;          // established connections lost/reset
-  std::uint64_t frames_sent = 0;     // frames fully written to the kernel
-  std::uint64_t frames_received = 0; // complete frames decoded
+  std::uint64_t frames_sent = 0;     // wire frames fully written (batch = 1)
+  std::uint64_t frames_received = 0; // complete wire frames decoded
   std::uint64_t corrupt_streams = 0; // inbound streams poisoned by FrameDecoder
+  // Envelope coalescing (kBatch frames carrying >1 inner envelope).
+  std::uint64_t batches_sent = 0;
+  std::uint64_t batched_envelopes = 0;           // inners across batches_sent
+  std::uint64_t batches_received = 0;
+  std::uint64_t batched_envelopes_received = 0;
+  // Malformed kBatch payloads: the batch is dropped, the stream stays live
+  // (payload-level corruption, unlike a framing violation).
+  std::uint64_t batch_decode_failures = 0;
+  std::uint64_t writev_calls = 0;    // gather-writes issued on flush
+  // Send-queue cap evictions (frame cap or byte budget), all links.
+  std::uint64_t evicted_envelopes = 0;
+  std::uint64_t evicted_bytes = 0;
+};
+
+// Per-directed-link counters (from → to).
+struct TcpLinkStats {
+  std::uint64_t enqueued = 0;          // envelopes admitted to the queue
+  std::uint64_t evicted = 0;           // envelopes refused by the caps
+  std::uint64_t batches_sent = 0;      // kBatch frames packed
+  std::uint64_t batched_envelopes = 0; // inners across those batches
 };
 
 class TcpTransport final : public Transport {
@@ -107,6 +150,10 @@ class TcpTransport final : public Transport {
   std::uint32_t size() const override { return config_.n_servers; }
   void send(ServerId from, ServerId to, WireKind kind, Bytes payload) override;
   void broadcast(ServerId from, WireKind kind, const Bytes& payload) override;
+  void send_many(ServerId from, ServerId to,
+                 const std::vector<Envelope>& envelopes) override;
+  void broadcast_many(ServerId from,
+                      const std::vector<Envelope>& envelopes) override;
   WireMetrics wire_metrics() const override;
 
   // Control plane: frames sent with WireKind::kControl are routed to this
@@ -121,17 +168,33 @@ class TcpTransport final : public Transport {
   void drop_connections(ServerId a, ServerId b);
 
   TcpStats stats() const;
+  TcpLinkStats link_stats(ServerId from, ServerId to) const;
 
  private:
+  // One encoded wire frame awaiting the kernel; `units` is the number of
+  // envelopes it carries (1 for a plain frame, k for a kBatch), so idle
+  // tracking and drop accounting stay per-envelope.
+  struct WireFrame {
+    std::shared_ptr<const Bytes> bytes;
+    std::uint32_t units = 1;
+    std::size_t payload_bytes = 0;  // byte-budget accounting
+  };
   struct OutConn {
     enum class State { kIdle, kConnecting, kConnected, kBackoff };
     int fd = -1;
     State state = State::kIdle;
     std::chrono::steady_clock::time_point retry_at{};
-    // Encoded frames awaiting the kernel; broadcast shares one buffer
-    // across every peer's queue.
-    std::deque<std::shared_ptr<const Bytes>> queue;
+    // Batching mode: envelopes admitted but not yet packed into frames.
+    std::deque<Envelope> pending;
+    // Encoded frames awaiting the kernel; broadcast (unbatched) shares one
+    // buffer across every peer's queue.
+    std::deque<WireFrame> queue;
     std::size_t front_offset = 0;  // bytes of queue.front() already written
+    // Cap accounting across pending + queue, in envelopes and payload bytes.
+    std::size_t queued_envelopes = 0;
+    std::size_t queued_bytes = 0;
+    // Per-link counters live here so they survive stop() clearing out_.
+    TcpLinkStats* link = nullptr;  // owned by link_stats_
   };
   struct InConn {
     int fd = -1;
@@ -147,13 +210,19 @@ class TcpTransport final : public Transport {
                      std::size_t payload_bytes);
   void deliver_local(ServerId to, ServerId from, WireKind kind,
                      std::shared_ptr<const Bytes> payload);
+  void deliver_local_many(ServerId to, ServerId from,
+                          const std::vector<Envelope>& envelopes);
   void wake();
   void poll_loop();
-  // All four run with mu_ held.
+  // These run with mu_ held.
+  bool admit_locked(OutConn& out, std::size_t payload_bytes);
+  bool enqueue_envelope_locked(ServerId from, ServerId to, WireKind kind,
+                               std::shared_ptr<const Bytes> payload);
+  void pack_pending(ServerId from, OutConn& out);
   void dial(ServerId from, ServerId to, OutConn& out);
   void fail_out(OutConn& out);
   void service_in(InConn& in);
-  void flush_out(OutConn& out);
+  void flush_out(ServerId from, OutConn& out);
   std::chrono::steady_clock::duration reconnect_backoff();
 
   TcpConfig config_;
@@ -170,6 +239,9 @@ class TcpTransport final : public Transport {
   bool running_ = false;
   bool stopping_ = false;
   std::map<std::pair<ServerId, ServerId>, OutConn> out_;  // (from, to)
+  // Per-link counters, node-stable (OutConn::link points in) and retained
+  // across stop() so post-run diagnostics can still read them.
+  std::map<std::pair<ServerId, ServerId>, TcpLinkStats> link_stats_;
   std::vector<std::unique_ptr<InConn>> in_;
   std::vector<std::shared_ptr<const Handler>> handlers_;
   std::vector<std::shared_ptr<const Handler>> control_;

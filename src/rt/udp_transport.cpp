@@ -12,6 +12,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/codec.h"
+
 namespace blockdag::rt {
 
 namespace {
@@ -137,6 +139,9 @@ void UdpTransport::stop() {
       // them or wait_idle() would hang forever after a teardown.
       idle_->sub(l.sender->take_retired_frames() + l.sender->pending_frames());
     }
+    // Staged-but-unpacked envelopes are outstanding work units too.
+    if (idle_ && !l.staged.empty()) idle_->sub(l.staged.size());
+    l.staged.clear();
     l.sender.reset();
     l.receiver.reset();
   }
@@ -216,6 +221,28 @@ void UdpTransport::deliver_local(ServerId to, ServerId from, WireKind kind,
   });
 }
 
+void UdpTransport::deliver_local_many(ServerId to, ServerId from,
+                                      const std::vector<Envelope>& envelopes) {
+  std::shared_ptr<const Handler> proto;
+  std::shared_ptr<const Handler> ctrl;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    proto = handlers_[to];
+    ctrl = control_[to];
+  }
+  if (!proto && !ctrl) return;
+  // One mailbox wakeup delivers the whole batch, in order.
+  mailboxes_[to]->push([proto = std::move(proto), ctrl = std::move(ctrl), from,
+                        envelopes] {
+    for (const Envelope& e : envelopes) {
+      const auto& handler = e.kind == WireKind::kControl ? ctrl : proto;
+      if (handler) (*handler)(from, *e.payload);
+    }
+  });
+}
+
+// mu_ held. Stages one envelope on the link (batching mode): the per-kind
+// metrics are charged here, the frame itself materialises in pack_staged.
 void UdpTransport::send(ServerId from, ServerId to, WireKind kind,
                         Bytes payload) {
   assert(to < config_.n_servers && is_local(from));
@@ -225,10 +252,27 @@ void UdpTransport::send(ServerId from, ServerId to, WireKind kind,
                   std::make_shared<const Bytes>(std::move(payload)));
     return;
   }
+  const auto k = static_cast<std::size_t>(kind);
+  if (config_.batch_enabled) {
+    auto shared = std::make_shared<const Bytes>(std::move(payload));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ++metrics_.dropped;
+        return;
+      }
+      Link& l = link(from, to);
+      metrics_.messages[k] += 1;
+      metrics_.bytes[k] += shared->size();
+      l.staged.push_back(Envelope{kind, std::move(shared)});
+      if (idle_) idle_->add();
+    }
+    wake();
+    return;
+  }
   const std::size_t payload_bytes = payload.size();
   const Bytes frame =
       encode_frame(FrameHeader{kFrameVersion, kind, from}, payload);
-  const auto k = static_cast<std::size_t>(kind);
   bool need_wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -256,11 +300,35 @@ void UdpTransport::send(ServerId from, ServerId to, WireKind kind,
 
 void UdpTransport::broadcast(ServerId from, WireKind kind,
                              const Bytes& payload) {
+  const auto k = static_cast<std::size_t>(kind);
+  if (config_.batch_enabled) {
+    // One immutable payload shared across every peer link's staging queue.
+    const auto shared = std::make_shared<const Bytes>(payload);
+    bool staged = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ++metrics_.dropped;
+      } else {
+        for (ServerId to = 0; to < config_.n_servers; ++to) {
+          if (to == from) continue;
+          Link& l = link(from, to);
+          metrics_.messages[k] += 1;
+          metrics_.bytes[k] += payload.size();
+          l.staged.push_back(Envelope{kind, shared});
+          if (idle_) idle_->add();
+          staged = true;
+        }
+      }
+    }
+    deliver_local(from, from, kind, std::make_shared<const Bytes>(payload));
+    if (staged) wake();
+    return;
+  }
   // One frame encode shared across every peer channel (each channel chops
   // its own sequenced chunks — seqs differ per link by construction).
   const Bytes frame =
       encode_frame(FrameHeader{kFrameVersion, kind, from}, payload);
-  const auto k = static_cast<std::size_t>(kind);
   bool need_wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -284,6 +352,124 @@ void UdpTransport::broadcast(ServerId from, WireKind kind,
   }
   deliver_local(from, from, kind, std::make_shared<const Bytes>(payload));
   if (need_wake) wake();
+}
+
+void UdpTransport::send_many(ServerId from, ServerId to,
+                             const std::vector<Envelope>& envelopes) {
+  assert(to < config_.n_servers && is_local(from));
+  if (envelopes.empty()) return;
+  if (to == from) {
+    deliver_local_many(to, from, envelopes);
+    return;
+  }
+  if (!config_.batch_enabled) {
+    for (const Envelope& e : envelopes) send(from, to, e.kind, *e.payload);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      metrics_.dropped += envelopes.size();
+      return;
+    }
+    Link& l = link(from, to);
+    for (const Envelope& e : envelopes) {
+      const auto k = static_cast<std::size_t>(e.kind);
+      metrics_.messages[k] += 1;
+      metrics_.bytes[k] += e.payload->size();
+      l.staged.push_back(e);
+      if (idle_) idle_->add();
+    }
+  }
+  wake();
+}
+
+void UdpTransport::broadcast_many(ServerId from,
+                                  const std::vector<Envelope>& envelopes) {
+  if (envelopes.empty()) return;
+  if (!config_.batch_enabled) {
+    for (const Envelope& e : envelopes) broadcast(from, e.kind, *e.payload);
+    return;
+  }
+  bool staged = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      metrics_.dropped +=
+          envelopes.size() * (config_.n_servers > 0 ? config_.n_servers - 1 : 0);
+    } else {
+      for (ServerId to = 0; to < config_.n_servers; ++to) {
+        if (to == from) continue;
+        Link& l = link(from, to);
+        for (const Envelope& e : envelopes) {
+          const auto k = static_cast<std::size_t>(e.kind);
+          metrics_.messages[k] += 1;
+          metrics_.bytes[k] += e.payload->size();
+          l.staged.push_back(e);
+          if (idle_) idle_->add();
+        }
+        staged = true;
+      }
+    }
+  }
+  deliver_local_many(from, from, envelopes);
+  if (staged) wake();
+}
+
+// mu_ held. Packs everything staged on the link into wire frames — a lone
+// envelope ships as a plain frame of its own kind, two or more coalesce
+// into kBatch frames bounded by max_batch_frames/max_batch_bytes — and
+// offers them to the sender channel. The idle accounting swaps k envelope
+// units for one frame unit per packed frame (add before sub, so the count
+// never transiently hits zero).
+void UdpTransport::pack_staged(ServerId from, ServerId to, Link& l) {
+  if (!l.sender) {
+    l.sender = std::make_unique<SenderChannel>(from, config_.channel);
+  }
+  while (!l.staged.empty()) {
+    std::size_t take = 1;
+    std::size_t group_bytes = 1 + 4 + l.staged.front().payload->size();
+    while (take < l.staged.size() && take < config_.max_batch_frames) {
+      const std::size_t next = 4 + l.staged[take].payload->size();
+      if (group_bytes + next > config_.max_batch_bytes) break;
+      group_bytes += next;
+      ++take;
+    }
+    Bytes frame;
+    if (take == 1) {
+      const Envelope& e = l.staged.front();
+      frame = encode_frame(FrameHeader{kFrameVersion, e.kind, from},
+                           *e.payload);
+    } else {
+      std::vector<std::span<const std::uint8_t>> inners;
+      inners.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        inners.emplace_back(*l.staged[i].payload);
+      }
+      frame = encode_frame(FrameHeader{kFrameVersion, WireKind::kBatch, from},
+                           encode_batch(inners));
+      ++stats_.batches_sent;
+      stats_.batched_envelopes += take;
+      ++l.batches_sent;
+      l.batched_envelopes += take;
+    }
+    if (l.sender->offer(frame)) {
+      ++stats_.frames_sent;
+      if (idle_) {
+        idle_->add();
+        idle_->sub(take);
+      }
+    } else {
+      // Channel queue full: the staged envelopes are dropped whole —
+      // transient loss, gossip FWD recovers (the channel counted the
+      // refused frame in frames_dropped).
+      metrics_.dropped += take;
+      if (idle_) idle_->sub(take);
+    }
+    l.staged.erase(l.staged.begin(),
+                   l.staged.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  (void)to;
 }
 
 void UdpTransport::transmit(ServerId from, ServerId to, const Bytes& datagram) {
@@ -353,6 +539,49 @@ void UdpTransport::deliver_frames(ServerId owner, std::vector<Frame>& frames) {
     }
     ++stats_.frames_received;
     const ServerId from = frame.header.from;
+    if (frame.header.kind == WireKind::kBatch) {
+      // Unpack before posting; a malformed batch is dropped whole with no
+      // channel state touched (split_batch bounds-checks every inner
+      // length pre-allocation, refuses nesting).
+      const auto entries = split_batch(frame.payload);
+      if (!entries) {
+        ++stats_.batch_decode_failures;
+        continue;
+      }
+      ++stats_.batches_received;
+      stats_.batched_envelopes_received += entries->size();
+      std::shared_ptr<const Handler> proto = handlers_[owner];
+      std::shared_ptr<const Handler> ctrl = control_[owner];
+      if (!proto && !ctrl) continue;
+      struct Inner {
+        WireKind kind;
+        std::size_t off;
+        std::size_t len;
+      };
+      std::vector<Inner> inners;
+      inners.reserve(entries->size());
+      for (const BatchEntry& e : *entries) {
+        inners.push_back(Inner{
+            e.kind,
+            static_cast<std::size_t>(e.envelope.data() - frame.payload.data()),
+            e.envelope.size()});
+      }
+      auto payload = std::make_shared<const Bytes>(std::move(frame.payload));
+      // One mailbox wakeup dispatches every inner envelope in order.
+      mailboxes_[owner]->push(
+          [proto = std::move(proto), ctrl = std::move(ctrl), from,
+           payload = std::move(payload), inners = std::move(inners)] {
+            for (const Inner& e : inners) {
+              const auto& handler = e.kind == WireKind::kControl ? ctrl : proto;
+              if (!handler) continue;
+              const Bytes envelope(
+                  payload->begin() + static_cast<std::ptrdiff_t>(e.off),
+                  payload->begin() + static_cast<std::ptrdiff_t>(e.off + e.len));
+              (*handler)(from, envelope);
+            }
+          });
+      continue;
+    }
     std::shared_ptr<const Handler> handler = frame.header.kind == WireKind::kControl
                                                  ? control_[owner]
                                                  : handlers_[owner];
@@ -411,6 +640,11 @@ UdpTransport::Clock::time_point UdpTransport::pump(Clock::time_point now) {
   auto earliest = Clock::time_point::max();
   std::vector<Bytes> batch;
   for (auto& [key, l] : links_) {
+    // Batching: everything staged since the last pump coalesces here —
+    // the flush window is one pump cadence (the poll loop wakes
+    // immediately on new work, so an idle link flushes at once and a busy
+    // one accumulates).
+    if (!l.staged.empty()) pack_staged(key.first, key.second, l);
     if (l.sender) {
       batch.clear();
       l.sender->poll(to_ns(now), batch);
@@ -541,6 +775,8 @@ UdpLinkStats UdpTransport::link_stats(ServerId from, ServerId to) const {
   stats.injected_drops = l.injected_drops;
   stats.injected_dups = l.injected_dups;
   stats.injected_delays = l.injected_delays;
+  stats.batches_sent = l.batches_sent;
+  stats.batched_envelopes = l.batched_envelopes;
   if (l.sender) {
     stats.retransmits = l.sender->stats().retransmits;
     stats.channel_resets = l.sender->stats().resets;

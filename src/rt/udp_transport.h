@@ -37,6 +37,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,17 @@ struct UdpConfig {
   std::uint64_t fault_seed = 1;
   // Initial profile applied to every directed link (clean by default).
   LinkFault default_fault{};
+  // --- Envelope coalescing (DESIGN.md §13) ---
+  // When enabled, sends stage as envelopes per link and pump() packs
+  // everything staged into kBatch frames before offering them to the
+  // sender channel, so one frame (and its seq/ack/retransmit state) can
+  // carry many envelopes. The batch ceiling is deliberately smaller than
+  // TCP's: a frame is the retransmission unit here, and a fatter frame
+  // spans more MTU chunks, so one lost chunk under injected loss holds up
+  // more envelopes (the lossy bench row prices exactly this trade).
+  bool batch_enabled = true;
+  std::size_t max_batch_frames = 64;       // inner envelopes per kBatch
+  std::size_t max_batch_bytes = 16u << 10; // kBatch payload ceiling
 };
 
 // Aggregate counters. Everything the fault tests assert nonzero lives
@@ -106,6 +118,13 @@ struct UdpStats {
   std::uint64_t injected_drops = 0;
   std::uint64_t injected_dups = 0;
   std::uint64_t injected_delays = 0;     // datagrams held back (incl. reorders)
+  // Envelope coalescing (kBatch frames carrying >1 inner envelope).
+  std::uint64_t batches_sent = 0;
+  std::uint64_t batched_envelopes = 0;
+  std::uint64_t batches_received = 0;
+  std::uint64_t batched_envelopes_received = 0;
+  // Malformed kBatch payloads: batch dropped, channel state untouched.
+  std::uint64_t batch_decode_failures = 0;
 };
 
 // Per-directed-link view (the TcpStats pattern, but per peer): sender-side
@@ -120,6 +139,8 @@ struct UdpLinkStats {
   std::uint64_t injected_delays = 0;
   std::uint64_t duplicates_dropped = 0;  // dedup at the receiving end
   std::uint64_t chunks_delivered = 0;
+  std::uint64_t batches_sent = 0;        // kBatch frames packed on this link
+  std::uint64_t batched_envelopes = 0;   // inners across those batches
 };
 
 class UdpTransport final : public Transport {
@@ -145,6 +166,10 @@ class UdpTransport final : public Transport {
   std::uint32_t size() const override { return config_.n_servers; }
   void send(ServerId from, ServerId to, WireKind kind, Bytes payload) override;
   void broadcast(ServerId from, WireKind kind, const Bytes& payload) override;
+  void send_many(ServerId from, ServerId to,
+                 const std::vector<Envelope>& envelopes) override;
+  void broadcast_many(ServerId from,
+                      const std::vector<Envelope>& envelopes) override;
   WireMetrics wire_metrics() const override;
 
   // Control plane: frames sent with WireKind::kControl are routed to this
@@ -176,10 +201,15 @@ class UdpTransport final : public Transport {
   struct Link {
     std::unique_ptr<SenderChannel> sender;      // local from → to
     std::unique_ptr<ReceiverChannel> receiver;  // from → local to
+    // Batching mode: envelopes staged for this link, packed into kBatch
+    // frames by pump() before the sender channel sees them.
+    std::deque<Envelope> staged;
     std::uint64_t injected_drops = 0;
     std::uint64_t injected_dups = 0;
     std::uint64_t injected_delays = 0;
     std::uint64_t datagrams_sent = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t batched_envelopes = 0;
   };
   struct Delayed {
     Clock::time_point due;
@@ -197,7 +227,12 @@ class UdpTransport final : public Transport {
   const LinkFault& fault_of(ServerId from, ServerId to) const;
   void deliver_local(ServerId to, ServerId from, WireKind kind,
                      std::shared_ptr<const Bytes> payload);
+  void deliver_local_many(ServerId to, ServerId from,
+                          const std::vector<Envelope>& envelopes);
   void deliver_frames(ServerId owner, std::vector<Frame>& frames);
+  // Packs everything staged on the link into wire frames and offers them
+  // to the sender channel. mu_ held (pump() calls it).
+  void pack_staged(ServerId from, ServerId to, Link& l);
   // Injection decision + sendto()/delay-queue for one outbound datagram.
   // mu_ held. `injectable` is false for datagrams the injector already
   // processed (delayed releases, duplicate copies).

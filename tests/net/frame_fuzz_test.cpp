@@ -15,6 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "net/codec.h"
+
 namespace blockdag {
 namespace {
 
@@ -234,6 +238,176 @@ TEST(FrameFuzz, SingleByteFlipsNeverCrashOrOverread) {
       EXPECT_LE(carried, tampered.size()) << "flip at " << at;
     }
   }
+}
+
+// ---- kBatch envelope (DESIGN.md §13): the batched-dissemination armor ----
+//
+// A kBatch payload is attacker bytes like everything else on the wire. The
+// decode contract: per-entry length fields are vetted against the bytes
+// actually remaining BEFORE any entry is recorded (a lie costs no
+// allocation), nested batches and empty batches are refused, and a corrupt
+// batch is a payload-level failure — the framing layer stays healthy, so
+// the connection survives and only that batch's envelopes are lost.
+
+// Three inner envelopes of distinct kinds and sizes, the shape gossip
+// egress produces (tag byte + body each).
+std::vector<Bytes> sample_inners() {
+  std::vector<Bytes> inners;
+  inners.push_back(encode_tagged(WireKind::kBlock, payload_of(57, 11)));
+  inners.push_back(encode_tagged(WireKind::kFwdRequest, payload_of(32, 22)));
+  inners.push_back(encode_tagged(WireKind::kFwdReply, payload_of(5, 33)));
+  return inners;
+}
+
+Bytes sample_batch(const std::vector<Bytes>& inners) {
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (const Bytes& inner : inners) spans.emplace_back(inner);
+  return encode_batch(spans);
+}
+
+TEST(BatchFuzz, RoundTripsEveryInnerEnvelope) {
+  const std::vector<Bytes> inners = sample_inners();
+  const Bytes wire = sample_batch(inners);
+  const auto entries = split_batch(wire);
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), inners.size());
+  for (std::size_t i = 0; i < inners.size(); ++i) {
+    EXPECT_EQ(static_cast<int>((*entries)[i].kind),
+              static_cast<int>(inners[i][0]))
+        << "entry " << i;
+    // The entry spans the complete inner tagged envelope, aliasing the
+    // batch buffer (no copy at split time).
+    ASSERT_EQ((*entries)[i].envelope.size(), inners[i].size()) << "entry " << i;
+    EXPECT_TRUE(std::equal((*entries)[i].envelope.begin(),
+                           (*entries)[i].envelope.end(), inners[i].begin()))
+        << "entry " << i;
+    EXPECT_GE((*entries)[i].envelope.data(), wire.data());
+    EXPECT_LE((*entries)[i].envelope.data() + (*entries)[i].envelope.size(),
+              wire.data() + wire.size());
+  }
+}
+
+TEST(BatchFuzz, TruncationAtEveryByteIsBoundedAndExactAtBoundaries) {
+  // Sweep every prefix of a 3-entry batch. Because the format is a plain
+  // length-prefixed sequence, a cut EXACTLY at an inner boundary is a
+  // well-formed shorter batch (the sender never produces one mid-frame —
+  // TCP framing already guarantees whole payloads); any other cut must be
+  // rejected. Either way: no crash, no over-read, never more entries than
+  // the bytes can carry.
+  const std::vector<Bytes> inners = sample_inners();
+  const Bytes wire = sample_batch(inners);
+  // Byte offsets of the inner-entry boundaries (after the kBatch tag).
+  std::vector<std::size_t> boundaries{1};
+  for (const Bytes& inner : inners) {
+    boundaries.push_back(boundaries.back() + 4 + inner.size());
+  }
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    const auto entries =
+        split_batch(std::span<const std::uint8_t>(wire.data(), len));
+    const auto at = std::find(boundaries.begin() + 1, boundaries.end(), len);
+    if (at != boundaries.end()) {
+      const auto n_complete =
+          static_cast<std::size_t>(at - boundaries.begin());
+      ASSERT_TRUE(entries.has_value()) << "boundary cut at " << len;
+      EXPECT_EQ(entries->size(), n_complete) << "boundary cut at " << len;
+    } else {
+      EXPECT_FALSE(entries.has_value()) << "mid-entry cut at " << len;
+    }
+  }
+}
+
+TEST(BatchFuzz, ForgedLengthsRejectedBeforeAnyEntryIsRecorded) {
+  const std::vector<Bytes> inners = sample_inners();
+  for (const std::uint32_t lie :
+       {0u, 0xffffffffu, 0x7fffffffu, 0x00010000u,
+        static_cast<std::uint32_t>(sample_batch(inners).size())}) {
+    Bytes wire = sample_batch(inners);
+    // Patch the FIRST entry's length field (bytes 1..4): a lie at the head
+    // must reject the whole batch without touching the (valid) tail.
+    wire[1] = static_cast<std::uint8_t>(lie);
+    wire[2] = static_cast<std::uint8_t>(lie >> 8);
+    wire[3] = static_cast<std::uint8_t>(lie >> 16);
+    wire[4] = static_cast<std::uint8_t>(lie >> 24);
+    // A lie that happens to equal the true length is not a lie.
+    if (lie == inners[0].size()) continue;
+    EXPECT_FALSE(split_batch(wire).has_value()) << "length lie " << lie;
+  }
+}
+
+TEST(BatchFuzz, NestedAndEmptyBatchesRefused) {
+  // Nested: an inner entry claiming kind kBatch (recursion bomb otherwise).
+  const std::vector<Bytes> inners = sample_inners();
+  Bytes nested_inner{static_cast<std::uint8_t>(WireKind::kBatch)};
+  nested_inner.push_back(0x00);
+  Bytes wire{static_cast<std::uint8_t>(WireKind::kBatch)};
+  const std::uint32_t len = static_cast<std::uint32_t>(nested_inner.size());
+  wire.push_back(static_cast<std::uint8_t>(len));
+  wire.push_back(static_cast<std::uint8_t>(len >> 8));
+  wire.push_back(static_cast<std::uint8_t>(len >> 16));
+  wire.push_back(static_cast<std::uint8_t>(len >> 24));
+  wire.insert(wire.end(), nested_inner.begin(), nested_inner.end());
+  EXPECT_FALSE(split_batch(wire).has_value());
+
+  // Empty: the tag byte alone is not a batch (the sender never coalesces
+  // zero envelopes; an empty claim is a forgery by construction).
+  const Bytes empty{static_cast<std::uint8_t>(WireKind::kBatch)};
+  EXPECT_FALSE(split_batch(empty).has_value());
+  EXPECT_FALSE(split_batch(std::span<const std::uint8_t>{}).has_value());
+}
+
+TEST(BatchFuzz, SingleByteFlipsNeverCrashOrOverread) {
+  const std::vector<Bytes> inners = sample_inners();
+  const Bytes wire = sample_batch(inners);
+  for (std::size_t at = 0; at < wire.size(); ++at) {
+    for (const std::uint8_t pattern : {0xffu, 0x01u, 0x80u}) {
+      Bytes tampered = wire;
+      tampered[at] ^= pattern;
+      const auto entries = split_batch(tampered);
+      if (!entries) continue;  // rejected: fine
+      // Accepted: every entry must lie inside the tampered buffer and the
+      // entry count is bounded by what the bytes can carry (>= 5 bytes per
+      // entry: length field + tag).
+      EXPECT_LE(entries->size(), tampered.size() / 5) << "flip at " << at;
+      for (const BatchEntry& e : *entries) {
+        EXPECT_GE(e.envelope.data(), tampered.data()) << "flip at " << at;
+        EXPECT_LE(e.envelope.data() + e.envelope.size(),
+                  tampered.data() + tampered.size())
+            << "flip at " << at;
+        EXPECT_FALSE(e.envelope.empty()) << "flip at " << at;
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, CorruptBatchPayloadLeavesTheFrameStreamLive) {
+  // The transport contract: a kBatch frame whose payload fails split_batch
+  // is a payload-level loss (counted, envelopes dropped), NOT a framing
+  // error — the very next frame on the same connection must still decode.
+  const std::vector<Bytes> inners = sample_inners();
+  Bytes bad_batch = sample_batch(inners);
+  bad_batch[2] ^= 0xff;  // corrupt the first length field mid-stream
+  ASSERT_FALSE(split_batch(bad_batch).has_value());
+
+  FrameDecoder decoder;
+  Bytes stream = encode_frame(
+      FrameHeader{kFrameVersion, WireKind::kBatch, 2}, bad_batch);
+  const Bytes follow = encode_frame(
+      FrameHeader{kFrameVersion, WireKind::kBlock, 2}, payload_of(16, 44));
+  stream.insert(stream.end(), follow.begin(), follow.end());
+  decoder.feed(stream);
+
+  const auto first = decoder.next();
+  ASSERT_TRUE(first.has_value());  // framing was intact; payload is garbage
+  EXPECT_EQ(static_cast<int>(first->header.kind),
+            static_cast<int>(WireKind::kBatch));
+  EXPECT_FALSE(split_batch(first->payload).has_value());
+  EXPECT_FALSE(decoder.corrupt());
+
+  const auto second = decoder.next();
+  ASSERT_TRUE(second.has_value());  // the connection survived the bad batch
+  EXPECT_EQ(static_cast<int>(second->header.kind),
+            static_cast<int>(WireKind::kBlock));
+  EXPECT_FALSE(decoder.corrupt());
 }
 
 TEST(FrameFuzz, FeedAfterCorruptionStaysInert) {

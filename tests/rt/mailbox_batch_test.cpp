@@ -1,0 +1,167 @@
+// Mailbox batch-drain (pop_all) — the DESIGN.md §13 contract.
+//
+// What must hold, precisely because the batched node loop replaces one
+// condvar round per task with one per queue swap:
+//   * per-sender FIFO survives the swap: with several producers pushing
+//     concurrently, each producer's tasks still run in its push order;
+//   * the IdleTracker stays non-zero from push until task_done(n) — the
+//     consumer releases a batch's work units only after running (and
+//     flushing) the whole batch, so count()==0 remains a true quiescent
+//     point even mid-batch;
+//   * close() drains: tasks pushed before close still come out, and
+//     pop_all returns false exactly once the queue is closed AND empty.
+// Runs under ThreadSanitizer in CI next to the verifier-pool test.
+#include "rt/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace blockdag::rt {
+namespace {
+
+TEST(MailboxBatch, PerProducerFifoAcrossBatchDrains) {
+  IdleTracker idle;
+  Mailbox mailbox(idle);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+
+  // Consumer records (producer, seq) in execution order.
+  std::vector<std::vector<int>> seen(kProducers);
+  std::thread consumer([&] {
+    std::deque<Mailbox::Task> batch;
+    while (mailbox.pop_all(batch)) {
+      const std::uint64_t n = batch.size();
+      for (Mailbox::Task& task : batch) {
+        task();
+        task = nullptr;
+      }
+      batch.clear();
+      mailbox.task_done(n);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(mailbox.push([&seen, p, i] { seen[p].push_back(i); }));
+        if (i % 256 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  mailbox.close();
+  consumer.join();
+
+  // Every producer's tasks ran, in that producer's push order — the batch
+  // swap must not reorder within a sender even while four senders race.
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(seen[p].size(), static_cast<std::size_t>(kPerProducer))
+        << "producer " << p;
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(seen[p][i], i) << "producer " << p << " slot " << i;
+    }
+  }
+  EXPECT_EQ(idle.count(), 0u);
+}
+
+TEST(MailboxBatch, IdleTrackerHeldUntilWholeBatchDone) {
+  IdleTracker idle;
+  Mailbox mailbox(idle);
+
+  // Pre-load a batch, then drain it on this thread so the test can probe
+  // the tracker at exact points of the drain cycle.
+  constexpr std::uint64_t kTasks = 8;
+  std::uint64_t ran = 0;
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(mailbox.push([&ran] { ++ran; }));
+  }
+  ASSERT_EQ(idle.count(), kTasks);
+
+  std::deque<Mailbox::Task> batch;
+  ASSERT_TRUE(mailbox.pop_all(batch));
+  ASSERT_EQ(batch.size(), kTasks);
+  // Swapped out of the queue but not yet run: still outstanding work.
+  EXPECT_EQ(idle.count(), kTasks);
+
+  std::uint64_t done = 0;
+  for (Mailbox::Task& task : batch) {
+    task();
+    task = nullptr;
+    ++done;
+    // Mid-batch, with some tasks run but their units unreleased, the
+    // tracker must NOT read zero — a wait_idle() here would be a lie
+    // (buffered egress from the already-run tasks could still be parked).
+    EXPECT_EQ(idle.count(), kTasks) << "after task " << done;
+  }
+  EXPECT_EQ(ran, kTasks);
+
+  mailbox.task_done(kTasks);
+  EXPECT_EQ(idle.count(), 0u);
+  EXPECT_TRUE(idle.wait_idle(std::chrono::milliseconds(100)));
+}
+
+TEST(MailboxBatch, CloseDrainsThenReturnsFalse) {
+  IdleTracker idle;
+  Mailbox mailbox(idle);
+  int ran = 0;
+  ASSERT_TRUE(mailbox.push([&ran] { ++ran; }));
+  ASSERT_TRUE(mailbox.push([&ran] { ++ran; }));
+  mailbox.close();
+  EXPECT_FALSE(mailbox.push([&ran] { ++ran; }));  // closed: dropped
+
+  std::deque<Mailbox::Task> batch;
+  ASSERT_TRUE(mailbox.pop_all(batch));  // pre-close tasks still drain
+  EXPECT_EQ(batch.size(), 2u);
+  for (Mailbox::Task& task : batch) task();
+  mailbox.task_done(batch.size());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(mailbox.pop_all(batch));  // closed AND empty: consumer exits
+  EXPECT_EQ(idle.count(), 0u);
+}
+
+// Producers keep pushing while the consumer drains in batches and a
+// watcher repeatedly waits for idle: when wait_idle returns true, all
+// pushed tasks so far must actually have executed (no batch in flight).
+TEST(MailboxBatch, WaitIdleNeverObservesHalfDrainedBatch) {
+  IdleTracker idle;
+  Mailbox mailbox(idle);
+
+  std::atomic<std::uint64_t> executed{0};
+  std::thread consumer([&] {
+    std::deque<Mailbox::Task> batch;
+    while (mailbox.pop_all(batch)) {
+      const std::uint64_t n = batch.size();
+      for (Mailbox::Task& task : batch) {
+        task();
+        task = nullptr;
+      }
+      batch.clear();
+      mailbox.task_done(n);
+    }
+  });
+
+  std::uint64_t pushed = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int burst = 1 + round % 7;
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(mailbox.push([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }));
+      ++pushed;
+    }
+    ASSERT_TRUE(idle.wait_idle(std::chrono::seconds(10)));
+    // A true quiescent point: everything pushed has run to completion.
+    ASSERT_EQ(executed.load(std::memory_order_relaxed), pushed);
+  }
+  mailbox.close();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace blockdag::rt

@@ -37,6 +37,10 @@ echo "==> Forger fuzz slice (real wots signatures + raw-hosted forger adversary)
 echo "==> Parallel-interpretation fuzz slice (crash churn with the sharded engine forced on)"
 ./build-ci/simctl fuzz --runtime threads --seeds 1..8 --interpret-workers 4
 
+echo "==> TCP fuzz slice, batching A/B (same seeds with dissemination batching on, then off)"
+./build-ci/simctl fuzz --runtime tcp --seeds 1..8
+./build-ci/simctl fuzz --runtime tcp --seeds 1..8 --batch off
+
 echo "==> Lossy-datagram smoke (real localhost UDP, 15% injected loss + two-process 10%-loss cluster)"
 ./build-ci/simctl run --runtime udp --n 4 --instances 4 --seconds 5 --interval 2 --drop 0.15
 sh tools/udp_cluster_smoke.sh ./build-ci/simctl
@@ -58,15 +62,18 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
 cmake --build build-ci-tsan -j "$jobs" \
       --target rt_threaded_runtime_test rt_tcp_runtime_test \
                rt_udp_runtime_test rt_timer_wheel_test rt_crash_restart_test \
+               rt_mailbox_batch_test \
                crypto_verifier_pool_test interpret_parallel_interpreter_test
 (cd build-ci-tsan && ctest --output-on-failure \
-    -R '^(rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test|crash_restart_test)|crypto/verifier_pool_test|interpret/parallel_interpreter_test)$')
+    -R '^(rt/(threaded_runtime_test|tcp_runtime_test|udp_runtime_test|timer_wheel_test|crash_restart_test|mailbox_batch_test)|crypto/verifier_pool_test|interpret/parallel_interpreter_test)$')
 # The pool's shutdown race is timing-shaped: loop the Tsan binaries so the
 # sanitizer sees many distinct stop()-vs-batch interleavings (the parallel
-# interpreter shares the verifier pool's owner-drains-the-bag protocol).
+# interpreter shares the verifier pool's owner-drains-the-bag protocol;
+# the mailbox batch-drain races four producers against the swap).
 for i in 1 2 3 4 5 6 7 8 9 10; do
   ./build-ci-tsan/crypto_verifier_pool_test >/dev/null
   ./build-ci-tsan/interpret_parallel_interpreter_test >/dev/null
+  ./build-ci-tsan/rt_mailbox_batch_test >/dev/null
 done
 
 echo "==> CI OK"
